@@ -1,0 +1,142 @@
+// Ablation A4 (§5.2.4): cost of the three index organizations — B-tree,
+// dynamic hash table, list — for insert, exact-match, and range.
+
+#include <benchmark/benchmark.h>
+
+#include "collection/collection.h"
+#include "common/random.h"
+#include "platform/mem_store.h"
+#include "platform/one_way_counter.h"
+#include "platform/secret_store.h"
+
+namespace {
+
+using namespace tdb;
+using namespace tdb::collection;
+
+constexpr object::ClassId kItemClass = 210;
+
+class Item : public object::Object {
+ public:
+  Item() = default;
+  explicit Item(int64_t id) : id_(id) {}
+  object::ClassId class_id() const override { return kItemClass; }
+  void Pickle(object::Pickler* p) const override { p->PutInt64(id_); }
+  Status UnpickleFrom(object::Unpickler* u) override {
+    return u->GetInt64(&id_);
+  }
+  int64_t id_ = 0;
+};
+
+using ItemIndexer = Indexer<Item, IntKey>;
+
+struct Fixture {
+  platform::MemUntrustedStore store;
+  platform::MemSecretStore secrets;
+  platform::MemOneWayCounter counter;
+  std::unique_ptr<chunk::ChunkStore> chunks;
+  std::unique_ptr<object::ObjectStore> objects;
+  std::unique_ptr<CollectionStore> collections;
+  std::shared_ptr<GenericIndexer> indexer;
+
+  explicit Fixture(IndexKind kind, int preload) {
+    (void)secrets.Provision(Slice("s")).ok();
+    chunk::ChunkStoreOptions copts;
+    copts.security = crypto::SecurityConfig::Disabled();
+    copts.segment_size = 256 * 1024;
+    copts.checkpoint_interval_bytes = 16 * 1024 * 1024;
+    chunks = std::move(chunk::ChunkStore::Open(&store, &secrets, &counter,
+                                               copts))
+                 .value();
+    object::ObjectStoreOptions oopts;
+    oopts.locking_enabled = false;
+    oopts.cache_capacity_bytes = 64 * 1024 * 1024;
+    objects = std::move(object::ObjectStore::Open(chunks.get(), oopts)).value();
+    (void)objects->registry().Register<Item>(kItemClass).ok();
+    collections = std::move(CollectionStore::Open(objects.get())).value();
+    indexer = std::make_shared<ItemIndexer>(
+        "by-id", Uniqueness::kNonUnique, kind,
+        [](const Item& item) { return IntKey(item.id_); });
+    CTransaction txn(collections.get());
+    auto coll = txn.CreateCollection("items", indexer);
+    for (int i = 0; i < preload; i++) {
+      (void)(*coll)->Insert(&txn, std::make_unique<Item>(i)).status().ok();
+    }
+    (void)txn.Commit(false).ok();
+  }
+};
+
+void RunInsert(benchmark::State& state, IndexKind kind) {
+  Fixture fx(kind, static_cast<int>(state.range(0)));
+  int64_t next = state.range(0);
+  for (auto _ : state) {
+    CTransaction txn(fx.collections.get());
+    auto coll = txn.WriteCollection("items");
+    auto oid = (*coll)->Insert(&txn, std::make_unique<Item>(next++));
+    if (!oid.ok()) state.SkipWithError(oid.status().ToString().c_str());
+    Status s = txn.Commit(false);
+    if (!s.ok()) state.SkipWithError(s.ToString().c_str());
+  }
+}
+
+void RunMatch(benchmark::State& state, IndexKind kind) {
+  const int n = static_cast<int>(state.range(0));
+  Fixture fx(kind, n);
+  Random rng(4);
+  for (auto _ : state) {
+    CTransaction txn(fx.collections.get());
+    auto coll = txn.ReadCollection("items");
+    IntKey key(static_cast<int64_t>(rng.Uniform(n)));
+    auto it = (*coll)->Query(&txn, *fx.indexer, key);
+    if (!it.ok()) state.SkipWithError(it.status().ToString().c_str());
+    int found = 0;
+    for (; !(*it)->end(); (*it)->Next()) found++;
+    benchmark::DoNotOptimize(found);
+    (void)(*it)->Close().ok();
+    (void)txn.Commit(false).ok();
+  }
+}
+
+void RunRange(benchmark::State& state, IndexKind kind) {
+  const int n = static_cast<int>(state.range(0));
+  Fixture fx(kind, n);
+  Random rng(5);
+  for (auto _ : state) {
+    CTransaction txn(fx.collections.get());
+    auto coll = txn.ReadCollection("items");
+    int64_t lo = static_cast<int64_t>(rng.Uniform(n));
+    IntKey min(lo), max(lo + 100);
+    auto it = (*coll)->Query(&txn, *fx.indexer, &min, &max);
+    if (!it.ok()) state.SkipWithError(it.status().ToString().c_str());
+    int found = 0;
+    for (; !(*it)->end(); (*it)->Next()) found++;
+    benchmark::DoNotOptimize(found);
+    (void)(*it)->Close().ok();
+    (void)txn.Commit(false).ok();
+  }
+}
+
+void BM_InsertBTree(benchmark::State& s) { RunInsert(s, IndexKind::kBTree); }
+void BM_InsertHash(benchmark::State& s) {
+  RunInsert(s, IndexKind::kHashTable);
+}
+void BM_InsertList(benchmark::State& s) { RunInsert(s, IndexKind::kList); }
+BENCHMARK(BM_InsertBTree)->Arg(10000);
+BENCHMARK(BM_InsertHash)->Arg(10000);
+BENCHMARK(BM_InsertList)->Arg(10000);
+
+void BM_MatchBTree(benchmark::State& s) { RunMatch(s, IndexKind::kBTree); }
+void BM_MatchHash(benchmark::State& s) { RunMatch(s, IndexKind::kHashTable); }
+void BM_MatchList(benchmark::State& s) { RunMatch(s, IndexKind::kList); }
+BENCHMARK(BM_MatchBTree)->Arg(10000);
+BENCHMARK(BM_MatchHash)->Arg(10000);
+BENCHMARK(BM_MatchList)->Arg(10000);
+
+void BM_RangeBTree(benchmark::State& s) { RunRange(s, IndexKind::kBTree); }
+void BM_RangeList(benchmark::State& s) { RunRange(s, IndexKind::kList); }
+BENCHMARK(BM_RangeBTree)->Arg(10000);
+BENCHMARK(BM_RangeList)->Arg(10000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,131 @@
+#include "chunk/anchor.h"
+
+namespace tdb::chunk {
+
+namespace {
+
+constexpr uint32_t kAnchorMagic = 0x54424148;  // "TBAH"
+const char* SlotName(int slot) { return slot == 0 ? "anchor-0" : "anchor-1"; }
+
+}  // namespace
+
+Buffer AnchorManager::Encode(const AnchorState& state,
+                             const crypto::CipherSuite& suite,
+                             size_t entry_hash_size) {
+  (void)entry_hash_size;
+  Buffer payload;
+  PutFixed32(&payload, kAnchorMagic);
+  PutVarint64(&payload, state.counter);
+  PutVarint64(&payload, state.seq);
+  PutVarint64(&payload, state.next_chunk_id);
+  payload.push_back(state.has_root ? 1 : 0);
+  if (state.has_root) {
+    PutLocation(&payload, state.root_loc);
+    PutDigest(&payload, state.root_hash);
+  }
+  PutDigest(&payload, state.ckpt_mac);
+  PutVarint32(&payload, state.scan_segment);
+  PutVarint32(&payload, state.scan_offset);
+
+  crypto::Digest mac = suite.Mac(payload);
+  Buffer out;
+  PutFixed32(&out, static_cast<uint32_t>(payload.size()));
+  out.insert(out.end(), payload.begin(), payload.end());
+  PutFixed32(&out, Checksum32(payload));
+  PutDigest(&out, mac);
+  return out;
+}
+
+Result<AnchorState> AnchorManager::Decode(Slice data,
+                                          const crypto::CipherSuite& suite,
+                                          size_t entry_hash_size) {
+  Decoder outer(data);
+  uint32_t payload_len;
+  TDB_RETURN_IF_ERROR(outer.GetFixed32(&payload_len));
+  Slice payload;
+  TDB_RETURN_IF_ERROR(outer.GetBytes(payload_len, &payload));
+  uint32_t cksum;
+  TDB_RETURN_IF_ERROR(outer.GetFixed32(&cksum));
+  if (Checksum32(payload) != cksum) {
+    return Status::Corruption("anchor checksum mismatch");
+  }
+  crypto::Digest mac;
+  TDB_RETURN_IF_ERROR(GetDigest(&outer, suite.hash_size(), &mac));
+  if (suite.enabled() && mac != suite.Mac(payload)) {
+    return Status::TamperDetected("anchor MAC invalid");
+  }
+
+  AnchorState state;
+  Decoder dec(payload);
+  uint32_t magic;
+  TDB_RETURN_IF_ERROR(dec.GetFixed32(&magic));
+  if (magic != kAnchorMagic) return Status::Corruption("bad anchor magic");
+  TDB_RETURN_IF_ERROR(dec.GetVarint64(&state.counter));
+  TDB_RETURN_IF_ERROR(dec.GetVarint64(&state.seq));
+  TDB_RETURN_IF_ERROR(dec.GetVarint64(&state.next_chunk_id));
+  Slice has_root;
+  TDB_RETURN_IF_ERROR(dec.GetBytes(1, &has_root));
+  state.has_root = has_root[0] != 0;
+  if (state.has_root) {
+    TDB_RETURN_IF_ERROR(GetLocation(&dec, &state.root_loc));
+    TDB_RETURN_IF_ERROR(GetDigest(&dec, entry_hash_size, &state.root_hash));
+  }
+  TDB_RETURN_IF_ERROR(GetDigest(&dec, suite.hash_size(), &state.ckpt_mac));
+  TDB_RETURN_IF_ERROR(dec.GetVarint32(&state.scan_segment));
+  TDB_RETURN_IF_ERROR(dec.GetVarint32(&state.scan_offset));
+  return state;
+}
+
+Result<AnchorState> AnchorManager::Load() const {
+  bool any_slot = false;
+  bool any_valid = false;
+  Status first_error = Status::OK();
+  AnchorState best;
+  int best_slot = -1;
+  for (int slot = 0; slot < 2; slot++) {
+    const std::string name = SlotName(slot);
+    if (!store_->Exists(name)) continue;
+    any_slot = true;
+    auto size = store_->Size(name);
+    if (!size.ok()) continue;
+    Buffer bytes;
+    Status read = store_->Read(name, 0, static_cast<size_t>(*size), &bytes);
+    if (!read.ok()) continue;
+    auto decoded = Decode(bytes, *suite_, entry_hash_size_);
+    if (!decoded.ok()) {
+      if (first_error.ok()) first_error = decoded.status();
+      continue;
+    }
+    if (!any_valid || decoded->counter > best.counter ||
+        (decoded->counter == best.counter && decoded->seq > best.seq)) {
+      best = *decoded;
+      best_slot = slot;
+      any_valid = true;
+    }
+  }
+  if (!any_slot) return Status::NotFound("no anchor (fresh store)");
+  if (!any_valid) {
+    return first_error.ok()
+               ? Status::TamperDetected("no valid anchor slot")
+               : first_error;
+  }
+  // Alternate away from the newest slot so it is never the one torn.
+  const_cast<AnchorManager*>(this)->next_slot_ = 1 - best_slot;
+  return best;
+}
+
+Status AnchorManager::Write(const AnchorState& state) {
+  const std::string name = SlotName(next_slot_);
+  next_slot_ = 1 - next_slot_;
+  Buffer bytes = Encode(state, *suite_, entry_hash_size_);
+  if (!store_->Exists(name)) {
+    TDB_RETURN_IF_ERROR(store_->Create(name, /*overwrite=*/false));
+  }
+  // Shrink first so a stale longer anchor can never leave valid trailing
+  // bytes, then write and sync.
+  TDB_RETURN_IF_ERROR(store_->Truncate(name, 0));
+  TDB_RETURN_IF_ERROR(store_->Write(name, 0, bytes));
+  return store_->Sync(name);
+}
+
+}  // namespace tdb::chunk

@@ -1,0 +1,1080 @@
+#include "chunk/chunk_store.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace tdb::chunk {
+
+namespace {
+
+// Lexicographically sortable segment file names.
+constexpr char kSegmentPrefix[] = "seg-";
+
+// Parses "seg-<id>"; returns false for other files (anchors etc.).
+bool ParseSegmentName(const std::string& name, uint32_t* id) {
+  if (name.rfind(kSegmentPrefix, 0) != 0) return false;
+  uint64_t value = 0;
+  for (size_t i = 4; i < name.size(); i++) {
+    if (name[i] < '0' || name[i] > '9') return false;
+    value = value * 10 + (name[i] - '0');
+  }
+  if (name.size() == 4 || value > UINT32_MAX) return false;
+  *id = static_cast<uint32_t>(value);
+  return true;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// WriteBatch
+
+void WriteBatch::Write(ChunkId cid, Slice data) {
+  ops_.push_back(Op{true, cid, data.ToBuffer()});
+}
+
+void WriteBatch::Deallocate(ChunkId cid) {
+  ops_.push_back(Op{false, cid, Buffer()});
+}
+
+// ---------------------------------------------------------------------------
+// Open / bootstrap / recovery
+
+ChunkStore::ChunkStore(platform::UntrustedStore* store,
+                       platform::OneWayCounter* counter,
+                       const ChunkStoreOptions& options,
+                       crypto::CipherSuite suite)
+    : store_(store),
+      counter_(counter),
+      options_(options),
+      suite_(std::move(suite)),
+      anchor_mgr_(store, &suite_, entry_hash_size()),
+      map_(options.map_fanout) {}
+
+size_t ChunkStore::entry_hash_size() const {
+  size_t full = suite_.hash_size();
+  if (full == 0) return 0;
+  if (options_.map_hash_bytes == 0) return full;
+  return std::min<size_t>(full, options_.map_hash_bytes);
+}
+
+crypto::Digest ChunkStore::EntryHash(Slice sealed) const {
+  crypto::Digest full = suite_.HashData(sealed);
+  size_t want = entry_hash_size();
+  if (full.size() <= want || want == 0) return full;
+  return crypto::Digest(full.data(), want);
+}
+
+ChunkStore::~ChunkStore() {
+  if (open_) Close().ok();
+}
+
+Result<std::unique_ptr<ChunkStore>> ChunkStore::Open(
+    platform::UntrustedStore* store, platform::SecretStore* secrets,
+    platform::OneWayCounter* counter, const ChunkStoreOptions& options) {
+  if (options.max_utilization <= 0.0 || options.max_utilization > 0.99) {
+    return Status::InvalidArgument("max_utilization out of range");
+  }
+  Buffer secret;
+  if (options.security.enabled) {
+    TDB_ASSIGN_OR_RETURN(secret, secrets->GetSecret());
+  }
+  crypto::CipherSuite suite(options.security, secret,
+                            Slice(options.iv_seed));
+  std::unique_ptr<ChunkStore> cs(
+      new ChunkStore(store, counter, options, std::move(suite)));
+
+  auto anchor = cs->anchor_mgr_.Load();
+  if (anchor.ok()) {
+    TDB_RETURN_IF_ERROR(cs->Recover());
+  } else if (anchor.status().IsNotFound()) {
+    // Fresh store — unless segment files exist, which means the attacker
+    // removed the anchor.
+    for (const std::string& name : store->List()) {
+      uint32_t id;
+      if (ParseSegmentName(name, &id)) {
+        return Status::TamperDetected("segments present but anchor missing");
+      }
+    }
+    if (!options.create_if_missing) {
+      return Status::NotFound("no database and create_if_missing is false");
+    }
+    TDB_RETURN_IF_ERROR(cs->Bootstrap());
+  } else {
+    return anchor.status();
+  }
+  cs->open_ = true;
+  return cs;
+}
+
+Status ChunkStore::Bootstrap() {
+  if (suite_.enabled()) {
+    TDB_ASSIGN_OR_RETURN(counter_value_, counter_->Read());
+  }
+  TDB_RETURN_IF_ERROR(OpenFreshSegment());
+  return CheckpointLocked();
+}
+
+Status ChunkStore::Recover() {
+  TDB_ASSIGN_OR_RETURN(AnchorState anchor, anchor_mgr_.Load());
+
+  // Freshness floor: the hardware counter can never be behind the anchor.
+  // The exact check happens after the residual log is scanned, against the
+  // last durable commit's sealed counter value.
+  if (suite_.enabled()) {
+    TDB_ASSIGN_OR_RETURN(uint64_t cv, counter_->Read());
+    if (cv < anchor.counter) {
+      return Status::TamperDetected("one-way counter behind anchor");
+    }
+    counter_value_ = cv;
+  }
+
+  next_chunk_id_ = anchor.next_chunk_id;
+  seq_ = anchor.seq;
+  has_root_ = anchor.has_root;
+  root_loc_ = anchor.root_loc;
+  root_hash_ = anchor.root_hash;
+  ckpt_mac_ = anchor.ckpt_mac;
+  scan_segment_ = anchor.scan_segment;
+  scan_offset_ = anchor.scan_offset;
+
+  if (has_root_) {
+    TDB_ASSIGN_OR_RETURN(std::shared_ptr<MapNode> root,
+                         LoadRoot(root_loc_, root_hash_));
+    map_.ResetToRoot(std::move(root));
+  }
+
+  // --- Scan the residual log ---------------------------------------------
+  struct ScannedCommit {
+    CommitManifest manifest;
+    crypto::Digest mac;
+    uint32_t end_segment;
+    uint64_t end_offset;
+  };
+  std::vector<ScannedCommit> commits;
+  crypto::Digest prev = ckpt_mac_;
+  const size_t mac_size = suite_.hash_size();
+  NodeLoader loader = MakeLoader();
+
+  uint32_t seg = scan_segment_;
+  uint64_t off = scan_offset_;
+  bool stop = false;
+  while (!stop) {
+    const std::string name = SegmentName(seg);
+    if (!store_->Exists(name)) break;
+    auto size_or = store_->Size(name);
+    if (!size_or.ok()) break;
+    uint64_t file_size = *size_or;
+    if (off >= file_size) {
+      seg++;
+      off = kSegmentHeaderSize;
+      // Validate the next segment's header before scanning it.
+      if (store_->Exists(SegmentName(seg))) {
+        Buffer header;
+        if (!store_->Read(SegmentName(seg), 0, kSegmentHeaderSize, &header)
+                 .ok()) {
+          break;
+        }
+        uint32_t seg_id;
+        if (!DecodeSegmentHeader(header, &seg_id).ok() || seg_id != seg) {
+          break;
+        }
+      }
+      continue;
+    }
+    Buffer file;
+    TDB_RETURN_IF_ERROR(
+        store_->Read(name, off, static_cast<size_t>(file_size - off), &file));
+    size_t pos = 0;
+    while (pos < file.size()) {
+      RecordView view;
+      if (!ParseRecord(Slice(file.data() + pos, file.size() - pos), &view)
+               .ok()) {
+        stop = true;  // Torn tail (or garbage): scanning ends here.
+        break;
+      }
+      if (view.type == RecordType::kCommit) {
+        if (view.payload.size() < mac_size) {
+          stop = true;
+          break;
+        }
+        Slice sealed_m(view.payload.data(), view.payload.size() - mac_size);
+        crypto::Digest mac(view.payload.data() + sealed_m.size(), mac_size);
+        if (suite_.enabled() && mac != suite_.Mac(sealed_m)) {
+          stop = true;
+          break;
+        }
+        auto manifest_bytes = suite_.Open(sealed_m);
+        if (!manifest_bytes.ok()) {
+          stop = true;
+          break;
+        }
+        CommitManifest manifest;
+        if (!DecodeManifest(*manifest_bytes, mac_size, entry_hash_size(),
+                            &manifest)
+                 .ok()) {
+          stop = true;
+          break;
+        }
+        if (manifest.prev_mac != prev) {
+          stop = true;
+          break;
+        }
+        // Seq numbers must be consecutive within the residual chain (the
+        // checkpoint's own seq is not in the anchor, so the first scanned
+        // commit fixes the base).
+        if (!commits.empty() &&
+            manifest.seq != commits.back().manifest.seq + 1) {
+          stop = true;
+          break;
+        }
+        prev = mac;
+        commits.push_back(ScannedCommit{std::move(manifest), mac, seg,
+                                        off + pos + view.record_size});
+      }
+      pos += view.record_size;
+    }
+    off = file_size;
+  }
+  if (std::getenv("TDB_RECOVERY_DEBUG") != nullptr) {
+    std::fprintf(stderr,
+                 "[recover] scanned=%zu stop=%d scan_seg=%u scan_off=%u "
+                 "anchor_seq=%llu\n",
+                 commits.size(), (int)stop, scan_segment_, scan_offset_,
+                 (unsigned long long)anchor.seq);
+    if (!commits.empty()) {
+      std::fprintf(stderr, "[recover] first_seq=%llu last_seq=%llu\n",
+                   (unsigned long long)commits.front().manifest.seq,
+                   (unsigned long long)commits.back().manifest.seq);
+    }
+  }
+
+  // --- Freshness: the last durable commit must match the counter ---------
+  if (suite_.enabled()) {
+    uint64_t last_counter = anchor.counter;
+    for (const ScannedCommit& c : commits) {
+      if (c.manifest.durable()) last_counter = c.manifest.counter;
+    }
+    // The hardware counter ahead of the log means the current log is stale
+    // or truncated (the counter only advances after a successful sync).
+    if (counter_value_ > last_counter) {
+      return Status::ReplayDetected(
+          "stale or truncated database image (counter behind log state)");
+    }
+    // It may lag by exactly one: crash after the log sync but before the
+    // increment. Resynchronize; anything further is impossible for an
+    // attacker without forging the MACed commit chain.
+    if (counter_value_ + 1 == last_counter) {
+      TDB_ASSIGN_OR_RETURN(counter_value_, counter_->Increment());
+    }
+    if (counter_value_ != last_counter) {
+      return Status::TamperDetected("one-way counter out of sync with log");
+    }
+  }
+
+  // --- Apply the durable prefix -------------------------------------------
+  size_t last_durable = commits.size();
+  while (last_durable > 0 && !commits[last_durable - 1].manifest.durable()) {
+    last_durable--;
+  }
+  uint32_t tail_segment = scan_segment_;
+  uint64_t tail_offset = scan_offset_;
+  for (size_t i = 0; i < last_durable; i++) {
+    const ScannedCommit& c = commits[i];
+    for (const ManifestWrite& w : c.manifest.writes) {
+      MapEntry entry;
+      entry.present = true;
+      entry.loc = w.loc;
+      entry.hash = w.hash;
+      TDB_RETURN_IF_ERROR(map_.Put(w.cid, entry, loader).status());
+      next_chunk_id_ = std::max(next_chunk_id_, w.cid + 1);
+    }
+    for (ChunkId cid : c.manifest.deallocs) {
+      TDB_RETURN_IF_ERROR(map_.Remove(cid, loader).status());
+    }
+    next_chunk_id_ = std::max(next_chunk_id_, c.manifest.next_chunk_id);
+    seq_ = c.manifest.seq;
+    chain_mac_ = c.mac;
+    tail_segment = c.end_segment;
+    tail_offset = c.end_offset;
+    if (c.manifest.checkpoint() && c.manifest.has_root) {
+      // A checkpoint whose anchor write was lost in the crash window.
+      has_root_ = true;
+      root_loc_ = c.manifest.root_loc;
+      root_hash_ = c.manifest.root_hash;
+      ckpt_mac_ = c.mac;
+    }
+  }
+  if (last_durable == 0) chain_mac_ = ckpt_mac_;
+
+  // --- Truncate away everything past the durable tail ---------------------
+  TDB_RETURN_IF_ERROR(store_->Truncate(SegmentName(tail_segment), tail_offset));
+  for (const std::string& name : store_->List()) {
+    uint32_t id;
+    if (ParseSegmentName(name, &id) && id > tail_segment) {
+      TDB_RETURN_IF_ERROR(store_->Remove(name));
+    }
+  }
+
+  cur_segment_ = tail_segment;
+  cur_offset_ = tail_offset;
+  next_segment_id_ = tail_segment + 1;
+
+  TDB_RETURN_IF_ERROR(RebuildAccounting());
+
+  // Normalize: a fresh checkpoint + anchor resets the crash windows, makes
+  // discarded nondurable garbage unreachable, and re-syncs the counter.
+  return CheckpointLocked();
+}
+
+Status ChunkStore::RebuildAccounting() {
+  segments_.clear();
+  stats_.live_bytes = 0;
+  stats_.total_bytes = 0;
+  stats_.live_chunks = 0;
+  for (const std::string& name : store_->List()) {
+    uint32_t id;
+    if (!ParseSegmentName(name, &id)) continue;
+    TDB_ASSIGN_OR_RETURN(uint64_t size, store_->Size(name));
+    segments_[id].total = size;
+    stats_.total_bytes += size;
+  }
+  if (!has_root_) {
+    stats_.segments = segments_.size();
+    return Status::OK();
+  }
+  NodeLoader loader = MakeLoader();
+  TDB_RETURN_IF_ERROR(map_.ForEachNode(
+      map_.root(), loader, [&](const MapNode& node) {
+        if (node.has_persisted) {
+          AccountLive(node.persisted_loc.segment, node.persisted_size,
+                      /*is_map=*/true);
+        }
+        if (node.level == 0) {
+          for (const MapEntry& entry : node.entries) {
+            if (!entry.present) continue;
+            AccountLive(entry.loc.segment,
+                        kRecordHeaderSize + entry.loc.length);
+            stats_.live_chunks++;
+          }
+        }
+      }));
+  stats_.segments = segments_.size();
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Log tail
+
+std::string ChunkStore::SegmentName(uint32_t id) {
+  return kSegmentPrefix + std::to_string(id);
+}
+
+Status ChunkStore::OpenFreshSegment() {
+  TDB_RETURN_IF_ERROR(FlushTail());
+  cur_segment_ = next_segment_id_++;
+  const std::string name = SegmentName(cur_segment_);
+  TDB_RETURN_IF_ERROR(store_->Create(name, /*overwrite=*/true));
+  cur_offset_ = 0;
+  tail_buf_ = EncodeSegmentHeader(cur_segment_);
+  segments_[cur_segment_] = SegInfo{};
+  stats_.segments = segments_.size();
+  return Status::OK();
+}
+
+Result<Location> ChunkStore::Append(RecordType type, Slice payload) {
+  const uint64_t record_size = kRecordHeaderSize + payload.size();
+  const uint64_t used = cur_offset_ + tail_buf_.size();
+  // Roll to a fresh segment when full — unless this segment is still empty,
+  // in which case an oversized record is allowed to live alone in it.
+  if (used + record_size > options_.segment_size &&
+      used > kSegmentHeaderSize) {
+    TDB_RETURN_IF_ERROR(OpenFreshSegment());
+  }
+  Location loc;
+  loc.segment = cur_segment_;
+  loc.offset = static_cast<uint32_t>(cur_offset_ + tail_buf_.size());
+  loc.length = static_cast<uint32_t>(payload.size());
+  AppendRecord(&tail_buf_, type, payload);
+  switch (type) {
+    case RecordType::kData:
+      stats_.data_bytes += record_size;
+      break;
+    case RecordType::kMapNode:
+      stats_.map_bytes += record_size;
+      break;
+    case RecordType::kCommit:
+      stats_.commit_bytes += record_size;
+      break;
+  }
+  return loc;
+}
+
+Status ChunkStore::FlushTail() {
+  if (tail_buf_.empty()) return Status::OK();
+  const std::string name = SegmentName(cur_segment_);
+  TDB_RETURN_IF_ERROR(store_->Write(name, cur_offset_, tail_buf_));
+  segments_[cur_segment_].total += tail_buf_.size();
+  stats_.total_bytes += tail_buf_.size();
+  stats_.bytes_appended += tail_buf_.size();
+  cur_offset_ += tail_buf_.size();
+  residual_bytes_ += tail_buf_.size();
+  dirty_files_.insert(name);
+  tail_buf_.clear();
+  return Status::OK();
+}
+
+Status ChunkStore::SyncDirtyFiles() {
+  for (const std::string& name : dirty_files_) {
+    TDB_RETURN_IF_ERROR(store_->Sync(name));
+  }
+  dirty_files_.clear();
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Record reads
+
+Result<Buffer> ChunkStore::ReadRawRecord(const Location& loc,
+                                         RecordType expected,
+                                         const crypto::Digest& expected_hash) {
+  Buffer bytes;
+  Status read = store_->Read(SegmentName(loc.segment), loc.offset,
+                             kRecordHeaderSize + loc.length, &bytes);
+  if (!read.ok()) {
+    return read.IsNotFound() || read.IsCorruption()
+               ? Status::TamperDetected("record missing: " + read.ToString())
+               : read;
+  }
+  RecordView view;
+  Status parsed = ParseRecord(bytes, &view);
+  if (!parsed.ok()) {
+    return Status::TamperDetected("record damaged: " + parsed.ToString());
+  }
+  if (view.type != expected || view.payload.size() != loc.length) {
+    return Status::TamperDetected("record does not match location map");
+  }
+  if (suite_.enabled() && EntryHash(view.payload) != expected_hash) {
+    return Status::TamperDetected("chunk hash mismatch");
+  }
+  return view.payload.ToBuffer();
+}
+
+Result<Buffer> ChunkStore::ReadDataAt(const MapEntry& entry) {
+  TDB_ASSIGN_OR_RETURN(Buffer sealed,
+                       ReadRawRecord(entry.loc, RecordType::kData,
+                                     entry.hash));
+  auto plain = suite_.Open(sealed);
+  if (!plain.ok()) {
+    return Status::TamperDetected("chunk decryption failed: " +
+                                  plain.status().ToString());
+  }
+  return std::move(plain).value();
+}
+
+NodeLoader ChunkStore::MakeLoader() {
+  return [this](uint32_t level, uint64_t index, const Location& loc,
+                const crypto::Digest& hash)
+             -> Result<std::shared_ptr<MapNode>> {
+    TDB_ASSIGN_OR_RETURN(Buffer sealed,
+                         ReadRawRecord(loc, RecordType::kMapNode, hash));
+    auto plain = suite_.Open(sealed);
+    if (!plain.ok()) {
+      return Status::TamperDetected("map node decryption failed");
+    }
+    TDB_ASSIGN_OR_RETURN(
+        std::shared_ptr<MapNode> node,
+        LocationMap::DecodeNode(*plain, map_.fanout(), entry_hash_size()));
+    if (node->level != level || node->index != index) {
+      return Status::TamperDetected("map node identity mismatch");
+    }
+    node->has_persisted = true;
+    node->persisted_loc = loc;
+    node->persisted_hash = hash;
+    node->persisted_size =
+        static_cast<uint32_t>(kRecordHeaderSize + loc.length);
+    return node;
+  };
+}
+
+Result<std::shared_ptr<MapNode>> ChunkStore::LoadRoot(
+    const Location& loc, const crypto::Digest& hash) {
+  TDB_ASSIGN_OR_RETURN(Buffer sealed,
+                       ReadRawRecord(loc, RecordType::kMapNode, hash));
+  auto plain = suite_.Open(sealed);
+  if (!plain.ok()) return Status::TamperDetected("map root decryption failed");
+  TDB_ASSIGN_OR_RETURN(
+      std::shared_ptr<MapNode> node,
+      LocationMap::DecodeNode(*plain, map_.fanout(), entry_hash_size()));
+  if (node->index != 0) {
+    return Status::TamperDetected("map root identity mismatch");
+  }
+  node->has_persisted = true;
+  node->persisted_loc = loc;
+  node->persisted_hash = hash;
+  node->persisted_size = static_cast<uint32_t>(kRecordHeaderSize + loc.length);
+  return node;
+}
+
+// ---------------------------------------------------------------------------
+// Public operations
+
+Result<Buffer> ChunkStore::Read(ChunkId cid) {
+  if (!open_) return Status::InvalidArgument("chunk store not open");
+  NodeLoader loader = MakeLoader();
+  TDB_ASSIGN_OR_RETURN(std::optional<MapEntry> entry, map_.Get(cid, loader));
+  if (!entry.has_value()) {
+    return Status::NotFound("chunk " + std::to_string(cid));
+  }
+  return ReadDataAt(*entry);
+}
+
+Status ChunkStore::Write(ChunkId cid, Slice data, bool durable) {
+  WriteBatch batch;
+  batch.Write(cid, data);
+  return Commit(batch, durable);
+}
+
+Status ChunkStore::Deallocate(ChunkId cid, bool durable) {
+  WriteBatch batch;
+  batch.Deallocate(cid);
+  return Commit(batch, durable);
+}
+
+Status ChunkStore::Commit(const WriteBatch& batch, bool durable) {
+  if (!open_) return Status::InvalidArgument("chunk store not open");
+  // Normalize: the last operation on a chunk id wins.
+  std::unordered_map<ChunkId, const WriteBatch::Op*> last;
+  std::vector<ChunkId> order;
+  for (const WriteBatch::Op& op : batch.ops_) {
+    if (op.cid == kInvalidChunkId) {
+      return Status::InvalidArgument("invalid chunk id 0");
+    }
+    if (last.insert({op.cid, &op}).second) {
+      order.push_back(op.cid);
+    } else {
+      last[op.cid] = &op;
+    }
+  }
+  std::vector<StagedWrite> writes;
+  std::vector<ChunkId> deallocs;
+  for (ChunkId cid : order) {
+    const WriteBatch::Op* op = last[cid];
+    if (op->is_write) {
+      StagedWrite staged;
+      staged.cid = cid;
+      staged.sealed = suite_.Seal(op->data);
+      staged.hash = EntryHash(staged.sealed);
+      writes.push_back(std::move(staged));
+    } else {
+      deallocs.push_back(cid);
+    }
+  }
+  TDB_RETURN_IF_ERROR(CommitInternal(writes, deallocs,
+                                     durable ? kCommitDurable : 0, nullptr));
+  TDB_RETURN_IF_ERROR(MaybeCheckpoint());
+  return MaybeClean();
+}
+
+Status ChunkStore::CommitInternal(const std::vector<StagedWrite>& writes,
+                                  const std::vector<ChunkId>& deallocs,
+                                  uint8_t flags,
+                                  const NodeWriteResult* new_root) {
+  const bool durable = flags & kCommitDurable;
+  CommitManifest manifest;
+  manifest.seq = seq_ + 1;
+  manifest.flags = flags;
+  // A durable commit seals the counter value it is ABOUT to establish; the
+  // hardware counter is bumped only after the log write succeeds, so
+  // failed commit attempts never advance it. Recovery compares the last
+  // durable commit's sealed value with the hardware counter to detect
+  // replayed or truncated logs (§3).
+  const bool bump_counter = durable && suite_.enabled();
+  manifest.counter = counter_value_ + (bump_counter ? 1 : 0);
+  manifest.prev_mac = chain_mac_;
+  manifest.deallocs = deallocs;
+
+  for (const StagedWrite& w : writes) {
+    TDB_ASSIGN_OR_RETURN(Location loc, Append(RecordType::kData, w.sealed));
+    manifest.writes.push_back(ManifestWrite{w.cid, loc, w.hash});
+    next_chunk_id_ = std::max(next_chunk_id_, w.cid + 1);
+  }
+  manifest.next_chunk_id = next_chunk_id_;
+  if (new_root != nullptr) {
+    manifest.has_root = true;
+    manifest.root_loc = new_root->loc;
+    manifest.root_hash = new_root->hash;
+  }
+
+  Buffer encoded =
+      EncodeManifest(manifest, suite_.hash_size(), entry_hash_size());
+  Buffer sealed_manifest = suite_.Seal(encoded);
+  crypto::Digest mac = suite_.Mac(sealed_manifest);
+  Buffer commit_payload = sealed_manifest;
+  PutDigest(&commit_payload, mac);
+  TDB_RETURN_IF_ERROR(Append(RecordType::kCommit, commit_payload).status());
+  TDB_RETURN_IF_ERROR(FlushTail());
+
+  if (durable) {
+    TDB_RETURN_IF_ERROR(SyncDirtyFiles());
+    if (bump_counter) {
+      TDB_ASSIGN_OR_RETURN(uint64_t cv, counter_->Increment());
+      TDB_CHECK(cv >= manifest.counter,
+                "one-way counter regressed during commit");
+      counter_value_ = manifest.counter;
+    }
+  }
+
+  // Apply to the in-memory map and space accounting.
+  NodeLoader loader = MakeLoader();
+  for (const ManifestWrite& w : manifest.writes) {
+    MapEntry entry;
+    entry.present = true;
+    entry.loc = w.loc;
+    entry.hash = w.hash;
+    TDB_ASSIGN_OR_RETURN(std::optional<MapEntry> old,
+                         map_.Put(w.cid, entry, loader));
+    AccountLive(w.loc.segment, kRecordHeaderSize + w.loc.length);
+    if (old.has_value()) {
+      AccountLive(old->loc.segment,
+                  -static_cast<int64_t>(kRecordHeaderSize + old->loc.length));
+    } else {
+      stats_.live_chunks++;
+    }
+  }
+  for (ChunkId cid : manifest.deallocs) {
+    TDB_ASSIGN_OR_RETURN(std::optional<MapEntry> old,
+                         map_.Remove(cid, loader));
+    if (old.has_value()) {
+      AccountLive(old->loc.segment,
+                  -static_cast<int64_t>(kRecordHeaderSize + old->loc.length));
+      stats_.live_chunks--;
+    }
+  }
+
+  seq_ = manifest.seq;
+  chain_mac_ = mac;
+  stats_.commits++;
+
+  if (new_root != nullptr) {
+    has_root_ = true;
+    root_loc_ = new_root->loc;
+    root_hash_ = new_root->hash;
+    ckpt_mac_ = mac;
+    scan_segment_ = cur_segment_;
+    scan_offset_ = static_cast<uint32_t>(cur_offset_);
+    residual_bytes_ = 0;
+  }
+  if (new_root != nullptr) {
+    // The anchor is rewritten only at checkpoints; between checkpoints the
+    // commit records themselves carry the authenticated counter, so a
+    // durable commit costs exactly one sequential log write (+ sync).
+    TDB_RETURN_IF_ERROR(WriteAnchor());
+  }
+  if (durable) {
+    stats_.durable_commits++;
+    TDB_RETURN_IF_ERROR(FreePendingSegments());
+  }
+  return Status::OK();
+}
+
+Status ChunkStore::WriteAnchor() {
+  AnchorState state;
+  state.counter = counter_value_;
+  state.seq = seq_;
+  state.next_chunk_id = next_chunk_id_;
+  state.has_root = has_root_;
+  state.root_loc = root_loc_;
+  state.root_hash = root_hash_;
+  state.ckpt_mac = ckpt_mac_;
+  state.scan_segment = scan_segment_;
+  state.scan_offset = scan_offset_;
+  return anchor_mgr_.Write(state);
+}
+
+Status ChunkStore::Checkpoint() {
+  if (!open_) return Status::InvalidArgument("chunk store not open");
+  return CheckpointLocked();
+}
+
+Status ChunkStore::CheckpointLocked() {
+  NodeWriter writer = [this](Slice bytes) -> Result<NodeWriteResult> {
+    Buffer sealed = suite_.Seal(bytes);
+    TDB_ASSIGN_OR_RETURN(Location loc, Append(RecordType::kMapNode, sealed));
+    NodeWriteResult res;
+    res.loc = loc;
+    res.hash = EntryHash(sealed);
+    res.record_size = static_cast<uint32_t>(kRecordHeaderSize + loc.length);
+    AccountLive(loc.segment, res.record_size, /*is_map=*/true);
+    return res;
+  };
+  auto obsolete = [this](const Location& loc, uint32_t size) {
+    AccountLive(loc.segment, -static_cast<int64_t>(size), /*is_map=*/true);
+  };
+  TDB_ASSIGN_OR_RETURN(NodeWriteResult root,
+                       map_.WriteDirty(writer, obsolete));
+  TDB_RETURN_IF_ERROR(CommitInternal({}, {},
+                                     kCommitDurable | kCommitCheckpoint,
+                                     &root));
+  stats_.checkpoints++;
+  return Status::OK();
+}
+
+Status ChunkStore::MaybeCheckpoint() {
+  if (residual_bytes_ < options_.checkpoint_interval_bytes) {
+    return Status::OK();
+  }
+  return CheckpointLocked();
+}
+
+void ChunkStore::DumpSegmentCensus() const {
+  uint64_t n_resid = 0, resid_total = 0, resid_live = 0;
+  uint64_t n_map = 0, map_total = 0, map_live = 0;
+  uint64_t n_dense = 0, dense_total = 0, dense_live = 0;
+  uint64_t n_clean = 0, clean_total = 0, clean_live = 0;
+  for (const auto& [id, info] : segments_) {
+    if (id >= scan_segment_) {
+      n_resid++; resid_total += info.total; resid_live += info.live;
+    } else if (info.live_map > 0) {
+      n_map++; map_total += info.total; map_live += info.live;
+    } else if (static_cast<double>(info.live) >
+               options_.max_utilization * info.total) {
+      n_dense++; dense_total += info.total; dense_live += info.live;
+    } else {
+      n_clean++; clean_total += info.total; clean_live += info.live;
+    }
+  }
+  std::fprintf(stderr,
+               "[census] residual: %llu segs %llu/%llu live | maplive: %llu "
+               "segs %llu/%llu | dense: %llu segs %llu/%llu | cleanable: "
+               "%llu segs %llu/%llu\n",
+               (unsigned long long)n_resid, (unsigned long long)resid_live,
+               (unsigned long long)resid_total, (unsigned long long)n_map,
+               (unsigned long long)map_live, (unsigned long long)map_total,
+               (unsigned long long)n_dense, (unsigned long long)dense_live,
+               (unsigned long long)dense_total, (unsigned long long)n_clean,
+               (unsigned long long)clean_live,
+               (unsigned long long)clean_total);
+}
+
+Status ChunkStore::Close() {
+  if (!open_) return Status::OK();
+  Status s = CheckpointLocked();
+  open_ = false;
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Cleaning
+
+void ChunkStore::AccountLive(uint32_t segment, int64_t delta, bool is_map) {
+  SegInfo& info = segments_[segment];
+  info.live = static_cast<uint64_t>(static_cast<int64_t>(info.live) + delta);
+  if (is_map) {
+    info.live_map =
+        static_cast<uint64_t>(static_cast<int64_t>(info.live_map) + delta);
+  }
+  stats_.live_bytes =
+      static_cast<uint64_t>(static_cast<int64_t>(stats_.live_bytes) + delta);
+}
+
+size_t ChunkStore::ActiveSnapshots() {
+  snapshots_.erase(std::remove_if(snapshots_.begin(), snapshots_.end(),
+                                  [](const std::weak_ptr<Snapshot>& w) {
+                                    return w.expired();
+                                  }),
+                   snapshots_.end());
+  return snapshots_.size();
+}
+
+std::vector<uint32_t> ChunkStore::CleanCandidates(uint64_t target,
+                                                  int max_segments) {
+  std::set<uint32_t> pending(pending_free_.begin(), pending_free_.end());
+  std::vector<std::pair<uint64_t, uint32_t>> candidates;
+  for (const auto& [id, info] : segments_) {
+    // Segments holding live map nodes wait for a checkpoint to relocate
+    // them; cleaning sticks to data-only segments so it never forces a
+    // full map flush (bounded per-commit cost, §3.2.1). Segments at or
+    // past the residual-log scan position hold the commit chain recovery
+    // replays, so they become cleanable only after the next checkpoint.
+    if (id == cur_segment_ || pending.count(id) || info.live_map > 0 ||
+        id >= scan_segment_) {
+      continue;
+    }
+    // Cleaning economy: relocating a victim costs its live bytes and only
+    // frees its dead bytes. Victims denser than the utilization target
+    // have no yield — they wait until more of their records die. Without
+    // this, tight targets degenerate into copying the whole database per
+    // commit (the paper's Fig. 11 knee is this copy cost growing).
+    if (static_cast<double>(info.live) >
+        options_.max_utilization * info.total) {
+      continue;
+    }
+    candidates.push_back({info.live, id});
+  }
+  std::sort(candidates.begin(), candidates.end());
+  std::vector<uint32_t> victims;
+  uint64_t projected = stats_.total_bytes;
+  for (const auto& [live, id] : candidates) {
+    if (static_cast<int>(victims.size()) >= max_segments) break;
+    if (target != 0 && projected <= target) break;
+    victims.push_back(id);
+    projected -= segments_[id].total;
+  }
+  return victims;
+}
+
+Status ChunkStore::UnlockGarbageWithCheckpoint() {
+  // Dead bytes parked in the residual region (or under live map nodes)
+  // become cleanable only after a checkpoint advances the scan position
+  // and relocates dirty map nodes. Checkpointing itself produces garbage
+  // (it obsoletes the previous map records), so it is rate-limited: only
+  // when it unlocks at least a segment of garbage AND enough residual log
+  // has accumulated since the last checkpoint to be worth paying for.
+  // Without the second condition, tight utilization targets degenerate
+  // into checkpoint storms.
+  uint64_t locked_dead = 0;
+  for (const auto& [id, info] : segments_) {
+    if (id == cur_segment_) continue;
+    if (id >= scan_segment_ || info.live_map > 0) {
+      locked_dead += info.total - info.live;
+    }
+  }
+  if (locked_dead < options_.segment_size) return Status::OK();
+  // Tighter utilization targets need garbage unlocked (and hence
+  // checkpoints) more often — compactness is paid for with checkpoint
+  // traffic, which is the paper's utilization/performance tradeoff.
+  double slack = 1.0 - options_.max_utilization;
+  uint64_t floor_bytes = std::max<uint64_t>(
+      options_.segment_size,
+      static_cast<uint64_t>(10.0 * options_.segment_size * slack));
+  if (residual_bytes_ < floor_bytes) return Status::OK();
+
+  // Segments pinned by a few surviving (clean) map nodes accumulate dead
+  // bytes indefinitely; mark those nodes dirty so this checkpoint
+  // relocates them and the segments become cleanable.
+  std::set<uint32_t> stale_map_segments;
+  for (const auto& [id, info] : segments_) {
+    if (id >= scan_segment_ || info.live_map == 0) continue;
+    if (static_cast<double>(info.live) <=
+        options_.max_utilization * info.total) {
+      stale_map_segments.insert(id);
+      if (stale_map_segments.size() >= 8) break;
+    }
+  }
+  if (!stale_map_segments.empty()) {
+    TDB_RETURN_IF_ERROR(DirtyMapNodesIn(stale_map_segments).status());
+  }
+  return CheckpointLocked();
+}
+
+Result<bool> ChunkStore::DirtyMapNodesIn(const std::set<uint32_t>& victims) {
+  NodeLoader loader = MakeLoader();
+  // Full tree walk: a child whose own record is outside every victim can
+  // still have descendants inside one.
+  std::function<Result<bool>(const std::shared_ptr<MapNode>&)> mark =
+      [&](const std::shared_ptr<MapNode>& node) -> Result<bool> {
+    bool any = node->has_persisted &&
+               victims.count(node->persisted_loc.segment) > 0;
+    if (node->level > 0) {
+      for (uint32_t i = 0; i < map_.fanout(); i++) {
+        if (!node->entries[i].present) continue;
+        std::shared_ptr<MapNode> child = node->children[i];
+        if (child == nullptr) {
+          TDB_ASSIGN_OR_RETURN(
+              child, loader(node->level - 1, node->index * map_.fanout() + i,
+                            node->entries[i].loc, node->entries[i].hash));
+          node->children[i] = child;
+        }
+        TDB_ASSIGN_OR_RETURN(bool child_any, mark(child));
+        any = any || child_any;
+      }
+    }
+    if (any) node->dirty = true;
+    return any;
+  };
+  return mark(map_.root());
+}
+
+Status ChunkStore::MaybeClean() {
+  if (in_maintenance_ || ActiveSnapshots() > 0 ||
+      options_.max_clean_segments_per_commit <= 0) {
+    return Status::OK();
+  }
+  const uint64_t target = std::max<uint64_t>(
+      static_cast<uint64_t>(stats_.live_bytes / options_.max_utilization),
+      2 * static_cast<uint64_t>(options_.segment_size));
+  if (stats_.total_bytes <= target + options_.segment_size) {
+    return Status::OK();
+  }
+  std::vector<uint32_t> victims =
+      CleanCandidates(target, options_.max_clean_segments_per_commit);
+  if (victims.empty()) {
+    in_maintenance_ = true;
+    Status unlocked = UnlockGarbageWithCheckpoint();
+    in_maintenance_ = false;
+    TDB_RETURN_IF_ERROR(unlocked);
+    victims = CleanCandidates(target, options_.max_clean_segments_per_commit);
+  }
+  if (victims.empty()) return Status::OK();
+  return CleanSegments(victims);
+}
+
+Status ChunkStore::Clean(int max_segments) {
+  if (!open_) return Status::InvalidArgument("chunk store not open");
+  if (in_maintenance_ || ActiveSnapshots() > 0 || max_segments <= 0) {
+    return Status::OK();
+  }
+  std::vector<uint32_t> victims = CleanCandidates(0, max_segments);
+  if (victims.empty()) {
+    in_maintenance_ = true;
+    Status unlocked = UnlockGarbageWithCheckpoint();
+    in_maintenance_ = false;
+    TDB_RETURN_IF_ERROR(unlocked);
+    victims = CleanCandidates(0, max_segments);
+  }
+  if (victims.empty()) return Status::OK();
+  return CleanSegments(victims);
+}
+
+Status ChunkStore::CleanSegments(const std::vector<uint32_t>& victims) {
+  in_maintenance_ = true;
+  std::set<uint32_t> victim_set(victims.begin(), victims.end());
+  NodeLoader loader = MakeLoader();
+
+  // Relocate live data records out of the victims (sealed bytes move
+  // verbatim; hashes are unchanged).
+  std::vector<std::pair<ChunkId, MapEntry>> to_move;
+  Status walk = map_.ForEach(
+      map_.root(), loader,
+      [&](ChunkId cid, const MapEntry& entry) -> Status {
+        if (victim_set.count(entry.loc.segment)) {
+          to_move.push_back({cid, entry});
+        }
+        return Status::OK();
+      });
+  if (!walk.ok()) {
+    in_maintenance_ = false;
+    return walk;
+  }
+  Status status = Status::OK();
+  if (!to_move.empty()) {
+    std::vector<StagedWrite> relocations;
+    relocations.reserve(to_move.size());
+    for (const auto& [cid, entry] : to_move) {
+      auto raw = ReadRawRecord(entry.loc, RecordType::kData, entry.hash);
+      if (!raw.ok()) {
+        status = raw.status();
+        break;
+      }
+      StagedWrite staged;
+      staged.cid = cid;
+      staged.sealed = std::move(raw).value();
+      staged.hash = entry.hash;
+      relocations.push_back(std::move(staged));
+      stats_.relocated_records++;
+      stats_.relocated_bytes += entry.loc.length;
+    }
+    if (status.ok()) {
+      // The relocation commit is durable so the victims become
+      // reclaimable right away (the §3.2.2 rule) without forcing a map
+      // checkpoint — victims never contain live map nodes.
+      status = CommitInternal(relocations, {},
+                              kCommitClean | kCommitDurable, nullptr);
+    }
+  } else {
+    // Victims hold no live data at all; a durable no-op commit satisfies
+    // the reclamation rule.
+    status = CommitInternal({}, {}, kCommitClean | kCommitDurable, nullptr);
+  }
+  if (status.ok()) {
+    for (uint32_t id : victims) pending_free_.push_back(id);
+    status = FreePendingSegments();
+    stats_.cleaned_segments += victims.size();
+  }
+  in_maintenance_ = false;
+  return status;
+}
+
+Status ChunkStore::FreePendingSegments() {
+  std::vector<uint32_t> keep;
+  for (uint32_t id : pending_free_) {
+    auto it = segments_.find(id);
+    if (it == segments_.end()) continue;
+    if (it->second.live != 0 || id == cur_segment_ ||
+        id >= scan_segment_) {
+      keep.push_back(id);  // Still referenced; try again later.
+      continue;
+    }
+    TDB_RETURN_IF_ERROR(store_->Remove(SegmentName(id)));
+    stats_.total_bytes -= it->second.total;
+    segments_.erase(it);
+  }
+  pending_free_ = std::move(keep);
+  stats_.segments = segments_.size();
+  return Status::OK();
+}
+
+Status ChunkStore::VerifyIntegrity(uint64_t* chunks_checked) {
+  if (!open_) return Status::InvalidArgument("chunk store not open");
+  uint64_t checked = 0;
+  NodeLoader loader = MakeLoader();
+  Status walk = map_.ForEach(
+      map_.root(), loader,
+      [&](ChunkId cid, const MapEntry& entry) -> Status {
+        Status read = ReadDataAt(entry).status();
+        if (!read.ok()) {
+          return Status::TamperDetected("chunk " + std::to_string(cid) +
+                                        ": " + read.ToString());
+        }
+        checked++;
+        return Status::OK();
+      });
+  if (chunks_checked != nullptr) *chunks_checked = checked;
+  return walk;
+}
+
+// ---------------------------------------------------------------------------
+// Snapshots
+
+Result<std::shared_ptr<Snapshot>> ChunkStore::CreateSnapshot() {
+  if (!open_) return Status::InvalidArgument("chunk store not open");
+  // Checkpoint first so the snapshot tree is fully persisted (cheap
+  // incremental diffs need the hashes) and the root is anchored.
+  TDB_RETURN_IF_ERROR(CheckpointLocked());
+  auto snap = std::make_shared<Snapshot>();
+  snap->root_ = map_.root();
+  snap->seq_ = seq_;
+  snapshots_.push_back(snap);
+  return snap;
+}
+
+Result<Buffer> ChunkStore::ReadAtSnapshot(const Snapshot& snap, ChunkId cid) {
+  if (!open_) return Status::InvalidArgument("chunk store not open");
+  NodeLoader loader = MakeLoader();
+  TDB_ASSIGN_OR_RETURN(std::optional<MapEntry> entry,
+                       map_.GetAt(snap.root_, cid, loader));
+  if (!entry.has_value()) {
+    return Status::NotFound("chunk " + std::to_string(cid));
+  }
+  return ReadDataAt(*entry);
+}
+
+Status ChunkStore::ForEachChunkAt(
+    const Snapshot& snap,
+    const std::function<Status(ChunkId, const MapEntry&)>& fn) {
+  if (!open_) return Status::InvalidArgument("chunk store not open");
+  return map_.ForEach(snap.root_, MakeLoader(), fn);
+}
+
+Status ChunkStore::DiffSnapshots(
+    const Snapshot& base, const Snapshot& delta,
+    const std::function<Status(ChunkId, DiffKind, const MapEntry&)>& fn) {
+  if (!open_) return Status::InvalidArgument("chunk store not open");
+  return map_.Diff(base.root_, delta.root_, MakeLoader(), fn);
+}
+
+}  // namespace tdb::chunk

@@ -1,0 +1,300 @@
+#ifndef TDB_CHUNK_CHUNK_STORE_H_
+#define TDB_CHUNK_CHUNK_STORE_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "chunk/anchor.h"
+#include "chunk/location_map.h"
+#include "chunk/log_format.h"
+#include "chunk/types.h"
+#include "common/result.h"
+#include "crypto/cipher_suite.h"
+#include "platform/one_way_counter.h"
+#include "platform/secret_store.h"
+#include "platform/untrusted_store.h"
+
+namespace tdb::chunk {
+
+/// Tuning and security knobs for a chunk store instance.
+struct ChunkStoreOptions {
+  /// Security suite: SecurityConfig::Disabled() is the paper's "TDB"
+  /// configuration, PaperTdbS() (SHA-1 + 3DES) is "TDB-S".
+  crypto::SecurityConfig security = crypto::SecurityConfig::PaperTdbS();
+
+  /// Nominal segment size; the unit of cleaning and space reclamation.
+  uint32_t segment_size = 64 * 1024;
+
+  /// Fanout of the location-map radix tree.
+  uint32_t map_fanout = 64;
+
+  /// Maximum fraction of the log occupied by live data before the cleaner
+  /// kicks in (the paper's "database utilization"; default 60%, §7.3).
+  double max_utilization = 0.6;
+
+  /// Residual-log bytes that trigger an automatic checkpoint.
+  uint64_t checkpoint_interval_bytes = 8 << 20;
+
+  /// Bytes of one-way hash stored per location-map entry. Truncating to 12
+  /// (96 bits) matches the paper's per-chunk overhead (§7.4) and shrinks
+  /// checkpoints substantially; 0 means the full digest.
+  uint32_t map_hash_bytes = 12;
+
+  /// Upper bound on segments cleaned as a side effect of one commit,
+  /// bounding per-commit cleaning latency (§3.2.1).
+  int max_clean_segments_per_commit = 4;
+
+  bool create_if_missing = true;
+
+  /// Extra entropy mixed into the encryption-IV generator.
+  std::string iv_seed = "tdb-iv";
+};
+
+/// Counters exposed for tests, benchmarks, and the utilization experiment.
+struct ChunkStoreStats {
+  uint64_t live_bytes = 0;      // Bytes of live records (data + map).
+  uint64_t total_bytes = 0;     // Bytes across all segment files.
+  uint64_t segments = 0;
+  uint64_t live_chunks = 0;
+  uint64_t commits = 0;
+  uint64_t durable_commits = 0;
+  uint64_t checkpoints = 0;
+  uint64_t cleaned_segments = 0;
+  uint64_t relocated_records = 0;
+  uint64_t relocated_bytes = 0;
+  uint64_t bytes_appended = 0;  // Total log bytes written since open.
+  // Breakdown of appended payload bytes by record type.
+  uint64_t data_bytes = 0;
+  uint64_t map_bytes = 0;
+  uint64_t commit_bytes = 0;
+  double utilization() const {
+    return total_bytes == 0 ? 0.0
+                            : static_cast<double>(live_bytes) / total_bytes;
+  }
+};
+
+/// A group of chunk operations committed atomically (§3.1: "several
+/// operations can be grouped into a single commit operation that is atomic
+/// with respect to crashes"). Later operations on the same chunk id
+/// supersede earlier ones.
+class WriteBatch {
+ public:
+  void Write(ChunkId cid, Slice data);
+  void Deallocate(ChunkId cid);
+  bool empty() const { return ops_.empty(); }
+  size_t size() const { return ops_.size(); }
+  void Clear() { ops_.clear(); }
+
+ private:
+  friend class ChunkStore;
+  struct Op {
+    bool is_write;
+    ChunkId cid;
+    Buffer data;
+  };
+  std::vector<Op> ops_;
+};
+
+/// An immutable view of the database at a durable point in time, produced
+/// by copy-on-write of the location map (§3.2.1). Cheap to hold; cleaning
+/// is paused while any snapshot is alive so its records stay readable.
+class Snapshot {
+ public:
+  uint64_t seq() const { return seq_; }
+
+ private:
+  friend class ChunkStore;
+  std::shared_ptr<MapNode> root_;
+  uint64_t seq_ = 0;
+};
+
+/// The trusted chunk store (§3): log-structured storage of encrypted,
+/// hash-validated, variable-sized chunks over an untrusted store.
+///
+/// Guarantees under the threat model (attacker controls the untrusted
+/// store, cannot read the secret store or decrement the one-way counter):
+///  - secrecy: all persisted payloads are encrypted;
+///  - tamper detection: any modification of data, metadata, or the log is
+///    detected on read/recovery (Merkle tree + MACed commit chain/anchor);
+///  - replay detection: restoring a stale image is detected via the
+///    one-way counter;
+///  - atomicity: a WriteBatch commits entirely or not at all across
+///    crashes; nondurable commits never survive a crash unless followed by
+///    a durable commit.
+///
+/// Not thread-safe: callers (the object store) serialize access.
+class ChunkStore {
+ public:
+  static Result<std::unique_ptr<ChunkStore>> Open(
+      platform::UntrustedStore* store, platform::SecretStore* secrets,
+      platform::OneWayCounter* counter, const ChunkStoreOptions& options);
+
+  ~ChunkStore();
+  ChunkStore(const ChunkStore&) = delete;
+  ChunkStore& operator=(const ChunkStore&) = delete;
+
+  /// Returns a fresh, unallocated chunk id (§3.1 allocateChunkId).
+  ChunkId AllocateChunkId() { return next_chunk_id_++; }
+
+  /// Returns the last committed state of `cid`; NotFound if never written
+  /// or deallocated; TamperDetected if validation fails.
+  Result<Buffer> Read(ChunkId cid);
+
+  /// Atomically applies `batch`. If `durable`, the commit (and every
+  /// earlier nondurable commit) survives crashes once this returns OK.
+  Status Commit(const WriteBatch& batch, bool durable);
+
+  /// Single-chunk conveniences.
+  Status Write(ChunkId cid, Slice data, bool durable);
+  Status Deallocate(ChunkId cid, bool durable);
+
+  /// Writes dirty location-map nodes and the anchor (durable). Normally
+  /// automatic; exposed for idle-time maintenance.
+  Status Checkpoint();
+
+  /// Idle-time cleaning: reclaims up to `max_segments` low-utilization
+  /// segments. No-op while snapshots are alive.
+  Status Clean(int max_segments);
+
+  /// Integrity scrub: walks the whole location map and validates every
+  /// live chunk's record (checksum, Merkle hash, decryption). Returns the
+  /// first failure — the offline analogue of the per-read validation, for
+  /// idle-time or post-restore checks. `chunks_checked` may be null.
+  Status VerifyIntegrity(uint64_t* chunks_checked);
+
+  /// Snapshots (§3.2.1, used by the backup store). Checkpoints first so
+  /// the snapshot is fully persisted.
+  Result<std::shared_ptr<Snapshot>> CreateSnapshot();
+  Result<Buffer> ReadAtSnapshot(const Snapshot& snap, ChunkId cid);
+  Status ForEachChunkAt(
+      const Snapshot& snap,
+      const std::function<Status(ChunkId, const MapEntry&)>& fn);
+  Status DiffSnapshots(
+      const Snapshot& base, const Snapshot& delta,
+      const std::function<Status(ChunkId, DiffKind, const MapEntry&)>& fn);
+
+  const ChunkStoreStats& stats() const { return stats_; }
+  const ChunkStoreOptions& options() const { return options_; }
+  uint64_t next_chunk_id() const { return next_chunk_id_; }
+
+  /// Flushes a final checkpoint. The destructor calls this best-effort.
+  Status Close();
+
+  /// Debug: prints a per-region segment census (live/dead/map bytes) to
+  /// stderr. Used by benchmarks under TPCB_DEBUG.
+  void DumpSegmentCensus() const;
+
+ private:
+  struct SegInfo {
+    uint64_t total = 0;     // Bytes in the segment file.
+    uint64_t live = 0;      // Bytes of live records (data + map).
+    uint64_t live_map = 0;  // Bytes of live map-node records. Segments
+                            // holding live map nodes are not cleanable
+                            // until a checkpoint relocates those nodes.
+  };
+
+  ChunkStore(platform::UntrustedStore* store,
+             platform::OneWayCounter* counter,
+             const ChunkStoreOptions& options, crypto::CipherSuite suite);
+
+  // --- open/recovery ---
+  Status Bootstrap();            // Fresh store: first segment + checkpoint.
+  Status Recover();              // Anchor + residual log replay.
+  Status RebuildAccounting();    // Full map walk -> per-segment live bytes.
+
+  // --- log tail ---
+  static std::string SegmentName(uint32_t id);
+  Status OpenFreshSegment();     // Rolls the tail to a new segment file.
+  // Appends a record to the tail (rolling segments as needed); returns its
+  // location.
+  Result<Location> Append(RecordType type, Slice payload);
+  Status FlushTail();
+  Status SyncDirtyFiles();
+
+  // --- records ---
+  Result<Buffer> ReadRawRecord(const Location& loc, RecordType expected,
+                               const crypto::Digest& expected_hash);
+  Result<Buffer> ReadDataAt(const MapEntry& entry);
+  NodeLoader MakeLoader();
+  // Loads the checkpointed map root (level read from the record itself).
+  Result<std::shared_ptr<MapNode>> LoadRoot(const Location& loc,
+                                            const crypto::Digest& hash);
+
+  // --- commit machinery ---
+  // A write whose payload is already sealed (the cleaner relocates sealed
+  // bytes verbatim, so relocation neither decrypts nor changes hashes).
+  struct StagedWrite {
+    ChunkId cid;
+    Buffer sealed;
+    crypto::Digest hash;
+  };
+  Status CommitInternal(const std::vector<StagedWrite>& writes,
+                        const std::vector<ChunkId>& deallocs, uint8_t flags,
+                        const NodeWriteResult* new_root);
+  Status WriteAnchor();
+  Status CheckpointLocked();
+  Status MaybeCheckpoint();
+
+  // --- cleaning ---
+  Status MaybeClean();
+  // Lowest-live data-only segments behind the scan position; stops when
+  // projected size reaches `target` (0 = no target) or `max_segments`.
+  std::vector<uint32_t> CleanCandidates(uint64_t target, int max_segments);
+  // Checkpoints iff that would unlock >= one segment of parked garbage.
+  // Also marks live map nodes in low-yield segments dirty first, so the
+  // checkpoint relocates them and unpins those segments for cleaning.
+  Status UnlockGarbageWithCheckpoint();
+  // Marks map nodes persisted in `victims` (and their ancestors) dirty.
+  Result<bool> DirtyMapNodesIn(const std::set<uint32_t>& victims);
+  Status CleanSegments(const std::vector<uint32_t>& victims);
+  Status FreePendingSegments();
+  size_t ActiveSnapshots();
+
+  void AccountLive(uint32_t segment, int64_t delta, bool is_map = false);
+
+  // Hash of a sealed record as stored in the map (possibly truncated).
+  crypto::Digest EntryHash(Slice sealed) const;
+  size_t entry_hash_size() const;
+
+  platform::UntrustedStore* store_;
+  platform::OneWayCounter* counter_;
+  ChunkStoreOptions options_;
+  crypto::CipherSuite suite_;
+  AnchorManager anchor_mgr_;
+  LocationMap map_;
+
+  bool open_ = false;
+  uint64_t next_chunk_id_ = 1;
+  uint64_t seq_ = 0;
+  uint64_t counter_value_ = 0;  // Cached one-way counter value.
+  crypto::Digest chain_mac_;  // MAC of the most recent commit record.
+  // Checkpoint state mirrored into the anchor.
+  crypto::Digest ckpt_mac_;
+  bool has_root_ = false;
+  Location root_loc_;
+  crypto::Digest root_hash_;
+  uint32_t scan_segment_ = 0;
+  uint32_t scan_offset_ = 0;
+  uint64_t residual_bytes_ = 0;
+
+  // Tail segment.
+  uint32_t cur_segment_ = 0;
+  uint64_t cur_offset_ = 0;  // Flushed bytes in the tail file.
+  Buffer tail_buf_;
+  uint32_t next_segment_id_ = 1;
+
+  std::map<uint32_t, SegInfo> segments_;
+  std::set<std::string> dirty_files_;
+  std::vector<uint32_t> pending_free_;  // Freed at next durable commit.
+  std::vector<std::weak_ptr<Snapshot>> snapshots_;
+
+  bool in_maintenance_ = false;  // Guards checkpoint/clean reentrancy.
+  ChunkStoreStats stats_;
+};
+
+}  // namespace tdb::chunk
+
+#endif  // TDB_CHUNK_CHUNK_STORE_H_

@@ -1,0 +1,461 @@
+#include "collection/btree_index.h"
+
+#include "common/check.h"
+
+namespace tdb::collection {
+
+namespace {
+
+using object::ObjectId;
+using object::ReadonlyRef;
+using object::Transaction;
+using object::WritableRef;
+
+constexpr size_t kT = BTreeIndex::kMinDegree;
+
+// First index i with entries[i] >= (key, oid).
+Result<size_t> LowerBound(const GenericIndexer& indexer,
+                          const std::vector<IndexEntry>& entries,
+                          const Buffer& key, ObjectId oid) {
+  size_t lo = 0, hi = entries.size();
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    TDB_ASSIGN_OR_RETURN(int cmp,
+                         CompareEntries(indexer, entries[mid], key, oid));
+    if (cmp < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+// Child slot to descend for (key, oid): the number of separators <= it.
+Result<size_t> Route(const GenericIndexer& indexer,
+                     const std::vector<IndexEntry>& entries, const Buffer& key,
+                     ObjectId oid) {
+  size_t lo = 0, hi = entries.size();
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    TDB_ASSIGN_OR_RETURN(int cmp,
+                         CompareEntries(indexer, entries[mid], key, oid));
+    if (cmp <= 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+// Splits the full child at `idx` of `parent`, inserting a new separator.
+Status SplitChild(Transaction* txn, WritableRef<BTreeNode>& parent,
+                  size_t idx) {
+  TDB_ASSIGN_OR_RETURN(WritableRef<BTreeNode> child,
+                       txn->OpenWritable<BTreeNode>(parent->children[idx]));
+  TDB_CHECK(child->entries.size() == BTreeIndex::kMaxEntries);
+  auto right = std::make_unique<BTreeNode>();
+  right->leaf = child->leaf;
+  IndexEntry separator;
+  if (child->leaf) {
+    // B+ leaf split: the separator is a *copy* of the right half's first
+    // entry; data stays in leaves.
+    right->entries.assign(child->entries.begin() + kT, child->entries.end());
+    child->entries.resize(kT);
+    separator = right->entries.front();
+  } else {
+    separator = child->entries[kT - 1];
+    right->entries.assign(child->entries.begin() + kT, child->entries.end());
+    right->children.assign(child->children.begin() + kT,
+                           child->children.end());
+    child->entries.resize(kT - 1);
+    child->children.resize(kT);
+  }
+  TDB_ASSIGN_OR_RETURN(ObjectId right_id, txn->Insert(std::move(right)));
+  parent->entries.insert(parent->entries.begin() + idx, separator);
+  parent->children.insert(parent->children.begin() + idx + 1, right_id);
+  return Status::OK();
+}
+
+Status InsertIntoLeaf(const GenericIndexer& indexer,
+                      WritableRef<BTreeNode>& leaf, const Buffer& key,
+                      ObjectId oid) {
+  TDB_ASSIGN_OR_RETURN(size_t pos,
+                       LowerBound(indexer, leaf->entries, key, oid));
+  if (pos < leaf->entries.size()) {
+    TDB_ASSIGN_OR_RETURN(
+        int cmp, CompareEntries(indexer, leaf->entries[pos], key, oid));
+    if (cmp == 0) return Status::OK();  // Idempotent re-insert.
+  }
+  IndexEntry entry;
+  entry.key = key;
+  entry.oid = oid;
+  leaf->entries.insert(leaf->entries.begin() + pos, entry);
+  return Status::OK();
+}
+
+// Slow path: writable descend with preemptive splits.
+Status InsertFull(Transaction* txn, const GenericIndexer& indexer,
+                  ObjectId root, const Buffer& key, ObjectId oid) {
+  TDB_ASSIGN_OR_RETURN(WritableRef<BTreeNode> node,
+                       txn->OpenWritable<BTreeNode>(root));
+  if (node->entries.size() == BTreeIndex::kMaxEntries) {
+    // Grow in height, keeping the root's object id stable: move the root's
+    // contents into a fresh child and split it.
+    auto moved = std::make_unique<BTreeNode>();
+    moved->leaf = node->leaf;
+    moved->entries = std::move(node->entries);
+    moved->children = std::move(node->children);
+    TDB_ASSIGN_OR_RETURN(ObjectId moved_id, txn->Insert(std::move(moved)));
+    node->leaf = false;
+    node->entries.clear();
+    node->children = {moved_id};
+    TDB_RETURN_IF_ERROR(SplitChild(txn, node, 0));
+  }
+  while (!node->leaf) {
+    TDB_ASSIGN_OR_RETURN(size_t idx, Route(indexer, node->entries, key, oid));
+    {
+      TDB_ASSIGN_OR_RETURN(ReadonlyRef<BTreeNode> peek,
+                           txn->OpenReadonly<BTreeNode>(node->children[idx]));
+      if (peek->entries.size() == BTreeIndex::kMaxEntries) {
+        TDB_RETURN_IF_ERROR(SplitChild(txn, node, idx));
+        TDB_ASSIGN_OR_RETURN(idx, Route(indexer, node->entries, key, oid));
+      }
+    }
+    TDB_ASSIGN_OR_RETURN(WritableRef<BTreeNode> child,
+                         txn->OpenWritable<BTreeNode>(node->children[idx]));
+    node = child;
+  }
+  return InsertIntoLeaf(indexer, node, key, oid);
+}
+
+// Rebalances the (t-1)-entry child at `idx` so it can be descended into.
+// Returns the index of the child to descend afterwards.
+Result<size_t> EnsureChildFill(Transaction* txn,
+                               WritableRef<BTreeNode>& parent, size_t idx) {
+  TDB_ASSIGN_OR_RETURN(WritableRef<BTreeNode> child,
+                       txn->OpenWritable<BTreeNode>(parent->children[idx]));
+  // Try borrowing from the left sibling.
+  if (idx > 0) {
+    TDB_ASSIGN_OR_RETURN(
+        WritableRef<BTreeNode> left,
+        txn->OpenWritable<BTreeNode>(parent->children[idx - 1]));
+    if (left->entries.size() >= kT) {
+      if (child->leaf) {
+        child->entries.insert(child->entries.begin(), left->entries.back());
+        left->entries.pop_back();
+        parent->entries[idx - 1] = child->entries.front();
+      } else {
+        child->entries.insert(child->entries.begin(),
+                              parent->entries[idx - 1]);
+        parent->entries[idx - 1] = left->entries.back();
+        left->entries.pop_back();
+        child->children.insert(child->children.begin(),
+                               left->children.back());
+        left->children.pop_back();
+      }
+      return idx;
+    }
+  }
+  // Try borrowing from the right sibling.
+  if (idx + 1 < parent->children.size()) {
+    TDB_ASSIGN_OR_RETURN(
+        WritableRef<BTreeNode> right,
+        txn->OpenWritable<BTreeNode>(parent->children[idx + 1]));
+    if (right->entries.size() >= kT) {
+      if (child->leaf) {
+        child->entries.push_back(right->entries.front());
+        right->entries.erase(right->entries.begin());
+        parent->entries[idx] = right->entries.front();
+      } else {
+        child->entries.push_back(parent->entries[idx]);
+        parent->entries[idx] = right->entries.front();
+        right->entries.erase(right->entries.begin());
+        child->children.push_back(right->children.front());
+        right->children.erase(right->children.begin());
+      }
+      return idx;
+    }
+  }
+  // Merge with a sibling.
+  if (idx > 0) {
+    // Merge child into the left sibling.
+    TDB_ASSIGN_OR_RETURN(
+        WritableRef<BTreeNode> left,
+        txn->OpenWritable<BTreeNode>(parent->children[idx - 1]));
+    if (!child->leaf) left->entries.push_back(parent->entries[idx - 1]);
+    left->entries.insert(left->entries.end(), child->entries.begin(),
+                         child->entries.end());
+    left->children.insert(left->children.end(), child->children.begin(),
+                          child->children.end());
+    ObjectId child_id = parent->children[idx];
+    parent->entries.erase(parent->entries.begin() + idx - 1);
+    parent->children.erase(parent->children.begin() + idx);
+    TDB_RETURN_IF_ERROR(txn->Remove(child_id));
+    return idx - 1;
+  }
+  // Merge the right sibling into child.
+  TDB_ASSIGN_OR_RETURN(
+      WritableRef<BTreeNode> right,
+      txn->OpenWritable<BTreeNode>(parent->children[idx + 1]));
+  if (!child->leaf) child->entries.push_back(parent->entries[idx]);
+  child->entries.insert(child->entries.end(), right->entries.begin(),
+                        right->entries.end());
+  child->children.insert(child->children.end(), right->children.begin(),
+                         right->children.end());
+  ObjectId right_id = parent->children[idx + 1];
+  parent->entries.erase(parent->entries.begin() + idx);
+  parent->children.erase(parent->children.begin() + idx + 1);
+  TDB_RETURN_IF_ERROR(txn->Remove(right_id));
+  return idx;
+}
+
+Status RemoveFromLeaf(const GenericIndexer& indexer,
+                      WritableRef<BTreeNode>& leaf, const Buffer& key,
+                      ObjectId oid) {
+  TDB_ASSIGN_OR_RETURN(size_t pos,
+                       LowerBound(indexer, leaf->entries, key, oid));
+  if (pos >= leaf->entries.size()) {
+    return Status::NotFound("index entry not found");
+  }
+  TDB_ASSIGN_OR_RETURN(int cmp,
+                       CompareEntries(indexer, leaf->entries[pos], key, oid));
+  if (cmp != 0) return Status::NotFound("index entry not found");
+  leaf->entries.erase(leaf->entries.begin() + pos);
+  return Status::OK();
+}
+
+// Slow path: writable descend with preemptive rebalancing.
+Status RemoveFull(Transaction* txn, const GenericIndexer& indexer,
+                  ObjectId root, const Buffer& key, ObjectId oid) {
+  TDB_ASSIGN_OR_RETURN(WritableRef<BTreeNode> node,
+                       txn->OpenWritable<BTreeNode>(root));
+  bool at_root = true;
+  for (;;) {
+    if (node->leaf) return RemoveFromLeaf(indexer, node, key, oid);
+    TDB_ASSIGN_OR_RETURN(size_t idx, Route(indexer, node->entries, key, oid));
+    {
+      TDB_ASSIGN_OR_RETURN(ReadonlyRef<BTreeNode> peek,
+                           txn->OpenReadonly<BTreeNode>(node->children[idx]));
+      if (peek->entries.size() <= kT - 1) {
+        TDB_ASSIGN_OR_RETURN(idx, EnsureChildFill(txn, node, idx));
+      }
+    }
+    if (at_root && node->entries.empty() && node->children.size() == 1) {
+      // Collapse the root into its only child, keeping the root id stable.
+      ObjectId only = node->children[0];
+      TDB_ASSIGN_OR_RETURN(WritableRef<BTreeNode> child,
+                           txn->OpenWritable<BTreeNode>(only));
+      node->leaf = child->leaf;
+      node->entries = child->entries;
+      node->children = child->children;
+      TDB_RETURN_IF_ERROR(txn->Remove(only));
+      continue;
+    }
+    TDB_ASSIGN_OR_RETURN(WritableRef<BTreeNode> child,
+                         txn->OpenWritable<BTreeNode>(node->children[idx]));
+    node = child;
+    at_root = false;
+  }
+}
+
+// Key-only comparison of a stored entry against a live key.
+Result<int> CompareEntryKey(const GenericIndexer& indexer,
+                            const IndexEntry& entry, const GenericKey& key) {
+  return ComparePickled(indexer, entry.key, key);
+}
+
+Status RangeRec(Transaction* txn, const GenericIndexer& indexer,
+                ObjectId node_id, const GenericKey* min, const GenericKey* max,
+                std::vector<ObjectId>* out) {
+  TDB_ASSIGN_OR_RETURN(ReadonlyRef<BTreeNode> node,
+                       txn->OpenReadonly<BTreeNode>(node_id));
+  if (node->leaf) {
+    for (const IndexEntry& entry : node->entries) {
+      if (min != nullptr) {
+        TDB_ASSIGN_OR_RETURN(int cmp, CompareEntryKey(indexer, entry, *min));
+        if (cmp < 0) continue;
+      }
+      if (max != nullptr) {
+        TDB_ASSIGN_OR_RETURN(int cmp, CompareEntryKey(indexer, entry, *max));
+        if (cmp > 0) break;  // Entries are sorted: nothing further matches.
+      }
+      out->push_back(entry.oid);
+    }
+    return Status::OK();
+  }
+  for (size_t i = 0; i < node->children.size(); i++) {
+    // Child i may contain keys in [sep[i-1].key, sep[i].key].
+    if (min != nullptr && i < node->entries.size()) {
+      TDB_ASSIGN_OR_RETURN(int cmp,
+                           CompareEntryKey(indexer, node->entries[i], *min));
+      if (cmp < 0) continue;  // Entire child below the range.
+    }
+    if (max != nullptr && i > 0) {
+      TDB_ASSIGN_OR_RETURN(
+          int cmp, CompareEntryKey(indexer, node->entries[i - 1], *max));
+      if (cmp > 0) break;  // This child and all further ones above range.
+    }
+    TDB_RETURN_IF_ERROR(
+        RangeRec(txn, indexer, node->children[i], min, max, out));
+  }
+  return Status::OK();
+}
+
+Status ValidateRec(Transaction* txn, const GenericIndexer& indexer,
+                   ObjectId node_id, bool is_root, int* leaf_depth,
+                   int depth) {
+  TDB_ASSIGN_OR_RETURN(ReadonlyRef<BTreeNode> node,
+                       txn->OpenReadonly<BTreeNode>(node_id));
+  if (!is_root && node->entries.size() < kT - 1) {
+    return Status::Corruption("btree node underflow");
+  }
+  if (node->entries.size() > BTreeIndex::kMaxEntries) {
+    return Status::Corruption("btree node overflow");
+  }
+  for (size_t i = 1; i < node->entries.size(); i++) {
+    TDB_ASSIGN_OR_RETURN(
+        int cmp, CompareEntries(indexer, node->entries[i - 1],
+                                node->entries[i].key, node->entries[i].oid));
+    if (cmp >= 0) return Status::Corruption("btree entries out of order");
+  }
+  if (node->leaf) {
+    if (!node->children.empty()) {
+      return Status::Corruption("leaf with children");
+    }
+    if (*leaf_depth == -1) *leaf_depth = depth;
+    if (*leaf_depth != depth) {
+      return Status::Corruption("leaves at different depths");
+    }
+    return Status::OK();
+  }
+  if (node->children.size() != node->entries.size() + 1) {
+    return Status::Corruption("internal child count mismatch");
+  }
+  for (ObjectId child : node->children) {
+    TDB_RETURN_IF_ERROR(
+        ValidateRec(txn, indexer, child, false, leaf_depth, depth + 1));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<ObjectId> BTreeIndex::Create(Transaction* txn) {
+  return txn->Insert(std::make_unique<BTreeNode>());
+}
+
+Status BTreeIndex::Insert(Transaction* txn, const GenericIndexer& indexer,
+                          ObjectId root, const GenericKey& key, ObjectId oid) {
+  if (indexer.unique()) {
+    std::vector<ObjectId> existing;
+    TDB_RETURN_IF_ERROR(Match(txn, indexer, root, key, &existing));
+    for (ObjectId e : existing) {
+      if (e == oid) return Status::OK();  // Already indexed.
+    }
+    if (!existing.empty()) {
+      return Status::UniqueViolation("duplicate key in unique index '" +
+                                     indexer.name() + "'");
+    }
+  }
+  Buffer key_bytes = PickleKey(key);
+
+  // Fast path: if the target leaf has room, only the leaf is dirtied.
+  ObjectId node_id = root;
+  for (;;) {
+    TDB_ASSIGN_OR_RETURN(ReadonlyRef<BTreeNode> node,
+                         txn->OpenReadonly<BTreeNode>(node_id));
+    if (node->leaf) {
+      if (node->entries.size() < kMaxEntries) {
+        TDB_ASSIGN_OR_RETURN(WritableRef<BTreeNode> leaf,
+                             txn->OpenWritable<BTreeNode>(node_id));
+        return InsertIntoLeaf(indexer, leaf, key_bytes, oid);
+      }
+      break;  // Full leaf: take the splitting path.
+    }
+    TDB_ASSIGN_OR_RETURN(size_t idx,
+                         Route(indexer, node->entries, key_bytes, oid));
+    node_id = node->children[idx];
+  }
+  return InsertFull(txn, indexer, root, key_bytes, oid);
+}
+
+Status BTreeIndex::Remove(Transaction* txn, const GenericIndexer& indexer,
+                          ObjectId root, const GenericKey& key, ObjectId oid) {
+  Buffer key_bytes = PickleKey(key);
+  // Fast path: leaf stays above the minimum (or is the root).
+  ObjectId node_id = root;
+  for (;;) {
+    TDB_ASSIGN_OR_RETURN(ReadonlyRef<BTreeNode> node,
+                         txn->OpenReadonly<BTreeNode>(node_id));
+    if (node->leaf) {
+      if (node_id == root || node->entries.size() > kT - 1) {
+        TDB_ASSIGN_OR_RETURN(WritableRef<BTreeNode> leaf,
+                             txn->OpenWritable<BTreeNode>(node_id));
+        return RemoveFromLeaf(indexer, leaf, key_bytes, oid);
+      }
+      break;  // Would underflow: take the rebalancing path.
+    }
+    TDB_ASSIGN_OR_RETURN(size_t idx,
+                         Route(indexer, node->entries, key_bytes, oid));
+    node_id = node->children[idx];
+  }
+  return RemoveFull(txn, indexer, root, key_bytes, oid);
+}
+
+Status BTreeIndex::Scan(Transaction* txn, ObjectId root,
+                        std::vector<ObjectId>* out) {
+  TDB_ASSIGN_OR_RETURN(ReadonlyRef<BTreeNode> node,
+                       txn->OpenReadonly<BTreeNode>(root));
+  if (node->leaf) {
+    for (const IndexEntry& entry : node->entries) out->push_back(entry.oid);
+    return Status::OK();
+  }
+  for (ObjectId child : node->children) {
+    TDB_RETURN_IF_ERROR(Scan(txn, child, out));
+  }
+  return Status::OK();
+}
+
+Status BTreeIndex::Match(Transaction* txn, const GenericIndexer& indexer,
+                         ObjectId root, const GenericKey& key,
+                         std::vector<ObjectId>* out) {
+  return RangeRec(txn, indexer, root, &key, &key, out);
+}
+
+Status BTreeIndex::Range(Transaction* txn, const GenericIndexer& indexer,
+                         ObjectId root, const GenericKey* min,
+                         const GenericKey* max,
+                         std::vector<ObjectId>* out) {
+  return RangeRec(txn, indexer, root, min, max, out);
+}
+
+Result<bool> BTreeIndex::ContainsKey(Transaction* txn,
+                                     const GenericIndexer& indexer,
+                                     ObjectId root, const GenericKey& key) {
+  std::vector<ObjectId> oids;
+  TDB_RETURN_IF_ERROR(Match(txn, indexer, root, key, &oids));
+  return !oids.empty();
+}
+
+Status BTreeIndex::Destroy(Transaction* txn, ObjectId root) {
+  std::vector<ObjectId> children;
+  {
+    TDB_ASSIGN_OR_RETURN(ReadonlyRef<BTreeNode> node,
+                         txn->OpenReadonly<BTreeNode>(root));
+    children = node->children;
+  }
+  for (ObjectId child : children) {
+    TDB_RETURN_IF_ERROR(Destroy(txn, child));
+  }
+  return txn->Remove(root);
+}
+
+Status BTreeIndex::Validate(Transaction* txn, const GenericIndexer& indexer,
+                            ObjectId root) {
+  int leaf_depth = -1;
+  return ValidateRec(txn, indexer, root, true, &leaf_depth, 0);
+}
+
+}  // namespace tdb::collection

@@ -1,0 +1,686 @@
+#include "collection/collection.h"
+
+#include "collection/btree_index.h"
+#include "collection/hash_index.h"
+#include "collection/list_index.h"
+#include "common/check.h"
+
+namespace tdb::collection {
+
+namespace {
+
+using object::ObjectId;
+using object::ReadonlyRef;
+using object::Transaction;
+using object::WritableRef;
+
+constexpr char kDirectoryRootName[] = "tdb.collections";
+
+/// Persistent name -> collection-oid map (one per database).
+class CollectionDirectory final : public object::Object {
+ public:
+  object::ClassId class_id() const override { return kDirectoryClassId; }
+  void Pickle(object::Pickler* pickler) const override {
+    pickler->PutUint64(collections.size());
+    for (const auto& [name, oid] : collections) {
+      pickler->PutString(name);
+      pickler->PutUint64(oid);
+    }
+  }
+  Status UnpickleFrom(object::Unpickler* unpickler) override {
+    uint64_t n;
+    TDB_RETURN_IF_ERROR(unpickler->GetUint64(&n));
+    collections.clear();
+    for (uint64_t i = 0; i < n; i++) {
+      std::string name;
+      uint64_t oid;
+      TDB_RETURN_IF_ERROR(unpickler->GetString(&name));
+      TDB_RETURN_IF_ERROR(unpickler->GetUint64(&oid));
+      collections[name] = oid;
+    }
+    return Status::OK();
+  }
+  size_t ApproxSize() const override {
+    return sizeof(*this) + collections.size() * 48;
+  }
+
+  std::map<std::string, ObjectId> collections;
+};
+
+// --- Index-kind dispatch ---------------------------------------------
+
+Result<ObjectId> IndexCreate(Transaction* txn, IndexKind kind) {
+  switch (kind) {
+    case IndexKind::kBTree:
+      return BTreeIndex::Create(txn);
+    case IndexKind::kHashTable:
+      return HashIndex::Create(txn);
+    case IndexKind::kList:
+      return ListIndex::Create(txn);
+  }
+  return Status::InvalidArgument("unknown index kind");
+}
+
+Status IndexInsert(Transaction* txn, const GenericIndexer& indexer,
+                   const IndexDesc& desc, const GenericKey& key,
+                   ObjectId oid) {
+  switch (desc.kind) {
+    case IndexKind::kBTree:
+      return BTreeIndex::Insert(txn, indexer, desc.root, key, oid);
+    case IndexKind::kHashTable:
+      return HashIndex::Insert(txn, indexer, desc.root, key, oid);
+    case IndexKind::kList:
+      return ListIndex::Insert(txn, indexer, desc.root, key, oid);
+  }
+  return Status::InvalidArgument("unknown index kind");
+}
+
+Status IndexRemove(Transaction* txn, const GenericIndexer& indexer,
+                   const IndexDesc& desc, const GenericKey& key,
+                   ObjectId oid) {
+  switch (desc.kind) {
+    case IndexKind::kBTree:
+      return BTreeIndex::Remove(txn, indexer, desc.root, key, oid);
+    case IndexKind::kHashTable:
+      return HashIndex::Remove(txn, indexer, desc.root, key, oid);
+    case IndexKind::kList:
+      return ListIndex::Remove(txn, indexer, desc.root, key, oid);
+  }
+  return Status::InvalidArgument("unknown index kind");
+}
+
+Status IndexScan(Transaction* txn, const IndexDesc& desc,
+                 std::vector<ObjectId>* out) {
+  switch (desc.kind) {
+    case IndexKind::kBTree:
+      return BTreeIndex::Scan(txn, desc.root, out);
+    case IndexKind::kHashTable:
+      return HashIndex::Scan(txn, desc.root, out);
+    case IndexKind::kList:
+      return ListIndex::Scan(txn, desc.root, out);
+  }
+  return Status::InvalidArgument("unknown index kind");
+}
+
+Status IndexMatch(Transaction* txn, const GenericIndexer& indexer,
+                  const IndexDesc& desc, const GenericKey& key,
+                  std::vector<ObjectId>* out) {
+  switch (desc.kind) {
+    case IndexKind::kBTree:
+      return BTreeIndex::Match(txn, indexer, desc.root, key, out);
+    case IndexKind::kHashTable:
+      return HashIndex::Match(txn, indexer, desc.root, key, out);
+    case IndexKind::kList:
+      return ListIndex::Match(txn, indexer, desc.root, key, out);
+  }
+  return Status::InvalidArgument("unknown index kind");
+}
+
+Status IndexRange(Transaction* txn, const GenericIndexer& indexer,
+                  const IndexDesc& desc, const GenericKey* min,
+                  const GenericKey* max, std::vector<ObjectId>* out) {
+  switch (desc.kind) {
+    case IndexKind::kBTree:
+      return BTreeIndex::Range(txn, indexer, desc.root, min, max, out);
+    case IndexKind::kHashTable:
+      return Status::NotSupported(
+          "range queries require an ordered index (B-tree or list)");
+    case IndexKind::kList:
+      return ListIndex::Range(txn, indexer, desc.root, min, max, out);
+  }
+  return Status::InvalidArgument("unknown index kind");
+}
+
+Result<bool> IndexContainsKey(Transaction* txn, const GenericIndexer& indexer,
+                              const IndexDesc& desc, const GenericKey& key) {
+  switch (desc.kind) {
+    case IndexKind::kBTree:
+      return BTreeIndex::ContainsKey(txn, indexer, desc.root, key);
+    case IndexKind::kHashTable:
+      return HashIndex::ContainsKey(txn, indexer, desc.root, key);
+    case IndexKind::kList:
+      return ListIndex::ContainsKey(txn, indexer, desc.root, key);
+  }
+  return Status::InvalidArgument("unknown index kind");
+}
+
+Status IndexDestroy(Transaction* txn, const IndexDesc& desc) {
+  switch (desc.kind) {
+    case IndexKind::kBTree:
+      return BTreeIndex::Destroy(txn, desc.root);
+    case IndexKind::kHashTable:
+      return HashIndex::Destroy(txn, desc.root);
+    case IndexKind::kList:
+      return ListIndex::Destroy(txn, desc.root);
+  }
+  return Status::InvalidArgument("unknown index kind");
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Collection persistence
+
+void Collection::Pickle(object::Pickler* pickler) const {
+  pickler->PutString(name_);
+  pickler->PutUint64(self_oid_);
+  pickler->PutUint64(indexes_.size());
+  for (const IndexDesc& desc : indexes_) {
+    pickler->PutString(desc.name);
+    pickler->PutUint32(static_cast<uint32_t>(desc.kind));
+    pickler->PutBool(desc.unique);
+    pickler->PutBool(desc.immutable_keys);
+    pickler->PutUint64(desc.root);
+  }
+}
+
+Status Collection::UnpickleFrom(object::Unpickler* unpickler) {
+  TDB_RETURN_IF_ERROR(unpickler->GetString(&name_));
+  TDB_RETURN_IF_ERROR(unpickler->GetUint64(&self_oid_));
+  uint64_t n;
+  TDB_RETURN_IF_ERROR(unpickler->GetUint64(&n));
+  if (n > 1024) return Status::Corruption("absurd index count");
+  indexes_.clear();
+  indexes_.resize(n);
+  for (uint64_t i = 0; i < n; i++) {
+    TDB_RETURN_IF_ERROR(unpickler->GetString(&indexes_[i].name));
+    uint32_t kind;
+    TDB_RETURN_IF_ERROR(unpickler->GetUint32(&kind));
+    if (kind < 1 || kind > 3) return Status::Corruption("bad index kind");
+    indexes_[i].kind = static_cast<IndexKind>(kind);
+    TDB_RETURN_IF_ERROR(unpickler->GetBool(&indexes_[i].unique));
+    TDB_RETURN_IF_ERROR(unpickler->GetBool(&indexes_[i].immutable_keys));
+    TDB_RETURN_IF_ERROR(unpickler->GetUint64(&indexes_[i].root));
+  }
+  return Status::OK();
+}
+
+size_t Collection::ApproxSize() const {
+  return sizeof(*this) + indexes_.size() * 64 + name_.size();
+}
+
+Result<const IndexDesc*> Collection::FindIndex(
+    const GenericIndexer& indexer) const {
+  for (const IndexDesc& desc : indexes_) {
+    if (desc.name != indexer.name()) continue;
+    if (desc.kind != indexer.kind() || desc.unique != indexer.unique() ||
+        desc.immutable_keys != indexer.immutable_keys()) {
+      return Status::InvalidArgument("indexer '" + indexer.name() +
+                                     "' does not match the stored index");
+    }
+    return &desc;
+  }
+  return Status::NotFound("no index named '" + indexer.name() + "'");
+}
+
+// ---------------------------------------------------------------------------
+// Collection operations
+
+Status Collection::CreateIndex(CTransaction* t,
+                               std::shared_ptr<GenericIndexer> indexer) {
+  if (t->open_iterators_[self_oid_] > 0) {
+    return Status::InvalidArgument(
+        "cannot create an index while iterators are open");
+  }
+  for (const IndexDesc& desc : indexes_) {
+    if (desc.name == indexer->name()) {
+      return Status::AlreadyExists("index '" + desc.name + "' exists");
+    }
+  }
+  IndexDesc desc;
+  desc.name = indexer->name();
+  desc.kind = indexer->kind();
+  desc.unique = indexer->unique();
+  desc.immutable_keys = indexer->immutable_keys();
+  TDB_ASSIGN_OR_RETURN(desc.root, IndexCreate(t->txn(), desc.kind));
+
+  // Back-fill from the existing objects (via the first index).
+  if (!indexes_.empty()) {
+    std::vector<ObjectId> members;
+    TDB_RETURN_IF_ERROR(IndexScan(t->txn(), indexes_[0], &members));
+    for (ObjectId oid : members) {
+      TDB_ASSIGN_OR_RETURN(ReadonlyRef<object::Object> obj,
+                           t->txn()->OpenReadonly<object::Object>(oid));
+      TDB_ASSIGN_OR_RETURN(std::unique_ptr<GenericKey> key,
+                           indexer->ExtractKey(*obj));
+      Status inserted = IndexInsert(t->txn(), *indexer, desc, *key, oid);
+      if (!inserted.ok()) {
+        // §5.1.2: creating a unique index over duplicate keys raises an
+        // exception; tear the partial index down.
+        IndexDestroy(t->txn(), desc).ok();
+        return inserted;
+      }
+    }
+  }
+  indexes_.push_back(desc);
+  return t->store()->RegisterIndexer(name_, std::move(indexer));
+}
+
+Status Collection::RemoveIndex(CTransaction* t,
+                               const GenericIndexer& indexer) {
+  if (t->open_iterators_[self_oid_] > 0) {
+    return Status::InvalidArgument(
+        "cannot remove an index while iterators are open");
+  }
+  if (indexes_.size() == 1) {
+    return Status::InvalidArgument(
+        "a collection must keep at least one index");
+  }
+  TDB_ASSIGN_OR_RETURN(const IndexDesc* desc, FindIndex(indexer));
+  TDB_RETURN_IF_ERROR(IndexDestroy(t->txn(), *desc));
+  for (auto it = indexes_.begin(); it != indexes_.end(); ++it) {
+    if (it->name == desc->name) {
+      indexes_.erase(it);
+      break;
+    }
+  }
+  return Status::OK();
+}
+
+Result<ObjectId> Collection::Insert(CTransaction* t,
+                                    std::unique_ptr<object::Object> object) {
+  if (object == nullptr) return Status::InvalidArgument("null object");
+  // Resolve all indexers and extract all keys up front (this also performs
+  // the schema-class runtime check).
+  std::vector<const GenericIndexer*> indexers;
+  std::vector<std::unique_ptr<GenericKey>> keys;
+  for (const IndexDesc& desc : indexes_) {
+    TDB_ASSIGN_OR_RETURN(const GenericIndexer* indexer,
+                         t->store()->FindIndexer(name_, desc.name));
+    TDB_ASSIGN_OR_RETURN(std::unique_ptr<GenericKey> key,
+                         indexer->ExtractKey(*object));
+    indexers.push_back(indexer);
+    keys.push_back(std::move(key));
+  }
+  // Uniqueness pre-check so a violation mutates nothing (§5.1.2).
+  for (size_t i = 0; i < indexes_.size(); i++) {
+    if (!indexes_[i].unique) continue;
+    TDB_ASSIGN_OR_RETURN(
+        bool present,
+        IndexContainsKey(t->txn(), *indexers[i], indexes_[i], *keys[i]));
+    if (present) {
+      return Status::UniqueViolation("duplicate key in unique index '" +
+                                     indexes_[i].name + "'");
+    }
+  }
+  TDB_ASSIGN_OR_RETURN(ObjectId oid, t->txn()->Insert(std::move(object)));
+  for (size_t i = 0; i < indexes_.size(); i++) {
+    TDB_RETURN_IF_ERROR(
+        IndexInsert(t->txn(), *indexers[i], indexes_[i], *keys[i], oid));
+  }
+  return oid;
+}
+
+Result<std::unique_ptr<Iterator>> Collection::Query(
+    CTransaction* t, const GenericIndexer& indexer) const {
+  TDB_ASSIGN_OR_RETURN(const IndexDesc* desc, FindIndex(indexer));
+  std::vector<ObjectId> result;
+  TDB_RETURN_IF_ERROR(IndexScan(t->txn(), *desc, &result));
+  return std::unique_ptr<Iterator>(new Iterator(t, *this, std::move(result)));
+}
+
+Result<std::unique_ptr<Iterator>> Collection::Query(
+    CTransaction* t, const GenericIndexer& indexer,
+    const GenericKey& match) const {
+  TDB_ASSIGN_OR_RETURN(const IndexDesc* desc, FindIndex(indexer));
+  if (!indexer.IsKeyInstance(match)) {
+    return Status::TypeMismatch("query key is not of the index key class");
+  }
+  std::vector<ObjectId> result;
+  TDB_RETURN_IF_ERROR(IndexMatch(t->txn(), indexer, *desc, match, &result));
+  return std::unique_ptr<Iterator>(new Iterator(t, *this, std::move(result)));
+}
+
+Result<std::unique_ptr<Iterator>> Collection::Query(
+    CTransaction* t, const GenericIndexer& indexer, const GenericKey* min,
+    const GenericKey* max) const {
+  TDB_ASSIGN_OR_RETURN(const IndexDesc* desc, FindIndex(indexer));
+  if ((min != nullptr && !indexer.IsKeyInstance(*min)) ||
+      (max != nullptr && !indexer.IsKeyInstance(*max))) {
+    return Status::TypeMismatch("query key is not of the index key class");
+  }
+  std::vector<ObjectId> result;
+  TDB_RETURN_IF_ERROR(
+      IndexRange(t->txn(), indexer, *desc, min, max, &result));
+  return std::unique_ptr<Iterator>(new Iterator(t, *this, std::move(result)));
+}
+
+// ---------------------------------------------------------------------------
+// Iterator
+
+Iterator::Iterator(CTransaction* ct, const Collection& collection,
+                   std::vector<ObjectId> result)
+    : ct_(ct),
+      collection_name_(collection.name()),
+      coll_oid_(collection.id()),
+      index_descs_(collection.indexes()),
+      result_(std::move(result)) {
+  ct_->open_iterators_[coll_oid_]++;
+}
+
+Iterator::~Iterator() {
+  // Applying maintenance here (with status discarded) would hide
+  // uniqueness violations; but leaving indexes unmaintained is worse.
+  Close().ok();
+}
+
+object::ObjectId Iterator::current() const {
+  TDB_CHECK(!end(), "iterator dereferenced past the end");
+  return result_[pos_];
+}
+
+Result<ObjectId> Iterator::CurrentChecked() const {
+  if (closed_) return Status::InvalidArgument("iterator closed");
+  if (end()) return Status::InvalidArgument("iterator at end");
+  return result_[pos_];
+}
+
+Status Iterator::CheckWritable() const {
+  if (ct_->open_iterators_[coll_oid_] != 1) {
+    return Status::InvalidArgument(
+        "writable dereference with multiple open iterators on the "
+        "collection (§5.2.2 constraint)");
+  }
+  return Status::OK();
+}
+
+Status Iterator::SnapshotKeys(ObjectId oid) {
+  auto [it, fresh] = touched_.try_emplace(oid);
+  if (!fresh) return Status::OK();  // Snapshot already taken.
+  TDB_ASSIGN_OR_RETURN(ReadonlyRef<object::Object> obj,
+                       ct_->txn()->OpenReadonly<object::Object>(oid));
+  for (const IndexDesc& desc : index_descs_) {
+    // §5.2.3: keys declared immutable are not snapshotted — the space
+    // saving the paper describes.
+    if (desc.immutable_keys) continue;
+    TDB_ASSIGN_OR_RETURN(
+        const GenericIndexer* indexer,
+        ct_->store()->FindIndexer(collection_name_, desc.name));
+    TDB_ASSIGN_OR_RETURN(std::unique_ptr<GenericKey> key,
+                         indexer->ExtractKey(*obj));
+    it->second.pre_keys[desc.name] = PickleKey(*key);
+  }
+  return Status::OK();
+}
+
+Status Iterator::RemoveCurrent() {
+  TDB_ASSIGN_OR_RETURN(ObjectId oid, CurrentChecked());
+  TDB_RETURN_IF_ERROR(CheckWritable());
+  TDB_RETURN_IF_ERROR(SnapshotKeys(oid));
+  touched_[oid].removed = true;
+  return Status::OK();
+}
+
+Status Iterator::Close() {
+  if (closed_) return Status::OK();
+  closed_ = true;
+  ct_->open_iterators_[coll_oid_]--;
+  if (!ct_->active()) return Status::OK();  // Nothing to maintain.
+
+  Status violation = Status::OK();
+  for (auto& [oid, info] : touched_) {
+    // Resolve indexers once per object.
+    std::vector<const GenericIndexer*> indexers;
+    for (const IndexDesc& desc : index_descs_) {
+      TDB_ASSIGN_OR_RETURN(
+          const GenericIndexer* indexer,
+          ct_->store()->FindIndexer(collection_name_, desc.name));
+      indexers.push_back(indexer);
+    }
+
+    if (info.removed) {
+      for (size_t i = 0; i < index_descs_.size(); i++) {
+        std::unique_ptr<GenericKey> pre;
+        if (index_descs_[i].immutable_keys) {
+          // No snapshot was taken: the (unchanged) key is recomputed from
+          // the cached object.
+          TDB_ASSIGN_OR_RETURN(ReadonlyRef<object::Object> doomed,
+                               ct_->txn()->OpenReadonly<object::Object>(oid));
+          TDB_ASSIGN_OR_RETURN(pre, indexers[i]->ExtractKey(*doomed));
+        } else {
+          TDB_ASSIGN_OR_RETURN(
+              pre,
+              UnpickleKey(*indexers[i], info.pre_keys[index_descs_[i].name]));
+        }
+        Status removed = IndexRemove(ct_->txn(), *indexers[i],
+                                     index_descs_[i], *pre, oid);
+        if (!removed.ok() && !removed.IsNotFound()) return removed;
+      }
+      TDB_RETURN_IF_ERROR(ct_->txn()->Remove(oid));
+      continue;
+    }
+
+    // Updated object: compute post-update keys from the cached version
+    // (§5.2.3) and redo only the indexes whose key changed.
+    TDB_ASSIGN_OR_RETURN(ReadonlyRef<object::Object> obj,
+                         ct_->txn()->OpenReadonly<object::Object>(oid));
+    // Track which indexes have been switched to the post key, for undo.
+    std::vector<Buffer> post_keys(index_descs_.size());
+    std::vector<bool> updated(index_descs_.size(), false);
+    Status eject_status = Status::OK();
+    size_t failed_index = 0;
+    for (size_t i = 0; i < index_descs_.size(); i++) {
+      if (index_descs_[i].immutable_keys) continue;  // §5.2.3: no redo.
+      TDB_ASSIGN_OR_RETURN(std::unique_ptr<GenericKey> post,
+                           indexers[i]->ExtractKey(*obj));
+      post_keys[i] = PickleKey(*post);
+      const Buffer& pre_bytes = info.pre_keys[index_descs_[i].name];
+      if (Slice(post_keys[i]) == Slice(pre_bytes)) continue;  // Unchanged.
+      TDB_ASSIGN_OR_RETURN(std::unique_ptr<GenericKey> pre,
+                           UnpickleKey(*indexers[i], pre_bytes));
+      Status removed = IndexRemove(ct_->txn(), *indexers[i], index_descs_[i],
+                                   *pre, oid);
+      if (!removed.ok() && !removed.IsNotFound()) return removed;
+      Status inserted = IndexInsert(ct_->txn(), *indexers[i],
+                                    index_descs_[i], *post, oid);
+      if (inserted.IsUniqueViolation()) {
+        eject_status = inserted;
+        failed_index = i;
+        break;
+      }
+      TDB_RETURN_IF_ERROR(inserted);
+      updated[i] = true;
+    }
+
+    if (!eject_status.ok()) {
+      // §5.2.3: the update created a duplicate key in a unique index. The
+      // object is removed from the collection (all indexes) and reported
+      // so the application can re-integrate it.
+      for (size_t i = 0; i < index_descs_.size(); i++) {
+        if (i == failed_index) continue;  // Pre removed, post not inserted.
+        std::unique_ptr<GenericKey> key;
+        if (index_descs_[i].immutable_keys) {
+          TDB_ASSIGN_OR_RETURN(key, indexers[i]->ExtractKey(*obj));
+        } else {
+          const Buffer& key_bytes =
+              updated[i] ? post_keys[i]
+                         : info.pre_keys[index_descs_[i].name];
+          TDB_ASSIGN_OR_RETURN(key, UnpickleKey(*indexers[i], key_bytes));
+        }
+        Status removed = IndexRemove(ct_->txn(), *indexers[i],
+                                     index_descs_[i], *key, oid);
+        if (!removed.ok() && !removed.IsNotFound()) return removed;
+      }
+      ejected_.push_back(oid);
+      violation = eject_status;
+    }
+  }
+  return violation;
+}
+
+// ---------------------------------------------------------------------------
+// CTransaction
+
+CTransaction::CTransaction(CollectionStore* store)
+    : store_(store), txn_(store->object_store()) {}
+
+CTransaction::~CTransaction() {
+  if (txn_.active()) txn_.Abort().ok();
+}
+
+Result<WritableRef<Collection>> CTransaction::CreateCollection(
+    const std::string& name, std::shared_ptr<GenericIndexer> indexer) {
+  if (indexer == nullptr) return Status::InvalidArgument("null indexer");
+  TDB_ASSIGN_OR_RETURN(
+      WritableRef<CollectionDirectory> directory,
+      txn_.OpenWritable<CollectionDirectory>(store_->directory_oid()));
+  if (directory->collections.count(name)) {
+    return Status::AlreadyExists("collection '" + name + "' exists");
+  }
+  auto collection = std::make_unique<Collection>();
+  collection->name_ = name;
+  TDB_ASSIGN_OR_RETURN(ObjectId oid, txn_.Insert(std::move(collection)));
+  TDB_ASSIGN_OR_RETURN(WritableRef<Collection> ref,
+                       txn_.OpenWritable<Collection>(oid));
+  ref->self_oid_ = oid;
+
+  IndexDesc desc;
+  desc.name = indexer->name();
+  desc.kind = indexer->kind();
+  desc.unique = indexer->unique();
+  desc.immutable_keys = indexer->immutable_keys();
+  TDB_ASSIGN_OR_RETURN(desc.root, IndexCreate(&txn_, desc.kind));
+  ref->indexes_.push_back(desc);
+
+  directory->collections[name] = oid;
+  TDB_RETURN_IF_ERROR(store_->RegisterIndexer(name, std::move(indexer)));
+  return ref;
+}
+
+Result<ReadonlyRef<Collection>> CTransaction::ReadCollection(
+    const std::string& name) {
+  TDB_ASSIGN_OR_RETURN(
+      ReadonlyRef<CollectionDirectory> directory,
+      txn_.OpenReadonly<CollectionDirectory>(store_->directory_oid()));
+  auto it = directory->collections.find(name);
+  if (it == directory->collections.end()) {
+    return Status::NotFound("no collection named '" + name + "'");
+  }
+  return txn_.OpenReadonly<Collection>(it->second);
+}
+
+Result<WritableRef<Collection>> CTransaction::WriteCollection(
+    const std::string& name) {
+  TDB_ASSIGN_OR_RETURN(
+      ReadonlyRef<CollectionDirectory> directory,
+      txn_.OpenReadonly<CollectionDirectory>(store_->directory_oid()));
+  auto it = directory->collections.find(name);
+  if (it == directory->collections.end()) {
+    return Status::NotFound("no collection named '" + name + "'");
+  }
+  return txn_.OpenWritable<Collection>(it->second);
+}
+
+Status CTransaction::RemoveCollection(const std::string& name) {
+  TDB_ASSIGN_OR_RETURN(
+      WritableRef<CollectionDirectory> directory,
+      txn_.OpenWritable<CollectionDirectory>(store_->directory_oid()));
+  auto it = directory->collections.find(name);
+  if (it == directory->collections.end()) {
+    return Status::NotFound("no collection named '" + name + "'");
+  }
+  ObjectId coll_oid = it->second;
+  if (open_iterators_[coll_oid] > 0) {
+    return Status::InvalidArgument(
+        "cannot remove a collection while iterators are open");
+  }
+  TDB_ASSIGN_OR_RETURN(WritableRef<Collection> collection,
+                       txn_.OpenWritable<Collection>(coll_oid));
+  // Remove every member object (enumerated via the first index)...
+  std::vector<ObjectId> members;
+  TDB_RETURN_IF_ERROR(IndexScan(&txn_, collection->indexes_[0], &members));
+  for (ObjectId oid : members) {
+    TDB_RETURN_IF_ERROR(txn_.Remove(oid));
+  }
+  // ...then the index structures and the collection itself.
+  for (const IndexDesc& desc : collection->indexes_) {
+    TDB_RETURN_IF_ERROR(IndexDestroy(&txn_, desc));
+  }
+  TDB_RETURN_IF_ERROR(txn_.Remove(coll_oid));
+  directory->collections.erase(it);
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> CTransaction::ListCollections() {
+  TDB_ASSIGN_OR_RETURN(
+      ReadonlyRef<CollectionDirectory> directory,
+      txn_.OpenReadonly<CollectionDirectory>(store_->directory_oid()));
+  std::vector<std::string> names;
+  names.reserve(directory->collections.size());
+  for (const auto& [name, _] : directory->collections) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+Status CTransaction::Commit(bool durable) {
+  for (const auto& [coll, count] : open_iterators_) {
+    if (count > 0) {
+      return Status::InvalidArgument(
+          "cannot commit with open iterators (close them first)");
+    }
+  }
+  return txn_.Commit(durable);
+}
+
+Status CTransaction::Abort() { return txn_.Abort(); }
+
+// ---------------------------------------------------------------------------
+// CollectionStore
+
+Result<std::unique_ptr<CollectionStore>> CollectionStore::Open(
+    object::ObjectStore* objects) {
+  std::unique_ptr<CollectionStore> store(new CollectionStore(objects));
+  object::ClassRegistry& registry = objects->registry();
+  if (!registry.IsRegistered(kCollectionClassId)) {
+    TDB_RETURN_IF_ERROR(registry.Register<Collection>(kCollectionClassId));
+    TDB_RETURN_IF_ERROR(
+        registry.Register<CollectionDirectory>(kDirectoryClassId));
+    TDB_RETURN_IF_ERROR(RegisterIndexNodeClasses(&registry));
+  }
+  TDB_ASSIGN_OR_RETURN(ObjectId directory,
+                       objects->GetNamedRoot(kDirectoryRootName));
+  if (directory == object::kInvalidObjectId) {
+    object::Transaction txn(objects);
+    TDB_ASSIGN_OR_RETURN(directory,
+                         txn.Insert(std::make_unique<CollectionDirectory>()));
+    TDB_RETURN_IF_ERROR(txn.Commit(true));
+    TDB_RETURN_IF_ERROR(objects->SetNamedRoot(kDirectoryRootName, directory));
+  }
+  store->directory_oid_ = directory;
+  return store;
+}
+
+Status CollectionStore::RegisterIndexer(
+    const std::string& collection_name,
+    std::shared_ptr<GenericIndexer> indexer) {
+  if (indexer == nullptr) return Status::InvalidArgument("null indexer");
+  auto key = std::make_pair(collection_name, indexer->name());
+  auto it = indexers_.find(key);
+  if (it != indexers_.end()) {
+    if (it->second->kind() != indexer->kind() ||
+        it->second->unique() != indexer->unique() ||
+        it->second->immutable_keys() != indexer->immutable_keys()) {
+      return Status::InvalidArgument(
+          "conflicting indexer registration for '" + indexer->name() + "'");
+    }
+    it->second = std::move(indexer);  // Refresh the extractor binding.
+    return Status::OK();
+  }
+  indexers_.emplace(std::move(key), std::move(indexer));
+  return Status::OK();
+}
+
+Result<const GenericIndexer*> CollectionStore::FindIndexer(
+    const std::string& collection_name, const std::string& index_name) const {
+  auto it = indexers_.find(std::make_pair(collection_name, index_name));
+  if (it == indexers_.end()) {
+    return Status::NotFound("indexer '" + index_name +
+                            "' not registered for collection '" +
+                            collection_name +
+                            "' (re-register indexers after restart)");
+  }
+  return it->second.get();
+}
+
+}  // namespace tdb::collection

@@ -1,0 +1,168 @@
+#include "collection/index_nodes.h"
+
+namespace tdb::collection {
+
+namespace {
+
+void PickleEntries(object::Pickler* pickler,
+                   const std::vector<IndexEntry>& entries) {
+  pickler->PutUint64(entries.size());
+  for (const IndexEntry& entry : entries) {
+    pickler->PutBytes(entry.key);
+    pickler->PutUint64(entry.oid);
+  }
+}
+
+Status UnpickleEntries(object::Unpickler* unpickler,
+                       std::vector<IndexEntry>* entries) {
+  uint64_t n;
+  TDB_RETURN_IF_ERROR(unpickler->GetUint64(&n));
+  if (n > (1u << 24)) return Status::Corruption("absurd entry count");
+  entries->clear();
+  entries->resize(n);
+  for (uint64_t i = 0; i < n; i++) {
+    TDB_RETURN_IF_ERROR(unpickler->GetBytes(&(*entries)[i].key));
+    TDB_RETURN_IF_ERROR(unpickler->GetUint64(&(*entries)[i].oid));
+  }
+  return Status::OK();
+}
+
+size_t EntriesSize(const std::vector<IndexEntry>& entries) {
+  size_t size = entries.size() * (sizeof(IndexEntry) + 8);
+  for (const IndexEntry& entry : entries) size += entry.key.size();
+  return size;
+}
+
+}  // namespace
+
+void BTreeNode::Pickle(object::Pickler* pickler) const {
+  pickler->PutBool(leaf);
+  PickleEntries(pickler, entries);
+  pickler->PutUint64(children.size());
+  for (object::ObjectId child : children) pickler->PutUint64(child);
+}
+
+Status BTreeNode::UnpickleFrom(object::Unpickler* unpickler) {
+  TDB_RETURN_IF_ERROR(unpickler->GetBool(&leaf));
+  TDB_RETURN_IF_ERROR(UnpickleEntries(unpickler, &entries));
+  uint64_t n;
+  TDB_RETURN_IF_ERROR(unpickler->GetUint64(&n));
+  if (n > (1u << 20)) return Status::Corruption("absurd child count");
+  children.resize(n);
+  for (uint64_t i = 0; i < n; i++) {
+    TDB_RETURN_IF_ERROR(unpickler->GetUint64(&children[i]));
+  }
+  return Status::OK();
+}
+
+size_t BTreeNode::ApproxSize() const {
+  return sizeof(*this) + EntriesSize(entries) +
+         children.size() * sizeof(object::ObjectId);
+}
+
+void HashDirectory::Pickle(object::Pickler* pickler) const {
+  pickler->PutUint32(round);
+  pickler->PutUint32(split);
+  pickler->PutUint32(n_buckets);
+  pickler->PutUint64(pages.size());
+  for (object::ObjectId page : pages) pickler->PutUint64(page);
+}
+
+Status HashDirectory::UnpickleFrom(object::Unpickler* unpickler) {
+  TDB_RETURN_IF_ERROR(unpickler->GetUint32(&round));
+  TDB_RETURN_IF_ERROR(unpickler->GetUint32(&split));
+  TDB_RETURN_IF_ERROR(unpickler->GetUint32(&n_buckets));
+  uint64_t n;
+  TDB_RETURN_IF_ERROR(unpickler->GetUint64(&n));
+  if (n > (1u << 24)) return Status::Corruption("absurd page count");
+  pages.resize(n);
+  for (uint64_t i = 0; i < n; i++) {
+    TDB_RETURN_IF_ERROR(unpickler->GetUint64(&pages[i]));
+  }
+  return Status::OK();
+}
+
+void HashDirPage::Pickle(object::Pickler* pickler) const {
+  pickler->PutUint64(buckets.size());
+  for (object::ObjectId bucket : buckets) pickler->PutUint64(bucket);
+}
+
+Status HashDirPage::UnpickleFrom(object::Unpickler* unpickler) {
+  uint64_t n;
+  TDB_RETURN_IF_ERROR(unpickler->GetUint64(&n));
+  if (n > (1u << 20)) return Status::Corruption("absurd bucket count");
+  buckets.resize(n);
+  for (uint64_t i = 0; i < n; i++) {
+    TDB_RETURN_IF_ERROR(unpickler->GetUint64(&buckets[i]));
+  }
+  return Status::OK();
+}
+
+void HashBucket::Pickle(object::Pickler* pickler) const {
+  PickleEntries(pickler, entries);
+}
+
+Status HashBucket::UnpickleFrom(object::Unpickler* unpickler) {
+  return UnpickleEntries(unpickler, &entries);
+}
+
+size_t HashBucket::ApproxSize() const {
+  return sizeof(*this) + EntriesSize(entries);
+}
+
+void ListNode::Pickle(object::Pickler* pickler) const {
+  PickleEntries(pickler, entries);
+  pickler->PutUint64(next);
+}
+
+Status ListNode::UnpickleFrom(object::Unpickler* unpickler) {
+  TDB_RETURN_IF_ERROR(UnpickleEntries(unpickler, &entries));
+  return unpickler->GetUint64(&next);
+}
+
+size_t ListNode::ApproxSize() const {
+  return sizeof(*this) + EntriesSize(entries);
+}
+
+Status RegisterIndexNodeClasses(object::ClassRegistry* registry) {
+  TDB_RETURN_IF_ERROR(registry->Register<BTreeNode>(kBTreeNodeClassId));
+  TDB_RETURN_IF_ERROR(
+      registry->Register<HashDirectory>(kHashDirectoryClassId));
+  TDB_RETURN_IF_ERROR(registry->Register<HashBucket>(kHashBucketClassId));
+  TDB_RETURN_IF_ERROR(registry->Register<HashDirPage>(kHashDirPageClassId));
+  return registry->Register<ListNode>(kListNodeClassId);
+}
+
+Result<std::unique_ptr<GenericKey>> UnpickleKey(const GenericIndexer& indexer,
+                                                const Buffer& pickled) {
+  std::unique_ptr<GenericKey> key = indexer.NewKey();
+  object::Unpickler unpickler{Slice(pickled)};
+  TDB_RETURN_IF_ERROR(key->UnpickleFrom(&unpickler));
+  return key;
+}
+
+Result<int> ComparePickled(const GenericIndexer& indexer, const Buffer& a,
+                           const GenericKey& b) {
+  TDB_ASSIGN_OR_RETURN(std::unique_ptr<GenericKey> a_key,
+                       UnpickleKey(indexer, a));
+  return a_key->Compare(b);
+}
+
+Result<int> CompareEntries(const GenericIndexer& indexer, const IndexEntry& a,
+                           const Buffer& b_key, object::ObjectId b_oid) {
+  // Fast path: identical pickled bytes mean equal keys.
+  int key_cmp;
+  if (Slice(a.key) == Slice(b_key)) {
+    key_cmp = 0;
+  } else {
+    TDB_ASSIGN_OR_RETURN(std::unique_ptr<GenericKey> b,
+                         UnpickleKey(indexer, b_key));
+    TDB_ASSIGN_OR_RETURN(key_cmp, ComparePickled(indexer, a.key, *b));
+  }
+  if (key_cmp != 0) return key_cmp;
+  if (a.oid < b_oid) return -1;
+  if (a.oid > b_oid) return 1;
+  return 0;
+}
+
+}  // namespace tdb::collection

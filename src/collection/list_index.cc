@@ -1,0 +1,172 @@
+#include "collection/list_index.h"
+
+namespace tdb::collection {
+
+namespace {
+
+using object::ObjectId;
+using object::ReadonlyRef;
+using object::Transaction;
+using object::WritableRef;
+
+}  // namespace
+
+Result<ObjectId> ListIndex::Create(Transaction* txn) {
+  return txn->Insert(std::make_unique<ListNode>());
+}
+
+Status ListIndex::Insert(Transaction* txn, const GenericIndexer& indexer,
+                         ObjectId root, const GenericKey& key, ObjectId oid) {
+  if (indexer.unique()) {
+    TDB_ASSIGN_OR_RETURN(bool present, ContainsKey(txn, indexer, root, key));
+    if (present) {
+      // Idempotent if the existing entry is ours.
+      std::vector<ObjectId> oids;
+      TDB_RETURN_IF_ERROR(Match(txn, indexer, root, key, &oids));
+      for (ObjectId e : oids) {
+        if (e == oid) return Status::OK();
+      }
+      return Status::UniqueViolation("duplicate key in unique index '" +
+                                     indexer.name() + "'");
+    }
+  } else {
+    // Idempotence check for re-inserts of the same (key, oid).
+    ObjectId node_id = root;
+    while (node_id != object::kInvalidObjectId) {
+      TDB_ASSIGN_OR_RETURN(ReadonlyRef<ListNode> node,
+                           txn->OpenReadonly<ListNode>(node_id));
+      for (const IndexEntry& entry : node->entries) {
+        if (entry.oid != oid) continue;
+        TDB_ASSIGN_OR_RETURN(int cmp,
+                             ComparePickled(indexer, entry.key, key));
+        if (cmp == 0) return Status::OK();
+      }
+      node_id = node->next;
+    }
+  }
+
+  TDB_ASSIGN_OR_RETURN(WritableRef<ListNode> head,
+                       txn->OpenWritable<ListNode>(root));
+  if (head->entries.size() >= kBlockEntries) {
+    // Spill the head's entries into a new block so the head id stays
+    // stable and inserts stay O(1).
+    auto spill = std::make_unique<ListNode>();
+    spill->entries = std::move(head->entries);
+    spill->next = head->next;
+    TDB_ASSIGN_OR_RETURN(ObjectId spill_id, txn->Insert(std::move(spill)));
+    head->entries.clear();
+    head->next = spill_id;
+  }
+  IndexEntry entry;
+  entry.key = PickleKey(key);
+  entry.oid = oid;
+  head->entries.push_back(std::move(entry));
+  return Status::OK();
+}
+
+Status ListIndex::Remove(Transaction* txn, const GenericIndexer& indexer,
+                         ObjectId root, const GenericKey& key, ObjectId oid) {
+  ObjectId node_id = root;
+  while (node_id != object::kInvalidObjectId) {
+    ObjectId next;
+    {
+      TDB_ASSIGN_OR_RETURN(ReadonlyRef<ListNode> peek,
+                           txn->OpenReadonly<ListNode>(node_id));
+      next = peek->next;
+      bool found = false;
+      for (const IndexEntry& entry : peek->entries) {
+        if (entry.oid != oid) continue;
+        TDB_ASSIGN_OR_RETURN(int cmp,
+                             ComparePickled(indexer, entry.key, key));
+        if (cmp == 0) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        node_id = next;
+        continue;
+      }
+    }
+    TDB_ASSIGN_OR_RETURN(WritableRef<ListNode> node,
+                         txn->OpenWritable<ListNode>(node_id));
+    for (size_t i = 0; i < node->entries.size(); i++) {
+      if (node->entries[i].oid != oid) continue;
+      TDB_ASSIGN_OR_RETURN(int cmp,
+                           ComparePickled(indexer, node->entries[i].key, key));
+      if (cmp == 0) {
+        node->entries.erase(node->entries.begin() + i);
+        return Status::OK();
+      }
+    }
+    node_id = next;
+  }
+  return Status::NotFound("index entry not found");
+}
+
+Status ListIndex::Scan(Transaction* txn, ObjectId root,
+                       std::vector<ObjectId>* out) {
+  ObjectId node_id = root;
+  while (node_id != object::kInvalidObjectId) {
+    TDB_ASSIGN_OR_RETURN(ReadonlyRef<ListNode> node,
+                         txn->OpenReadonly<ListNode>(node_id));
+    for (const IndexEntry& entry : node->entries) out->push_back(entry.oid);
+    node_id = node->next;
+  }
+  return Status::OK();
+}
+
+Status ListIndex::Match(Transaction* txn, const GenericIndexer& indexer,
+                        ObjectId root, const GenericKey& key,
+                        std::vector<ObjectId>* out) {
+  return Range(txn, indexer, root, &key, &key, out);
+}
+
+Status ListIndex::Range(Transaction* txn, const GenericIndexer& indexer,
+                        ObjectId root, const GenericKey* min,
+                        const GenericKey* max,
+                        std::vector<ObjectId>* out) {
+  ObjectId node_id = root;
+  while (node_id != object::kInvalidObjectId) {
+    TDB_ASSIGN_OR_RETURN(ReadonlyRef<ListNode> node,
+                         txn->OpenReadonly<ListNode>(node_id));
+    for (const IndexEntry& entry : node->entries) {
+      if (min != nullptr) {
+        TDB_ASSIGN_OR_RETURN(int cmp, ComparePickled(indexer, entry.key, *min));
+        if (cmp < 0) continue;
+      }
+      if (max != nullptr) {
+        TDB_ASSIGN_OR_RETURN(int cmp, ComparePickled(indexer, entry.key, *max));
+        if (cmp > 0) continue;
+      }
+      out->push_back(entry.oid);
+    }
+    node_id = node->next;
+  }
+  return Status::OK();
+}
+
+Result<bool> ListIndex::ContainsKey(Transaction* txn,
+                                    const GenericIndexer& indexer,
+                                    ObjectId root, const GenericKey& key) {
+  std::vector<ObjectId> oids;
+  TDB_RETURN_IF_ERROR(Match(txn, indexer, root, key, &oids));
+  return !oids.empty();
+}
+
+Status ListIndex::Destroy(Transaction* txn, ObjectId root) {
+  ObjectId node_id = root;
+  while (node_id != object::kInvalidObjectId) {
+    ObjectId next;
+    {
+      TDB_ASSIGN_OR_RETURN(ReadonlyRef<ListNode> node,
+                           txn->OpenReadonly<ListNode>(node_id));
+      next = node->next;
+    }
+    TDB_RETURN_IF_ERROR(txn->Remove(node_id));
+    node_id = next;
+  }
+  return Status::OK();
+}
+
+}  // namespace tdb::collection

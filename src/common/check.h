@@ -1,0 +1,39 @@
+#ifndef TDB_COMMON_CHECK_H_
+#define TDB_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace tdb::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr,
+                                     const std::string& msg) {
+  std::fprintf(stderr, "TDB_CHECK failed at %s:%d: %s%s%s\n", file, line, expr,
+               msg.empty() ? "" : " — ", msg.c_str());
+  std::abort();
+}
+
+}  // namespace tdb::internal
+
+/// Aborts on invariant violation. Used for programming errors (the paper's
+/// "checked runtime errors"), never for recoverable conditions — those
+/// return Status.
+#define TDB_CHECK(cond, ...)                                              \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::tdb::internal::CheckFailed(__FILE__, __LINE__, #cond,             \
+                                   ::std::string(__VA_ARGS__));           \
+    }                                                                     \
+  } while (0)
+
+#ifdef NDEBUG
+#define TDB_DCHECK(cond, ...) \
+  do {                        \
+  } while (0)
+#else
+#define TDB_DCHECK(cond, ...) TDB_CHECK(cond, __VA_ARGS__)
+#endif
+
+#endif  // TDB_COMMON_CHECK_H_

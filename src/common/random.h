@@ -1,0 +1,62 @@
+#ifndef TDB_COMMON_RANDOM_H_
+#define TDB_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+#include "common/slice.h"
+
+namespace tdb {
+
+/// Deterministic, seedable pseudo-random generator (xorshift128+). Used by
+/// workload generators, property tests, and fault injection so that every
+/// run is reproducible from its seed. NOT cryptographic — IVs come from
+/// crypto::CtrDrbg.
+class Random {
+ public:
+  explicit Random(uint64_t seed) {
+    // SplitMix64 seeding to avoid weak all-zero / low-entropy states.
+    s_[0] = SplitMix(&seed);
+    s_[1] = SplitMix(&seed);
+  }
+
+  uint64_t Next() {
+    uint64_t x = s_[0];
+    const uint64_t y = s_[1];
+    s_[0] = y;
+    x ^= x << 23;
+    s_[1] = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s_[1] + y;
+  }
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// Uniform in [lo, hi] inclusive.
+  uint64_t Range(uint64_t lo, uint64_t hi) {
+    return lo + Uniform(hi - lo + 1);
+  }
+
+  /// True with probability p (0.0 .. 1.0).
+  bool Bernoulli(double p) {
+    return static_cast<double>(Next() >> 11) / 9007199254740992.0 < p;
+  }
+
+  void Fill(Buffer* buf, size_t n) {
+    buf->resize(n);
+    for (size_t i = 0; i < n; i++) (*buf)[i] = static_cast<uint8_t>(Next());
+  }
+
+ private:
+  static uint64_t SplitMix(uint64_t* state) {
+    uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  uint64_t s_[2];
+};
+
+}  // namespace tdb
+
+#endif  // TDB_COMMON_RANDOM_H_

@@ -1,0 +1,64 @@
+#ifndef TDB_COMMON_RESULT_H_
+#define TDB_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace tdb {
+
+/// A Status plus, on success, a value of type T. Analogous to
+/// arrow::Result / absl::StatusOr. Accessing the value of a failed Result is
+/// a checked programming error.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success) or a Status (failure), so
+  /// `return value;` and `return Status::NotFound(...)` both work.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    TDB_CHECK(!status_.ok(), "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    TDB_CHECK(ok(), "value() on failed Result: " + status_.ToString());
+    return *value_;
+  }
+  const T& value() const& {
+    TDB_CHECK(ok(), "value() on failed Result: " + status_.ToString());
+    return *value_;
+  }
+  T&& value() && {
+    TDB_CHECK(ok(), "value() on failed Result: " + status_.ToString());
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Evaluates a Result-returning expression; on success binds the value to
+/// `lhs`, on failure returns the Status to the caller.
+#define TDB_ASSIGN_OR_RETURN(lhs, expr)                  \
+  auto TDB_CONCAT_(_res_, __LINE__) = (expr);            \
+  if (!TDB_CONCAT_(_res_, __LINE__).ok())                \
+    return TDB_CONCAT_(_res_, __LINE__).status();        \
+  lhs = std::move(TDB_CONCAT_(_res_, __LINE__)).value()
+
+#define TDB_CONCAT_(a, b) TDB_CONCAT_IMPL_(a, b)
+#define TDB_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace tdb
+
+#endif  // TDB_COMMON_RESULT_H_

@@ -1,0 +1,58 @@
+#ifndef TDB_COMMON_SLICE_H_
+#define TDB_COMMON_SLICE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tdb {
+
+/// Owning byte buffer used throughout TDB for chunk and object payloads.
+using Buffer = std::vector<uint8_t>;
+
+/// Non-owning view of a byte range. The viewed bytes must outlive the Slice.
+class Slice {
+ public:
+  Slice() : data_(nullptr), size_(0) {}
+  Slice(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  Slice(const Buffer& buf)  // NOLINT(runtime/explicit)
+      : data_(buf.data()), size_(buf.size()) {}
+  Slice(std::string_view sv)  // NOLINT(runtime/explicit)
+      : data_(reinterpret_cast<const uint8_t*>(sv.data())), size_(sv.size()) {}
+  Slice(const char* cstr)  // NOLINT(runtime/explicit)
+      : data_(reinterpret_cast<const uint8_t*>(cstr)),
+        size_(std::strlen(cstr)) {}
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  uint8_t operator[](size_t i) const { return data_[i]; }
+
+  /// Drops the first n bytes from the view.
+  void RemovePrefix(size_t n) {
+    data_ += n;
+    size_ -= n;
+  }
+
+  Buffer ToBuffer() const { return Buffer(data_, data_ + size_); }
+  std::string ToString() const {
+    return std::string(reinterpret_cast<const char*>(data_), size_);
+  }
+
+  friend bool operator==(const Slice& a, const Slice& b) {
+    return a.size_ == b.size_ &&
+           (a.size_ == 0 || std::memcmp(a.data_, b.data_, a.size_) == 0);
+  }
+  friend bool operator!=(const Slice& a, const Slice& b) { return !(a == b); }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+};
+
+}  // namespace tdb
+
+#endif  // TDB_COMMON_SLICE_H_

@@ -1,0 +1,39 @@
+#include "common/status.h"
+
+namespace tdb {
+
+namespace {
+
+const char* CodeName(Status::Code code) {
+  switch (code) {
+    case Status::Code::kOk: return "OK";
+    case Status::Code::kNotFound: return "NotFound";
+    case Status::Code::kInvalidArgument: return "InvalidArgument";
+    case Status::Code::kCorruption: return "Corruption";
+    case Status::Code::kTamperDetected: return "TamperDetected";
+    case Status::Code::kReplayDetected: return "ReplayDetected";
+    case Status::Code::kIOError: return "IOError";
+    case Status::Code::kLockTimeout: return "LockTimeout";
+    case Status::Code::kTransactionInvalid: return "TransactionInvalid";
+    case Status::Code::kUniqueViolation: return "UniqueViolation";
+    case Status::Code::kTypeMismatch: return "TypeMismatch";
+    case Status::Code::kAlreadyExists: return "AlreadyExists";
+    case Status::Code::kOutOfSpace: return "OutOfSpace";
+    case Status::Code::kNotSupported: return "NotSupported";
+  }
+  return "Unknown";
+}
+
+}  // namespace
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = CodeName(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace tdb

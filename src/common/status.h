@@ -1,0 +1,107 @@
+#ifndef TDB_COMMON_STATUS_H_
+#define TDB_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace tdb {
+
+/// Outcome of a fallible operation. Modeled on the RocksDB/Arrow idiom:
+/// every public API that can fail returns a Status (or Result<T>), and the
+/// caller is expected to check it. Statuses are cheap to copy for the OK
+/// case and carry a code plus a human-readable message otherwise.
+class Status {
+ public:
+  enum class Code : unsigned char {
+    kOk = 0,
+    kNotFound,          ///< Named entity (chunk, object, collection) absent.
+    kInvalidArgument,   ///< Caller supplied an unusable argument.
+    kCorruption,        ///< Stored bytes are structurally malformed.
+    kTamperDetected,    ///< Hash/MAC validation failed: malicious change.
+    kReplayDetected,    ///< One-way counter mismatch: stale image replayed.
+    kIOError,           ///< Underlying platform store failed.
+    kLockTimeout,       ///< Transactional lock wait exceeded its timeout.
+    kTransactionInvalid,///< Transaction already committed/aborted.
+    kUniqueViolation,   ///< Insert/update broke a unique index.
+    kTypeMismatch,      ///< Runtime type check failed (wrong class).
+    kAlreadyExists,     ///< Entity with that name already exists.
+    kOutOfSpace,        ///< Store is full and may not grow.
+    kNotSupported,      ///< Operation disabled in this configuration.
+  };
+
+  Status() = default;  // OK.
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(Code::kCorruption, std::move(msg));
+  }
+  static Status TamperDetected(std::string msg) {
+    return Status(Code::kTamperDetected, std::move(msg));
+  }
+  static Status ReplayDetected(std::string msg) {
+    return Status(Code::kReplayDetected, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(Code::kIOError, std::move(msg));
+  }
+  static Status LockTimeout(std::string msg) {
+    return Status(Code::kLockTimeout, std::move(msg));
+  }
+  static Status TransactionInvalid(std::string msg) {
+    return Status(Code::kTransactionInvalid, std::move(msg));
+  }
+  static Status UniqueViolation(std::string msg) {
+    return Status(Code::kUniqueViolation, std::move(msg));
+  }
+  static Status TypeMismatch(std::string msg) {
+    return Status(Code::kTypeMismatch, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(Code::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfSpace(std::string msg) {
+    return Status(Code::kOutOfSpace, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(Code::kNotSupported, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsTamperDetected() const { return code_ == Code::kTamperDetected; }
+  bool IsReplayDetected() const { return code_ == Code::kReplayDetected; }
+  bool IsLockTimeout() const { return code_ == Code::kLockTimeout; }
+  bool IsUniqueViolation() const { return code_ == Code::kUniqueViolation; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+
+  /// "OK" or "<code>: <message>" for logging and test failure output.
+  std::string ToString() const;
+
+ private:
+  Status(Code code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  Code code_ = Code::kOk;
+  std::string message_;
+};
+
+/// Propagates a non-OK status to the caller. Usable only in functions that
+/// themselves return Status.
+#define TDB_RETURN_IF_ERROR(expr)                  \
+  do {                                             \
+    ::tdb::Status _st = (expr);                    \
+    if (!_st.ok()) return _st;                     \
+  } while (0)
+
+}  // namespace tdb
+
+#endif  // TDB_COMMON_STATUS_H_

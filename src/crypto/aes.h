@@ -1,0 +1,32 @@
+#ifndef TDB_CRYPTO_AES_H_
+#define TDB_CRYPTO_AES_H_
+
+#include <cstdint>
+
+#include "crypto/block_cipher.h"
+
+namespace tdb::crypto {
+
+/// AES-128 (FIPS 197). The paper notes "there are other algorithms that are
+/// as secure as 3DES and run significantly faster" — this is that
+/// configuration. 16-byte key, 16-byte block.
+class Aes128 final : public BlockCipher {
+ public:
+  static constexpr size_t kBlockSize = 16;
+  static constexpr size_t kKeySize = 16;
+  static constexpr int kRounds = 10;
+
+  explicit Aes128(Slice key);
+
+  size_t block_size() const override { return kBlockSize; }
+  size_t key_size() const override { return kKeySize; }
+  void EncryptBlock(const uint8_t* in, uint8_t* out) const override;
+  void DecryptBlock(const uint8_t* in, uint8_t* out) const override;
+
+ private:
+  uint8_t round_keys_[(kRounds + 1) * 16];
+};
+
+}  // namespace tdb::crypto
+
+#endif  // TDB_CRYPTO_AES_H_

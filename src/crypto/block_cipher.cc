@@ -1,0 +1,34 @@
+#include "crypto/block_cipher.h"
+
+#include "common/check.h"
+#include "crypto/aes.h"
+#include "crypto/des.h"
+
+namespace tdb::crypto {
+
+std::unique_ptr<BlockCipher> NewBlockCipher(CipherKind kind, Slice key) {
+  switch (kind) {
+    case CipherKind::kNone:
+      return nullptr;
+    case CipherKind::kDes3:
+      return std::make_unique<TripleDes>(key);
+    case CipherKind::kAes128:
+      return std::make_unique<Aes128>(key);
+  }
+  TDB_CHECK(false, "unknown CipherKind");
+  return nullptr;
+}
+
+size_t CipherKeySize(CipherKind kind) {
+  switch (kind) {
+    case CipherKind::kNone:
+      return 0;
+    case CipherKind::kDes3:
+      return TripleDes::kKeySize;
+    case CipherKind::kAes128:
+      return Aes128::kKeySize;
+  }
+  return 0;
+}
+
+}  // namespace tdb::crypto

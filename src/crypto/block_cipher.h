@@ -1,0 +1,42 @@
+#ifndef TDB_CRYPTO_BLOCK_CIPHER_H_
+#define TDB_CRYPTO_BLOCK_CIPHER_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "common/slice.h"
+
+namespace tdb::crypto {
+
+/// Block ciphers available for chunk encryption. The paper's TDB-S
+/// configuration uses 3DES; AES-128 is the "as secure but significantly
+/// faster" alternative the paper alludes to. kNone disables encryption
+/// (plain TDB, security off).
+enum class CipherKind : uint8_t {
+  kNone = 0,
+  kDes3 = 1,
+  kAes128 = 2,
+};
+
+/// A raw block cipher: encrypts/decrypts exactly block_size() bytes.
+/// Chaining and padding are layered on top in cbc.h.
+class BlockCipher {
+ public:
+  virtual ~BlockCipher() = default;
+
+  virtual size_t block_size() const = 0;
+  virtual size_t key_size() const = 0;
+  virtual void EncryptBlock(const uint8_t* in, uint8_t* out) const = 0;
+  virtual void DecryptBlock(const uint8_t* in, uint8_t* out) const = 0;
+};
+
+/// Creates a keyed cipher; key must be exactly the cipher's key size
+/// (24 bytes for 3DES, 16 for AES-128). Returns nullptr for kNone.
+std::unique_ptr<BlockCipher> NewBlockCipher(CipherKind kind, Slice key);
+
+/// Key size in bytes required by `kind` (0 for kNone).
+size_t CipherKeySize(CipherKind kind);
+
+}  // namespace tdb::crypto
+
+#endif  // TDB_CRYPTO_BLOCK_CIPHER_H_

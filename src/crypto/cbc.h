@@ -1,0 +1,30 @@
+#ifndef TDB_CRYPTO_CBC_H_
+#define TDB_CRYPTO_CBC_H_
+
+#include "common/result.h"
+#include "common/slice.h"
+#include "common/status.h"
+#include "crypto/block_cipher.h"
+
+namespace tdb::crypto {
+
+/// CBC mode with PKCS#7 padding over any BlockCipher. The padding is what
+/// produces the per-chunk "padding for block encryption" storage overhead
+/// the paper measures for TDB-S.
+
+/// Ciphertext length for a plaintext of `plain_size` bytes (padded up to the
+/// next whole block, IV not included).
+size_t CbcCiphertextSize(const BlockCipher& cipher, size_t plain_size);
+
+/// Encrypts `plain` under `iv` (must be one block). Output = padded
+/// ciphertext; the caller stores the IV alongside.
+Buffer CbcEncrypt(const BlockCipher& cipher, Slice iv, Slice plain);
+
+/// Decrypts and strips padding. Returns Corruption on malformed input or
+/// bad padding (which, combined with the Merkle check above it, surfaces
+/// tampering).
+Result<Buffer> CbcDecrypt(const BlockCipher& cipher, Slice iv, Slice cipher_text);
+
+}  // namespace tdb::crypto
+
+#endif  // TDB_CRYPTO_CBC_H_

@@ -1,0 +1,89 @@
+#include "crypto/cipher_suite.h"
+
+#include <cstring>
+
+#include "common/check.h"
+#include "crypto/cbc.h"
+
+namespace tdb::crypto {
+
+namespace {
+
+// Derives a purpose-specific subkey from the master secret so the cipher
+// key and the MAC key are independent.
+Buffer DeriveKey(Slice master, const char* purpose, size_t size) {
+  Buffer out;
+  uint8_t block_index = 0;
+  while (out.size() < size) {
+    Buffer label;
+    label.insert(label.end(), purpose,
+                 purpose + std::strlen(purpose));
+    label.push_back(block_index++);
+    Digest d = Hmac::Mac(HashKind::kSha256, master, label);
+    out.insert(out.end(), d.data(), d.data() + d.size());
+  }
+  out.resize(size);
+  return out;
+}
+
+}  // namespace
+
+CipherSuite::CipherSuite(const SecurityConfig& config, Slice master_secret,
+                         Slice iv_seed)
+    : config_(config) {
+  if (!config_.enabled) return;
+  TDB_CHECK(master_secret.size() > 0, "secure mode requires a master secret");
+  mac_key_ = DeriveKey(master_secret, "tdb-mac", 32);
+  if (config_.cipher != CipherKind::kNone) {
+    Buffer enc_key = DeriveKey(master_secret, "tdb-enc",
+                               CipherKeySize(config_.cipher));
+    cipher_ = NewBlockCipher(config_.cipher, enc_key);
+  }
+  Buffer seed = DeriveKey(master_secret, "tdb-iv", 32);
+  seed.insert(seed.end(), iv_seed.data(), iv_seed.data() + iv_seed.size());
+  iv_gen_ = std::make_unique<CtrDrbg>(seed);
+}
+
+size_t CipherSuite::hash_size() const {
+  return config_.enabled ? DigestSize(config_.hash) : 0;
+}
+
+Digest CipherSuite::HashData(Slice data) const {
+  if (!config_.enabled) return Digest();
+  return Hash(config_.hash, data);
+}
+
+Digest CipherSuite::Mac(Slice data) const {
+  if (!config_.enabled) return Digest();
+  return Hmac::Mac(config_.hash, mac_key_, data);
+}
+
+Buffer CipherSuite::Seal(Slice plain) {
+  if (!config_.enabled || cipher_ == nullptr) return plain.ToBuffer();
+  size_t block = cipher_->block_size();
+  Buffer iv = iv_gen_->Generate(block);
+  Buffer cipher_text = CbcEncrypt(*cipher_, iv, plain);
+  Buffer out;
+  out.reserve(block + cipher_text.size());
+  out.insert(out.end(), iv.begin(), iv.end());
+  out.insert(out.end(), cipher_text.begin(), cipher_text.end());
+  return out;
+}
+
+Result<Buffer> CipherSuite::Open(Slice sealed) const {
+  if (!config_.enabled || cipher_ == nullptr) return sealed.ToBuffer();
+  size_t block = cipher_->block_size();
+  if (sealed.size() < 2 * block) {
+    return Status::Corruption("sealed chunk shorter than IV + one block");
+  }
+  Slice iv(sealed.data(), block);
+  Slice cipher_text(sealed.data() + block, sealed.size() - block);
+  return CbcDecrypt(*cipher_, iv, cipher_text);
+}
+
+size_t CipherSuite::SealedSize(size_t plain_size) const {
+  if (!config_.enabled || cipher_ == nullptr) return plain_size;
+  return cipher_->block_size() + CbcCiphertextSize(*cipher_, plain_size);
+}
+
+}  // namespace tdb::crypto

@@ -1,0 +1,81 @@
+#ifndef TDB_CRYPTO_CIPHER_SUITE_H_
+#define TDB_CRYPTO_CIPHER_SUITE_H_
+
+#include <memory>
+
+#include "common/result.h"
+#include "common/slice.h"
+#include "crypto/block_cipher.h"
+#include "crypto/drbg.h"
+#include "crypto/hash.h"
+#include "crypto/hmac.h"
+
+namespace tdb::crypto {
+
+/// Security configuration of a TDB instance. The paper's three measured
+/// configurations map to:
+///   - "TDB"    : enabled = false (no hashing, no encryption, no counter)
+///   - "TDB-S"  : enabled, kSha1 + kDes3 (the paper's choice)
+///   - modern   : enabled, kSha256 + kAes128
+struct SecurityConfig {
+  bool enabled = true;
+  HashKind hash = HashKind::kSha1;
+  CipherKind cipher = CipherKind::kDes3;
+
+  static SecurityConfig Disabled() { return {.enabled = false}; }
+  static SecurityConfig PaperTdbS() {
+    return {.enabled = true, .hash = HashKind::kSha1,
+            .cipher = CipherKind::kDes3};
+  }
+  static SecurityConfig Modern() {
+    return {.enabled = true, .hash = HashKind::kSha256,
+            .cipher = CipherKind::kAes128};
+  }
+};
+
+/// Bundles the hash, MAC and cipher operations the chunk store needs,
+/// with encryption and MAC keys derived from the master secret held in the
+/// secret store. When security is disabled, sealing is a pass-through and
+/// hashes are empty (the paper's plain-TDB configuration, which still
+/// detects *accidental* corruption via log checksums but offers no defense
+/// against an intelligent attacker).
+class CipherSuite {
+ public:
+  /// `master_secret` comes from the SecretStore; `iv_seed` seeds the IV
+  /// generator (pass varying bytes in production, a constant in tests).
+  CipherSuite(const SecurityConfig& config, Slice master_secret,
+              Slice iv_seed);
+
+  bool enabled() const { return config_.enabled; }
+  const SecurityConfig& config() const { return config_; }
+
+  /// Bytes of hash stored per location-map entry (0 when disabled).
+  size_t hash_size() const;
+
+  /// One-way hash of chunk/record contents for the Merkle tree. Empty
+  /// digest when disabled.
+  Digest HashData(Slice data) const;
+
+  /// Keyed MAC for the anchor record. Falls back to an (unkeyed) digest of
+  /// nothing when disabled — the anchor then carries only a checksum.
+  Digest Mac(Slice data) const;
+
+  /// Encrypts `plain` into IV || ciphertext (pass-through when disabled).
+  Buffer Seal(Slice plain);
+
+  /// Inverse of Seal. Corruption on malformed input.
+  Result<Buffer> Open(Slice sealed) const;
+
+  /// Size Seal() will produce for `plain_size` input bytes.
+  size_t SealedSize(size_t plain_size) const;
+
+ private:
+  SecurityConfig config_;
+  Buffer mac_key_;
+  std::unique_ptr<BlockCipher> cipher_;
+  std::unique_ptr<CtrDrbg> iv_gen_;
+};
+
+}  // namespace tdb::crypto
+
+#endif  // TDB_CRYPTO_CIPHER_SUITE_H_

@@ -1,0 +1,51 @@
+#ifndef TDB_CRYPTO_DES_H_
+#define TDB_CRYPTO_DES_H_
+
+#include <cstdint>
+
+#include "crypto/block_cipher.h"
+
+namespace tdb::crypto {
+
+/// Single DES (FIPS 46-3) — building block for TripleDes; exposed on its own
+/// for test-vector validation only. 8-byte key (parity bits ignored),
+/// 8-byte block.
+class Des final : public BlockCipher {
+ public:
+  static constexpr size_t kBlockSize = 8;
+  static constexpr size_t kKeySize = 8;
+
+  explicit Des(Slice key);
+
+  size_t block_size() const override { return kBlockSize; }
+  size_t key_size() const override { return kKeySize; }
+  void EncryptBlock(const uint8_t* in, uint8_t* out) const override;
+  void DecryptBlock(const uint8_t* in, uint8_t* out) const override;
+
+ private:
+  uint64_t Crypt(uint64_t block, bool decrypt) const;
+
+  uint64_t subkeys_[16];  // 48-bit round keys.
+};
+
+/// Triple DES in EDE mode with a 24-byte key (three independent DES keys),
+/// the cipher used by the paper's TDB-S configuration.
+class TripleDes final : public BlockCipher {
+ public:
+  static constexpr size_t kBlockSize = 8;
+  static constexpr size_t kKeySize = 24;
+
+  explicit TripleDes(Slice key);
+
+  size_t block_size() const override { return kBlockSize; }
+  size_t key_size() const override { return kKeySize; }
+  void EncryptBlock(const uint8_t* in, uint8_t* out) const override;
+  void DecryptBlock(const uint8_t* in, uint8_t* out) const override;
+
+ private:
+  Des k1_, k2_, k3_;
+};
+
+}  // namespace tdb::crypto
+
+#endif  // TDB_CRYPTO_DES_H_

@@ -1,0 +1,32 @@
+#include "crypto/drbg.h"
+
+#include <cstring>
+
+#include "common/coding.h"
+#include "crypto/sha256.h"
+
+namespace tdb::crypto {
+
+CtrDrbg::CtrDrbg(Slice seed) { seed_ = Hash(HashKind::kSha256, seed); }
+
+void CtrDrbg::Generate(uint8_t* out, size_t n) {
+  while (n > 0) {
+    Buffer block_input;
+    block_input.insert(block_input.end(), seed_.data(),
+                       seed_.data() + seed_.size());
+    PutFixed64(&block_input, counter_++);
+    Digest block = Hash(HashKind::kSha256, block_input);
+    size_t take = std::min(n, block.size());
+    std::memcpy(out, block.data(), take);
+    out += take;
+    n -= take;
+  }
+}
+
+Buffer CtrDrbg::Generate(size_t n) {
+  Buffer out(n);
+  Generate(out.data(), n);
+  return out;
+}
+
+}  // namespace tdb::crypto

@@ -1,0 +1,41 @@
+#include "crypto/hash.h"
+
+#include <cstring>
+
+#include "common/check.h"
+#include "common/coding.h"
+#include "crypto/sha1.h"
+#include "crypto/sha256.h"
+
+namespace tdb::crypto {
+
+Digest::Digest(const uint8_t* data, size_t size) : size_(size) {
+  TDB_CHECK(size <= kMaxSize);
+  bytes_.fill(0);
+  if (size > 0) std::memcpy(bytes_.data(), data, size);
+}
+
+std::string Digest::ToHex() const { return tdb::ToHex(AsSlice()); }
+
+std::unique_ptr<Hasher> NewHasher(HashKind kind) {
+  switch (kind) {
+    case HashKind::kSha1:
+      return std::make_unique<Sha1>();
+    case HashKind::kSha256:
+      return std::make_unique<Sha256>();
+  }
+  TDB_CHECK(false, "unknown HashKind");
+  return nullptr;
+}
+
+size_t DigestSize(HashKind kind) {
+  return kind == HashKind::kSha1 ? Sha1::kDigestSize : Sha256::kDigestSize;
+}
+
+Digest Hash(HashKind kind, Slice data) {
+  auto hasher = NewHasher(kind);
+  hasher->Update(data);
+  return hasher->Finish();
+}
+
+}  // namespace tdb::crypto

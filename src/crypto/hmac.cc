@@ -1,0 +1,47 @@
+#include "crypto/hmac.h"
+
+#include <cstring>
+
+namespace tdb::crypto {
+
+namespace {
+constexpr size_t kBlockSize = 64;  // SHA-1 and SHA-256 share a 64B block.
+}  // namespace
+
+Hmac::Hmac(HashKind kind, Slice key) : kind_(kind), inner_(NewHasher(kind)) {
+  uint8_t key_block[kBlockSize] = {0};
+  if (key.size() > kBlockSize) {
+    Digest d = Hash(kind, key);
+    std::memcpy(key_block, d.data(), d.size());
+  } else {
+    std::memcpy(key_block, key.data(), key.size());
+  }
+  for (size_t i = 0; i < kBlockSize; i++) {
+    ipad_[i] = key_block[i] ^ 0x36;
+    opad_[i] = key_block[i] ^ 0x5c;
+  }
+  Reset();
+}
+
+void Hmac::Reset() {
+  inner_->Reset();
+  inner_->Update(Slice(ipad_, kBlockSize));
+}
+
+void Hmac::Update(Slice data) { inner_->Update(data); }
+
+Digest Hmac::Finish() {
+  Digest inner_digest = inner_->Finish();
+  auto outer = NewHasher(kind_);
+  outer->Update(Slice(opad_, kBlockSize));
+  outer->Update(inner_digest.AsSlice());
+  return outer->Finish();
+}
+
+Digest Hmac::Mac(HashKind kind, Slice key, Slice data) {
+  Hmac mac(kind, key);
+  mac.Update(data);
+  return mac.Finish();
+}
+
+}  // namespace tdb::crypto

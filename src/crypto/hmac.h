@@ -1,0 +1,31 @@
+#ifndef TDB_CRYPTO_HMAC_H_
+#define TDB_CRYPTO_HMAC_H_
+
+#include "crypto/hash.h"
+
+namespace tdb::crypto {
+
+/// HMAC (RFC 2104) over either hash. The chunk store MACs its anchor record
+/// with HMAC(secret key) so an attacker without the secret store cannot
+/// forge a valid anchor.
+class Hmac {
+ public:
+  Hmac(HashKind kind, Slice key);
+
+  void Reset();
+  void Update(Slice data);
+  Digest Finish();
+
+  /// One-shot convenience.
+  static Digest Mac(HashKind kind, Slice key, Slice data);
+
+ private:
+  HashKind kind_;
+  uint8_t ipad_[64];
+  uint8_t opad_[64];
+  std::unique_ptr<Hasher> inner_;
+};
+
+}  // namespace tdb::crypto
+
+#endif  // TDB_CRYPTO_HMAC_H_

@@ -1,0 +1,113 @@
+#include "crypto/sha1.h"
+
+#include <cstring>
+
+namespace tdb::crypto {
+
+namespace {
+
+inline uint32_t Rotl(uint32_t x, int n) { return (x << n) | (x >> (32 - n)); }
+
+}  // namespace
+
+void Sha1::Reset() {
+  h_[0] = 0x67452301;
+  h_[1] = 0xEFCDAB89;
+  h_[2] = 0x98BADCFE;
+  h_[3] = 0x10325476;
+  h_[4] = 0xC3D2E1F0;
+  length_ = 0;
+  buffered_ = 0;
+}
+
+void Sha1::Update(Slice data) {
+  length_ += data.size();
+  const uint8_t* p = data.data();
+  size_t n = data.size();
+  if (buffered_ > 0) {
+    size_t take = std::min(n, sizeof(buffer_) - buffered_);
+    std::memcpy(buffer_ + buffered_, p, take);
+    buffered_ += take;
+    p += take;
+    n -= take;
+    if (buffered_ == sizeof(buffer_)) {
+      ProcessBlock(buffer_);
+      buffered_ = 0;
+    }
+  }
+  while (n >= 64) {
+    ProcessBlock(p);
+    p += 64;
+    n -= 64;
+  }
+  if (n > 0) {
+    std::memcpy(buffer_, p, n);
+    buffered_ = n;
+  }
+}
+
+Digest Sha1::Finish() {
+  uint64_t bit_len = length_ * 8;
+  uint8_t pad[72];
+  size_t pad_len = (buffered_ < 56) ? (56 - buffered_) : (120 - buffered_);
+  pad[0] = 0x80;
+  std::memset(pad + 1, 0, pad_len - 1);
+  Update(Slice(pad, pad_len));
+  uint8_t len_be[8];
+  for (int i = 0; i < 8; i++)
+    len_be[i] = static_cast<uint8_t>(bit_len >> (56 - 8 * i));
+  Update(Slice(len_be, 8));
+
+  uint8_t out[kDigestSize];
+  for (int i = 0; i < 5; i++) {
+    out[4 * i] = static_cast<uint8_t>(h_[i] >> 24);
+    out[4 * i + 1] = static_cast<uint8_t>(h_[i] >> 16);
+    out[4 * i + 2] = static_cast<uint8_t>(h_[i] >> 8);
+    out[4 * i + 3] = static_cast<uint8_t>(h_[i]);
+  }
+  return Digest(out, kDigestSize);
+}
+
+void Sha1::ProcessBlock(const uint8_t* block) {
+  uint32_t w[80];
+  for (int i = 0; i < 16; i++) {
+    w[i] = (static_cast<uint32_t>(block[4 * i]) << 24) |
+           (static_cast<uint32_t>(block[4 * i + 1]) << 16) |
+           (static_cast<uint32_t>(block[4 * i + 2]) << 8) |
+           static_cast<uint32_t>(block[4 * i + 3]);
+  }
+  for (int i = 16; i < 80; i++) {
+    w[i] = Rotl(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+  }
+
+  uint32_t a = h_[0], b = h_[1], c = h_[2], d = h_[3], e = h_[4];
+  for (int i = 0; i < 80; i++) {
+    uint32_t f, k;
+    if (i < 20) {
+      f = (b & c) | ((~b) & d);
+      k = 0x5A827999;
+    } else if (i < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ED9EBA1;
+    } else if (i < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8F1BBCDC;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xCA62C1D6;
+    }
+    uint32_t tmp = Rotl(a, 5) + f + e + k + w[i];
+    e = d;
+    d = c;
+    c = Rotl(b, 30);
+    b = a;
+    a = tmp;
+  }
+  h_[0] += a;
+  h_[1] += b;
+  h_[2] += c;
+  h_[3] += d;
+  h_[4] += e;
+}
+
+}  // namespace tdb::crypto

@@ -1,0 +1,35 @@
+#ifndef TDB_CRYPTO_SHA1_H_
+#define TDB_CRYPTO_SHA1_H_
+
+#include <cstdint>
+
+#include "crypto/hash.h"
+
+namespace tdb::crypto {
+
+/// SHA-1 (FIPS 180-1), the hash the paper's TDB-S configuration uses for its
+/// Merkle tree. Implemented from the specification; validated against FIPS
+/// test vectors in tests/crypto_test.cc.
+class Sha1 final : public Hasher {
+ public:
+  static constexpr size_t kDigestSize = 20;
+
+  Sha1() { Reset(); }
+
+  void Reset() override;
+  void Update(Slice data) override;
+  Digest Finish() override;
+  size_t digest_size() const override { return kDigestSize; }
+
+ private:
+  void ProcessBlock(const uint8_t* block);
+
+  uint32_t h_[5];
+  uint64_t length_ = 0;       // Total message length in bytes.
+  uint8_t buffer_[64];        // Partial block.
+  size_t buffered_ = 0;
+};
+
+}  // namespace tdb::crypto
+
+#endif  // TDB_CRYPTO_SHA1_H_

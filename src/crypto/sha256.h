@@ -1,0 +1,34 @@
+#ifndef TDB_CRYPTO_SHA256_H_
+#define TDB_CRYPTO_SHA256_H_
+
+#include <cstdint>
+
+#include "crypto/hash.h"
+
+namespace tdb::crypto {
+
+/// SHA-256 (FIPS 180-2). Offered as the modern, stronger alternative to the
+/// paper's SHA-1 configuration; also the core of the CTR-mode DRBG.
+class Sha256 final : public Hasher {
+ public:
+  static constexpr size_t kDigestSize = 32;
+
+  Sha256() { Reset(); }
+
+  void Reset() override;
+  void Update(Slice data) override;
+  Digest Finish() override;
+  size_t digest_size() const override { return kDigestSize; }
+
+ private:
+  void ProcessBlock(const uint8_t* block);
+
+  uint32_t h_[8];
+  uint64_t length_ = 0;
+  uint8_t buffer_[64];
+  size_t buffered_ = 0;
+};
+
+}  // namespace tdb::crypto
+
+#endif  // TDB_CRYPTO_SHA256_H_

@@ -1,0 +1,22 @@
+#include "object/class_registry.h"
+
+namespace tdb::object {
+
+Status ClassRegistry::Register(ClassId id, Factory factory) {
+  if (!factories_.emplace(id, std::move(factory)).second) {
+    return Status::AlreadyExists("class id " + std::to_string(id) +
+                                 " already registered");
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<Object>> ClassRegistry::Unpickle(
+    ClassId id, Unpickler* unpickler) const {
+  auto it = factories_.find(id);
+  if (it == factories_.end()) {
+    return Status::NotFound("unregistered class id " + std::to_string(id));
+  }
+  return it->second(unpickler);
+}
+
+}  // namespace tdb::object

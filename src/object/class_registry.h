@@ -1,0 +1,50 @@
+#ifndef TDB_OBJECT_CLASS_REGISTRY_H_
+#define TDB_OBJECT_CLASS_REGISTRY_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "common/result.h"
+#include "object/object.h"
+
+namespace tdb::object {
+
+/// Maps class ids to unpickling factories (§4.1: "the subclass must
+/// register its unpickling constructor with the object store under its
+/// class id"). One registry per object store; registration happens at
+/// application start-up, before any objects are read.
+class ClassRegistry {
+ public:
+  using Factory =
+      std::function<Result<std::unique_ptr<Object>>(Unpickler*)>;
+
+  /// AlreadyExists if the id is taken (ids must be globally unique).
+  Status Register(ClassId id, Factory factory);
+
+  /// Convenience for the common shape: T is default-constructible and
+  /// restores itself via UnpickleFrom.
+  template <typename T>
+  Status Register(ClassId id) {
+    return Register(id, [](Unpickler* unpickler)
+                            -> Result<std::unique_ptr<Object>> {
+      auto obj = std::make_unique<T>();
+      TDB_RETURN_IF_ERROR(obj->UnpickleFrom(unpickler));
+      return std::unique_ptr<Object>(std::move(obj));
+    });
+  }
+
+  bool IsRegistered(ClassId id) const { return factories_.count(id) > 0; }
+
+  /// Instantiates an object of class `id` from pickled bytes. NotFound if
+  /// the class was never registered.
+  Result<std::unique_ptr<Object>> Unpickle(ClassId id,
+                                           Unpickler* unpickler) const;
+
+ private:
+  std::map<ClassId, Factory> factories_;
+};
+
+}  // namespace tdb::object
+
+#endif  // TDB_OBJECT_CLASS_REGISTRY_H_

@@ -1,0 +1,68 @@
+#include "object/lock_manager.h"
+
+namespace tdb::object {
+
+bool LockManager::CanGrant(const LockState& state, TxnId txn,
+                           bool exclusive) const {
+  if (state.exclusive != 0 && state.exclusive != txn) return false;
+  if (!exclusive) return true;  // Shared: no foreign exclusive holder.
+  // Exclusive: no foreign shared holders either (upgrade allowed only for
+  // a sole shared holder).
+  for (TxnId holder : state.shared) {
+    if (holder != txn) return false;
+  }
+  return true;
+}
+
+Status LockManager::Lock(TxnId txn, ObjectId oid, bool exclusive,
+                         std::unique_lock<std::mutex>& state_lock,
+                         std::chrono::milliseconds timeout) {
+  auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    LockState& state = locks_[oid];
+    if (CanGrant(state, txn, exclusive)) {
+      if (exclusive) {
+        state.exclusive = txn;
+        state.shared.erase(txn);  // Upgrade consumes the shared lock.
+      } else if (state.exclusive != txn) {
+        state.shared.insert(txn);
+      }
+      held_[txn].insert(oid);
+      return Status::OK();
+    }
+    // Release the state mutex while waiting (§4.2.3), reacquire on wake.
+    if (cv_.wait_until(state_lock, deadline) == std::cv_status::timeout) {
+      return Status::LockTimeout("lock on object " + std::to_string(oid) +
+                                 " (possible deadlock)");
+    }
+  }
+}
+
+void LockManager::ReleaseAll(TxnId txn) {
+  auto it = held_.find(txn);
+  if (it == held_.end()) return;
+  for (ObjectId oid : it->second) {
+    auto lock_it = locks_.find(oid);
+    if (lock_it == locks_.end()) continue;
+    LockState& state = lock_it->second;
+    state.shared.erase(txn);
+    if (state.exclusive == txn) state.exclusive = 0;
+    if (state.shared.empty() && state.exclusive == 0) {
+      locks_.erase(lock_it);
+    }
+  }
+  held_.erase(it);
+  cv_.notify_all();
+}
+
+bool LockManager::HoldsShared(TxnId txn, ObjectId oid) const {
+  auto it = locks_.find(oid);
+  return it != locks_.end() && it->second.shared.count(txn) > 0;
+}
+
+bool LockManager::HoldsExclusive(TxnId txn, ObjectId oid) const {
+  auto it = locks_.find(oid);
+  return it != locks_.end() && it->second.exclusive == txn;
+}
+
+}  // namespace tdb::object

@@ -1,0 +1,59 @@
+#ifndef TDB_OBJECT_LOCK_MANAGER_H_
+#define TDB_OBJECT_LOCK_MANAGER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <set>
+
+#include "common/status.h"
+#include "object/object.h"
+
+namespace tdb::object {
+
+using TxnId = uint64_t;
+
+/// Shared/exclusive object locks with strict two-phase locking (§4.2.3):
+/// locks are acquired as objects are opened and released only at
+/// transaction end. Deadlocks are broken by timeout — "a blocked call
+/// raises an exception after a timeout interval" — surfaced here as
+/// Status::LockTimeout.
+///
+/// All methods must be called with the object store's state mutex held (as
+/// a unique_lock); waits release it so other threads can make progress,
+/// exactly the state-mutex protocol §4.2.3 describes.
+class LockManager {
+ public:
+  /// Acquires a shared (read) or exclusive (write) lock on `oid` for
+  /// `txn`. Re-entrant: a holder re-requesting a weaker-or-equal mode
+  /// succeeds immediately; a sole shared holder upgrades to exclusive.
+  Status Lock(TxnId txn, ObjectId oid, bool exclusive,
+              std::unique_lock<std::mutex>& state_lock,
+              std::chrono::milliseconds timeout);
+
+  /// Releases every lock held by `txn` and wakes waiters.
+  void ReleaseAll(TxnId txn);
+
+  /// Introspection for tests.
+  bool HoldsShared(TxnId txn, ObjectId oid) const;
+  bool HoldsExclusive(TxnId txn, ObjectId oid) const;
+
+ private:
+  struct LockState {
+    std::set<TxnId> shared;
+    TxnId exclusive = 0;  // 0 = none.
+  };
+
+  bool CanGrant(const LockState& state, TxnId txn, bool exclusive) const;
+
+  std::map<ObjectId, LockState> locks_;
+  std::map<TxnId, std::set<ObjectId>> held_;
+  // One CV for the whole table: DRM workloads have little lock contention
+  // (§4.2.3 forgoes granular locking for the same reason).
+  std::condition_variable cv_;
+};
+
+}  // namespace tdb::object
+
+#endif  // TDB_OBJECT_LOCK_MANAGER_H_

@@ -1,0 +1,42 @@
+#ifndef TDB_OBJECT_OBJECT_H_
+#define TDB_OBJECT_OBJECT_H_
+
+#include <cstdint>
+
+#include "chunk/types.h"
+#include "object/pickle.h"
+
+namespace tdb::object {
+
+/// Persistent object name. Because TDB stores one object per chunk
+/// (§4.2.1), an object's id IS its chunk's id.
+using ObjectId = chunk::ChunkId;
+constexpr ObjectId kInvalidObjectId = chunk::kInvalidChunkId;
+
+/// Identifies an application class "uniquely across all object classes and
+/// persistent across system restarts" (§4.1).
+using ClassId = uint32_t;
+
+/// Base class of every persistent object. Applications subclass Object and
+/// implement:
+///   - class_id():  the registered, stable class id;
+///   - Pickle():    serialize all persistent state;
+///   - UnpickleFrom(): restore state (the paper's "unpickling constructor"
+///     — here a default-construct-then-restore pair, which avoids
+///     exceptions in constructors);
+///   - ApproxSize(): optional, improves object-cache accounting.
+class Object {
+ public:
+  virtual ~Object() = default;
+
+  virtual ClassId class_id() const = 0;
+  virtual void Pickle(Pickler* pickler) const = 0;
+  virtual Status UnpickleFrom(Unpickler* unpickler) = 0;
+
+  /// Approximate in-memory footprint for cache-budget accounting.
+  virtual size_t ApproxSize() const { return 64; }
+};
+
+}  // namespace tdb::object
+
+#endif  // TDB_OBJECT_OBJECT_H_

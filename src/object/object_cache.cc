@@ -1,0 +1,86 @@
+#include "object/object_cache.h"
+
+#include "common/check.h"
+
+namespace tdb::object {
+
+Object* ObjectCache::Put(ObjectId oid, std::unique_ptr<Object> object,
+                         bool dirty) {
+  Erase(oid);
+  Entry entry;
+  entry.charge = object->ApproxSize() + 64;  // Entry bookkeeping overhead.
+  entry.object = std::move(object);
+  entry.dirty = dirty;
+  lru_.push_front(oid);
+  entry.lru_pos = lru_.begin();
+  size_ += entry.charge;
+  Object* raw = entry.object.get();
+  entries_.emplace(oid, std::move(entry));
+  return raw;
+}
+
+Object* ObjectCache::Get(ObjectId oid) {
+  auto it = entries_.find(oid);
+  if (it == entries_.end()) return nullptr;
+  stats_.hits++;
+  Touch(oid);
+  return it->second.object.get();
+}
+
+void ObjectCache::Pin(ObjectId oid) {
+  auto it = entries_.find(oid);
+  TDB_CHECK(it != entries_.end(), "pin of uncached object");
+  it->second.pins++;
+}
+
+void ObjectCache::Unpin(ObjectId oid) {
+  auto it = entries_.find(oid);
+  if (it == entries_.end()) return;  // Erased by an abort; nothing to do.
+  TDB_DCHECK(it->second.pins > 0);
+  if (it->second.pins > 0) it->second.pins--;
+}
+
+void ObjectCache::SetDirty(ObjectId oid, bool dirty) {
+  auto it = entries_.find(oid);
+  TDB_CHECK(it != entries_.end(), "dirty mark of uncached object");
+  it->second.dirty = dirty;
+}
+
+bool ObjectCache::IsDirty(ObjectId oid) const {
+  auto it = entries_.find(oid);
+  return it != entries_.end() && it->second.dirty;
+}
+
+void ObjectCache::Erase(ObjectId oid) {
+  auto it = entries_.find(oid);
+  if (it == entries_.end()) return;
+  size_ -= it->second.charge;
+  lru_.erase(it->second.lru_pos);
+  entries_.erase(it);
+}
+
+void ObjectCache::Touch(ObjectId oid) {
+  auto it = entries_.find(oid);
+  if (it == entries_.end()) return;
+  lru_.erase(it->second.lru_pos);
+  lru_.push_front(oid);
+  it->second.lru_pos = lru_.begin();
+}
+
+void ObjectCache::EnforceCapacity() {
+  if (size_ <= capacity_) return;
+  // Walk from the LRU tail, skipping pinned/dirty entries.
+  auto it = lru_.end();
+  while (size_ > capacity_ && it != lru_.begin()) {
+    --it;
+    auto entry_it = entries_.find(*it);
+    TDB_DCHECK(entry_it != entries_.end());
+    if (entry_it->second.pins > 0 || entry_it->second.dirty) continue;
+    size_ -= entry_it->second.charge;
+    it = lru_.erase(it);
+    entries_.erase(entry_it);
+    stats_.evictions++;
+  }
+}
+
+}  // namespace tdb::object

@@ -1,0 +1,79 @@
+#ifndef TDB_OBJECT_OBJECT_CACHE_H_
+#define TDB_OBJECT_OBJECT_CACHE_H_
+
+#include <list>
+#include <map>
+#include <memory>
+
+#include "object/object.h"
+
+namespace tdb::object {
+
+/// In-memory cache of unpickled objects, indexed by object id (§4.2.2).
+/// Objects here are "ready for direct access by the application: decrypted,
+/// validated, unpickled, and type checked". LRU eviction; entries are
+/// exempt while pinned (live Refs) or dirty (no-steal: modified objects
+/// stay cached until their transaction commits, §4.2.2).
+///
+/// Not thread-safe; the object store's state mutex serializes access.
+class ObjectCache {
+ public:
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+  };
+
+  explicit ObjectCache(size_t capacity_bytes)
+      : capacity_(capacity_bytes) {}
+
+  /// Inserts (or replaces) the cached instance for `oid`.
+  Object* Put(ObjectId oid, std::unique_ptr<Object> object, bool dirty);
+
+  /// Returns the cached instance or nullptr; a hit refreshes LRU position.
+  Object* Get(ObjectId oid);
+
+  bool Contains(ObjectId oid) const { return entries_.count(oid) > 0; }
+
+  /// Pin/unpin: pinned entries cannot be evicted. Pins come from live Refs.
+  void Pin(ObjectId oid);
+  void Unpin(ObjectId oid);
+
+  /// Marks an entry dirty (pinned by the no-steal policy) or clean.
+  void SetDirty(ObjectId oid, bool dirty);
+  bool IsDirty(ObjectId oid) const;
+
+  /// Drops an entry regardless of state (transaction abort path). Pins are
+  /// forgotten — callers must not touch the object afterwards.
+  void Erase(ObjectId oid);
+
+  /// Moves `oid` to the LRU head (a Ref was dereferenced).
+  void Touch(ObjectId oid);
+
+  /// Evicts LRU-clean-unpinned entries until within capacity.
+  void EnforceCapacity();
+
+  size_t size_bytes() const { return size_; }
+  size_t entry_count() const { return entries_.size(); }
+  const Stats& stats() const { return stats_; }
+  void CountMiss() { stats_.misses++; }
+
+ private:
+  struct Entry {
+    std::unique_ptr<Object> object;
+    size_t charge = 0;
+    int pins = 0;
+    bool dirty = false;
+    std::list<ObjectId>::iterator lru_pos;
+  };
+
+  std::map<ObjectId, Entry> entries_;
+  std::list<ObjectId> lru_;  // Front = most recently used.
+  size_t capacity_;
+  size_t size_ = 0;
+  Stats stats_;
+};
+
+}  // namespace tdb::object
+
+#endif  // TDB_OBJECT_OBJECT_CACHE_H_

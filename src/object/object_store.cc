@@ -1,0 +1,289 @@
+#include "object/object_store.h"
+
+namespace tdb::object {
+
+namespace {
+constexpr uint32_t kHeaderMagic = 0x54445242;  // "TDRB" — root registry.
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Transaction
+
+Transaction::Transaction(ObjectStore* store) : store_(store) {
+  state_ = store->BeginTxn();
+}
+
+Transaction::~Transaction() {
+  if (active()) Abort().ok();
+}
+
+Result<ObjectId> Transaction::Insert(std::unique_ptr<Object> object) {
+  if (!active()) return Status::TransactionInvalid("transaction ended");
+  if (object == nullptr) return Status::InvalidArgument("null object");
+  return store_->InsertInternal(*state_, std::move(object));
+}
+
+Status Transaction::Remove(ObjectId oid) {
+  if (!active()) return Status::TransactionInvalid("transaction ended");
+  return store_->RemoveInternal(*state_, oid);
+}
+
+Status Transaction::Commit(bool durable) {
+  if (!active()) return Status::TransactionInvalid("transaction ended");
+  return store_->CommitTxn(*state_, durable);
+}
+
+Status Transaction::Abort() {
+  if (!active()) return Status::TransactionInvalid("transaction ended");
+  return store_->AbortTxn(*state_);
+}
+
+// ---------------------------------------------------------------------------
+// ObjectStore
+
+ObjectStore::ObjectStore(chunk::ChunkStore* chunks,
+                         const ObjectStoreOptions& options)
+    : chunks_(chunks),
+      options_(options),
+      cache_(options.cache_capacity_bytes) {}
+
+Result<std::unique_ptr<ObjectStore>> ObjectStore::Open(
+    chunk::ChunkStore* chunks, const ObjectStoreOptions& options) {
+  std::unique_ptr<ObjectStore> store(new ObjectStore(chunks, options));
+  if (chunks->next_chunk_id() == 1) {
+    // Virgin chunk store: claim chunk 1 as the object-store header.
+    store->header_cid_ = chunks->AllocateChunkId();
+    if (store->header_cid_ != 1) {
+      return Status::InvalidArgument(
+          "object store requires a virgin or object-store-managed chunk "
+          "store");
+    }
+    TDB_RETURN_IF_ERROR(store->WriteHeader());
+  } else {
+    store->header_cid_ = 1;
+    TDB_ASSIGN_OR_RETURN(Buffer header, chunks->Read(store->header_cid_));
+    Unpickler unpickler{Slice(header)};
+    uint32_t magic;
+    uint64_t root;
+    TDB_RETURN_IF_ERROR(unpickler.GetUint32(&magic));
+    TDB_RETURN_IF_ERROR(unpickler.GetUint64(&root));
+    if (magic != kHeaderMagic) {
+      return Status::Corruption("chunk 1 is not an object-store header");
+    }
+    store->root_oid_ = root;
+    uint64_t n_named;
+    TDB_RETURN_IF_ERROR(unpickler.GetUint64(&n_named));
+    for (uint64_t i = 0; i < n_named; i++) {
+      std::string name;
+      uint64_t oid;
+      TDB_RETURN_IF_ERROR(unpickler.GetString(&name));
+      TDB_RETURN_IF_ERROR(unpickler.GetUint64(&oid));
+      store->named_roots_[name] = oid;
+    }
+  }
+  return store;
+}
+
+Status ObjectStore::WriteHeader() {
+  Pickler pickler;
+  pickler.PutUint32(kHeaderMagic);
+  pickler.PutUint64(root_oid_);
+  pickler.PutUint64(named_roots_.size());
+  for (const auto& [name, oid] : named_roots_) {
+    pickler.PutString(name);
+    pickler.PutUint64(oid);
+  }
+  return chunks_->Write(header_cid_, pickler.buffer(), true);
+}
+
+Result<ObjectId> ObjectStore::GetRoot() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return root_oid_;
+}
+
+Status ObjectStore::SetRoot(ObjectId oid) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ObjectId previous = root_oid_;
+  root_oid_ = oid;
+  Status s = WriteHeader();
+  if (!s.ok()) root_oid_ = previous;
+  return s;
+}
+
+Result<ObjectId> ObjectStore::GetNamedRoot(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = named_roots_.find(name);
+  return it == named_roots_.end() ? kInvalidObjectId : it->second;
+}
+
+Status ObjectStore::SetNamedRoot(const std::string& name, ObjectId oid) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = named_roots_.find(name);
+  std::optional<ObjectId> previous;
+  if (it != named_roots_.end()) previous = it->second;
+  named_roots_[name] = oid;
+  Status s = WriteHeader();
+  if (!s.ok()) {
+    if (previous.has_value()) {
+      named_roots_[name] = *previous;
+    } else {
+      named_roots_.erase(name);
+    }
+  }
+  return s;
+}
+
+std::shared_ptr<internal::TxnState> ObjectStore::BeginTxn() {
+  auto state = std::make_shared<internal::TxnState>();
+  state->id = next_txn_id_.fetch_add(1);
+  state->active = true;
+  return state;
+}
+
+Result<Object*> ObjectStore::Fetch(ObjectId oid) {
+  auto data = chunks_->Read(oid);
+  if (!data.ok()) return data.status();
+  cache_.CountMiss();
+  Unpickler unpickler{Slice(*data)};
+  uint32_t class_id;
+  TDB_RETURN_IF_ERROR(unpickler.GetUint32(&class_id));
+  TDB_ASSIGN_OR_RETURN(std::unique_ptr<Object> object,
+                       registry_.Unpickle(class_id, &unpickler));
+  return cache_.Put(oid, std::move(object), /*dirty=*/false);
+}
+
+Result<Object*> ObjectStore::OpenInternal(internal::TxnState& txn,
+                                          ObjectId oid, bool writable) {
+  if (oid == kInvalidObjectId || oid == header_cid_) {
+    return Status::InvalidArgument("invalid object id");
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (txn.removed.count(oid)) {
+    return Status::NotFound("object removed in this transaction");
+  }
+  if (options_.locking_enabled) {
+    TDB_RETURN_IF_ERROR(
+        locks_.Lock(txn.id, oid, writable, lock, options_.lock_timeout));
+  }
+  Object* obj = cache_.Get(oid);
+  if (obj == nullptr) {
+    TDB_ASSIGN_OR_RETURN(obj, Fetch(oid));
+  }
+  if (writable) {
+    cache_.SetDirty(oid, true);
+    txn.write_set.insert(oid);
+  } else {
+    txn.read_set.insert(oid);
+  }
+  cache_.Pin(oid);  // Released by the Ref's pin guard.
+  cache_.EnforceCapacity();
+  return obj;
+}
+
+std::shared_ptr<void> ObjectStore::MakePin(ObjectId oid) {
+  // The pin itself was taken inside OpenInternal (under the mutex); this
+  // wraps it so the last Ref copy releases it.
+  return std::shared_ptr<void>(static_cast<void*>(nullptr),
+                               [this, oid](void*) {
+                                 std::lock_guard<std::mutex> lock(mutex_);
+                                 cache_.Unpin(oid);
+                               });
+}
+
+Result<ObjectId> ObjectStore::InsertInternal(internal::TxnState& txn,
+                                             std::unique_ptr<Object> object) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (!registry_.IsRegistered(object->class_id())) {
+    return Status::InvalidArgument("class " +
+                                   std::to_string(object->class_id()) +
+                                   " not registered");
+  }
+  ObjectId oid = chunks_->AllocateChunkId();
+  if (options_.locking_enabled) {
+    // A fresh id is uncontended; the lock still must be recorded so it is
+    // held until transaction end.
+    TDB_RETURN_IF_ERROR(
+        locks_.Lock(txn.id, oid, /*exclusive=*/true, lock,
+                    options_.lock_timeout));
+  }
+  cache_.Put(oid, std::move(object), /*dirty=*/true);
+  txn.write_set.insert(oid);
+  txn.inserted.insert(oid);
+  return oid;
+}
+
+Status ObjectStore::RemoveInternal(internal::TxnState& txn, ObjectId oid) {
+  if (oid == kInvalidObjectId || oid == header_cid_) {
+    return Status::InvalidArgument("invalid object id");
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (txn.removed.count(oid)) {
+    return Status::NotFound("object already removed in this transaction");
+  }
+  if (options_.locking_enabled) {
+    TDB_RETURN_IF_ERROR(locks_.Lock(txn.id, oid, /*exclusive=*/true, lock,
+                                    options_.lock_timeout));
+  }
+  // The object must exist: in cache (possibly inserted by this txn) or in
+  // the chunk store.
+  if (!cache_.Contains(oid)) {
+    Status exists = chunks_->Read(oid).status();
+    if (!exists.ok()) return exists;
+  }
+  txn.removed.insert(oid);
+  return Status::OK();
+}
+
+Status ObjectStore::CommitTxn(internal::TxnState& txn, bool durable) {
+  std::unique_lock<std::mutex> lock(mutex_);
+
+  chunk::WriteBatch batch;
+  for (ObjectId oid : txn.write_set) {
+    if (txn.removed.count(oid)) continue;
+    Object* obj = cache_.Get(oid);
+    TDB_CHECK(obj != nullptr, "dirty object missing from cache");
+    Pickler pickler;
+    pickler.PutUint32(obj->class_id());
+    obj->Pickle(&pickler);
+    batch.Write(oid, pickler.buffer());
+  }
+  for (ObjectId oid : txn.removed) {
+    // Objects inserted and removed within this txn never reached the
+    // chunk store; there is nothing to deallocate.
+    if (!txn.inserted.count(oid)) batch.Deallocate(oid);
+  }
+
+  if (!batch.empty() || durable) {
+    Status s = chunks_->Commit(batch, durable);
+    if (!s.ok()) {
+      // The transaction cannot be partially applied; roll it back so the
+      // caller sees a clean failure.
+      lock.unlock();
+      AbortTxn(txn).ok();
+      return s;
+    }
+  }
+
+  for (ObjectId oid : txn.write_set) {
+    if (!txn.removed.count(oid)) cache_.SetDirty(oid, false);
+  }
+  for (ObjectId oid : txn.removed) cache_.Erase(oid);
+
+  txn.active = false;
+  locks_.ReleaseAll(txn.id);
+  cache_.EnforceCapacity();
+  return Status::OK();
+}
+
+Status ObjectStore::AbortTxn(internal::TxnState& txn) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!txn.active) return Status::TransactionInvalid("transaction ended");
+  // Evict instances the transaction dirtied; the committed state will be
+  // re-fetched from the chunk store on next access (§4.2.3).
+  for (ObjectId oid : txn.write_set) cache_.Erase(oid);
+  txn.active = false;
+  locks_.ReleaseAll(txn.id);
+  return Status::OK();
+}
+
+}  // namespace tdb::object

@@ -1,0 +1,319 @@
+#ifndef TDB_OBJECT_OBJECT_STORE_H_
+#define TDB_OBJECT_OBJECT_STORE_H_
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <set>
+#include <type_traits>
+
+#include "chunk/chunk_store.h"
+#include "common/result.h"
+#include "object/class_registry.h"
+#include "object/lock_manager.h"
+#include "object/object.h"
+#include "object/object_cache.h"
+
+namespace tdb::object {
+
+class ObjectStore;
+class Transaction;
+
+namespace internal {
+
+/// Shared bookkeeping of one transaction. Refs hold a shared_ptr to it so
+/// use-after-end is a *checked* error rather than undefined behavior.
+struct TxnState {
+  TxnId id = 0;
+  bool active = false;
+  // Guarded by the store's state mutex:
+  std::set<ObjectId> read_set;
+  std::set<ObjectId> write_set;  // Opened writable (incl. inserted).
+  std::set<ObjectId> inserted;
+  std::set<ObjectId> removed;
+};
+
+}  // namespace internal
+
+/// Options for the object store.
+struct ObjectStoreOptions {
+  /// Budget for the object cache. The paper's evaluation uses 4 MB (§7.2).
+  size_t cache_capacity_bytes = 4 * 1024 * 1024;
+
+  /// How long lock acquisition waits before reporting LockTimeout ("thus
+  /// breaking potential deadlocks", §4.1). Tunable by the application.
+  std::chrono::milliseconds lock_timeout{500};
+
+  /// §4.2.3: "the application may even switch off locking to avoid the
+  /// locking overhead in the absence of concurrent transactions."
+  bool locking_enabled = true;
+};
+
+/// Smart pointer to a read-only view of a persistent object (§4.1).
+/// Valid only until its transaction commits or aborts; later dereferences
+/// are checked runtime errors. Copyable; copies share the cache pin.
+template <typename T>
+class ReadonlyRef {
+ public:
+  ReadonlyRef() = default;
+
+  /// Implicit up-cast ReadonlyRef<Derived> -> ReadonlyRef<Base>.
+  template <typename U,
+            typename = std::enable_if_t<std::is_base_of_v<T, U> &&
+                                        !std::is_same_v<T, U>>>
+  ReadonlyRef(const ReadonlyRef<U>& other)  // NOLINT(runtime/explicit)
+      : state_(other.state_), oid_(other.oid_), ptr_(other.ptr_),
+        pin_(other.pin_) {}
+
+  const T& operator*() const { return *Access(); }
+  const T* operator->() const { return Access(); }
+
+  ObjectId id() const { return oid_; }
+  bool valid() const { return state_ != nullptr && state_->active; }
+
+ private:
+  friend class ObjectStore;
+  friend class Transaction;
+  template <typename>
+  friend class ReadonlyRef;
+  template <typename>
+  friend class WritableRef;  // For WritableRef<T>::AsReadonly().
+  template <typename To, typename From>
+  friend Result<ReadonlyRef<To>> ref_cast(const ReadonlyRef<From>& from);
+
+  ReadonlyRef(std::shared_ptr<internal::TxnState> state, ObjectId oid,
+              const T* ptr, std::shared_ptr<void> pin)
+      : state_(std::move(state)), oid_(oid), ptr_(ptr),
+        pin_(std::move(pin)) {}
+
+  const T* Access() const {
+    TDB_CHECK(valid(), "Ref dereferenced outside its transaction");
+    return ptr_;
+  }
+
+  std::shared_ptr<internal::TxnState> state_;
+  ObjectId oid_ = kInvalidObjectId;
+  const T* ptr_ = nullptr;
+  std::shared_ptr<void> pin_;  // Deleter unpins the cache entry.
+};
+
+/// Smart pointer to a writable view of a persistent object. The referenced
+/// object is dirty in the cache and pinned until transaction end
+/// (no-steal, §4.2.2).
+template <typename T>
+class WritableRef {
+ public:
+  WritableRef() = default;
+
+  template <typename U,
+            typename = std::enable_if_t<std::is_base_of_v<T, U> &&
+                                        !std::is_same_v<T, U>>>
+  WritableRef(const WritableRef<U>& other)  // NOLINT(runtime/explicit)
+      : state_(other.state_), oid_(other.oid_), ptr_(other.ptr_),
+        pin_(other.pin_) {}
+
+  T& operator*() const { return *Access(); }
+  T* operator->() const { return Access(); }
+
+  ObjectId id() const { return oid_; }
+  bool valid() const { return state_ != nullptr && state_->active; }
+
+  /// Read-only view of the same object.
+  ReadonlyRef<T> AsReadonly() const {
+    return ReadonlyRef<T>(state_, oid_, ptr_, pin_);
+  }
+
+ private:
+  friend class ObjectStore;
+  friend class Transaction;
+  template <typename>
+  friend class WritableRef;
+  template <typename To, typename From>
+  friend Result<WritableRef<To>> ref_cast(const WritableRef<From>& from);
+
+  WritableRef(std::shared_ptr<internal::TxnState> state, ObjectId oid, T* ptr,
+              std::shared_ptr<void> pin)
+      : state_(std::move(state)), oid_(oid), ptr_(ptr),
+        pin_(std::move(pin)) {}
+
+  T* Access() const {
+    TDB_CHECK(valid(), "Ref dereferenced outside its transaction");
+    return ptr_;
+  }
+
+  std::shared_ptr<internal::TxnState> state_;
+  ObjectId oid_ = kInvalidObjectId;
+  T* ptr_ = nullptr;
+  std::shared_ptr<void> pin_;
+};
+
+/// Checked down-cast between Ref types (the paper's copy-construction of
+/// Ref<MyObject> from Ref<Object> with a runtime subtype check).
+template <typename To, typename From>
+Result<ReadonlyRef<To>> ref_cast(const ReadonlyRef<From>& from) {
+  const To* typed = dynamic_cast<const To*>(from.ptr_);
+  if (from.ptr_ != nullptr && typed == nullptr) {
+    return Status::TypeMismatch("object is not of the requested class");
+  }
+  return ReadonlyRef<To>(from.state_, from.oid_, typed, from.pin_);
+}
+
+template <typename To, typename From>
+Result<WritableRef<To>> ref_cast(const WritableRef<From>& from) {
+  To* typed = dynamic_cast<To*>(from.ptr_);
+  if (from.ptr_ != nullptr && typed == nullptr) {
+    return Status::TypeMismatch("object is not of the requested class");
+  }
+  return WritableRef<To>(from.state_, from.oid_, typed, from.pin_);
+}
+
+/// A transaction over the object store (§4.1, Figure 3). Each transaction
+/// executes atomically with respect to concurrent transactions (strict
+/// 2PL) and crashes (chunk-store commits). Create on the stack; an active
+/// transaction aborts in its destructor.
+class Transaction {
+ public:
+  explicit Transaction(ObjectStore* store);
+  ~Transaction();
+  Transaction(const Transaction&) = delete;
+  Transaction& operator=(const Transaction&) = delete;
+
+  /// Inserts `object` for persistent storage; returns its new id. The
+  /// store takes ownership.
+  Result<ObjectId> Insert(std::unique_ptr<Object> object);
+
+  /// Opens the named object read-only (shared lock) / read-write
+  /// (exclusive lock; the object is marked dirty and committed at commit).
+  /// TypeMismatch if the stored object is not a T. LockTimeout on deadlock.
+  template <typename T>
+  Result<ReadonlyRef<T>> OpenReadonly(ObjectId oid);
+  template <typename T>
+  Result<WritableRef<T>> OpenWritable(ObjectId oid);
+
+  /// Removes the named object and frees its storage at commit.
+  Status Remove(ObjectId oid);
+
+  /// Commits inserted/written/removed objects. Iff `durable`, the commit
+  /// (and all previous nondurable commits) survives crashes. Invalidates
+  /// this Transaction and all Refs it produced.
+  Status Commit(bool durable = true);
+
+  /// Undoes all changes made during the transaction.
+  Status Abort();
+
+  bool active() const { return state_ != nullptr && state_->active; }
+  TxnId id() const { return state_ ? state_->id : 0; }
+
+ private:
+  friend class ObjectStore;
+  ObjectStore* store_;
+  std::shared_ptr<internal::TxnState> state_;
+};
+
+/// The object store (§4): type-safe, transactional storage of named C++
+/// objects over the trusted chunk store. One object per chunk; object id ==
+/// chunk id (§4.2.1).
+///
+/// Thread-safe: a single state mutex guards all structures; blocked lock
+/// waits release it (§4.2.3). Individual Transaction objects are
+/// single-threaded.
+class ObjectStore {
+ public:
+  /// The chunk store must outlive the object store and must not be used
+  /// directly while the object store owns it logically (the object store
+  /// reserves chunk id 1 for its root-registry header).
+  static Result<std::unique_ptr<ObjectStore>> Open(
+      chunk::ChunkStore* chunks, const ObjectStoreOptions& options = {});
+
+  /// Class registration must precede reading any object of that class.
+  ClassRegistry& registry() { return registry_; }
+
+  /// The registered root object id, or kInvalidObjectId if none (§4.1:
+  /// "the application can register a 'root' object id").
+  Result<ObjectId> GetRoot();
+  Status SetRoot(ObjectId oid);
+
+  /// Additional named persistent roots. The collection store anchors its
+  /// directory here; applications may register their own names too.
+  /// Returns kInvalidObjectId when `name` is unset.
+  Result<ObjectId> GetNamedRoot(const std::string& name);
+  Status SetNamedRoot(const std::string& name, ObjectId oid);
+
+  const ObjectCache::Stats& cache_stats() const { return cache_.stats(); }
+  size_t cache_size_bytes() const { return cache_.size_bytes(); }
+  chunk::ChunkStore* chunk_store() { return chunks_; }
+
+ private:
+  friend class Transaction;
+
+  ObjectStore(chunk::ChunkStore* chunks, const ObjectStoreOptions& options);
+
+  std::shared_ptr<internal::TxnState> BeginTxn();
+
+  // Core of Open*(): lock, fetch into cache, pin; returns the cached
+  // instance. The templated wrappers down-cast.
+  Result<Object*> OpenInternal(internal::TxnState& txn, ObjectId oid,
+                               bool writable);
+  Result<ObjectId> InsertInternal(internal::TxnState& txn,
+                                  std::unique_ptr<Object> object);
+  Status RemoveInternal(internal::TxnState& txn, ObjectId oid);
+  Status CommitTxn(internal::TxnState& txn, bool durable);
+  Status AbortTxn(internal::TxnState& txn);
+
+  // Fetches a committed object into the cache (no locking). Requires the
+  // state mutex.
+  Result<Object*> Fetch(ObjectId oid);
+
+  // Builds the pin guard shared_ptr for a Ref.
+  std::shared_ptr<void> MakePin(ObjectId oid);
+
+  chunk::ChunkStore* chunks_;
+  ObjectStoreOptions options_;
+  ClassRegistry registry_;
+
+  std::mutex mutex_;  // The "state mutex" of §4.2.3.
+  LockManager locks_;
+  ObjectCache cache_;
+  std::atomic<TxnId> next_txn_id_{1};
+  ObjectId header_cid_ = kInvalidObjectId;
+  ObjectId root_oid_ = kInvalidObjectId;
+  std::map<std::string, ObjectId> named_roots_;
+
+  // Serializes and durably writes the header chunk. Requires mutex_.
+  Status WriteHeader();
+};
+
+// ---------------------------------------------------------------------------
+// Template implementations.
+
+template <typename T>
+Result<ReadonlyRef<T>> Transaction::OpenReadonly(ObjectId oid) {
+  if (!active()) return Status::TransactionInvalid("transaction ended");
+  TDB_ASSIGN_OR_RETURN(Object* obj,
+                       store_->OpenInternal(*state_, oid, false));
+  const T* typed = dynamic_cast<const T*>(obj);
+  if (typed == nullptr) {
+    return Status::TypeMismatch("object " + std::to_string(oid) +
+                                " is not of the requested class");
+  }
+  return ReadonlyRef<T>(state_, oid, typed, store_->MakePin(oid));
+}
+
+template <typename T>
+Result<WritableRef<T>> Transaction::OpenWritable(ObjectId oid) {
+  if (!active()) return Status::TransactionInvalid("transaction ended");
+  TDB_ASSIGN_OR_RETURN(Object* obj, store_->OpenInternal(*state_, oid, true));
+  T* typed = dynamic_cast<T*>(obj);
+  if (typed == nullptr) {
+    return Status::TypeMismatch("object " + std::to_string(oid) +
+                                " is not of the requested class");
+  }
+  return WritableRef<T>(state_, oid, typed, store_->MakePin(oid));
+}
+
+}  // namespace tdb::object
+
+#endif  // TDB_OBJECT_OBJECT_STORE_H_

@@ -1,0 +1,56 @@
+#include "object/pickle.h"
+
+#include <cstring>
+
+namespace tdb::object {
+
+void Pickler::PutDouble(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutFixed64(&buf_, bits);
+}
+
+Status Unpickler::GetBool(bool* v) {
+  Slice byte;
+  TDB_RETURN_IF_ERROR(dec_.GetBytes(1, &byte));
+  if (byte[0] > 1) return Status::Corruption("bad bool");
+  *v = byte[0] == 1;
+  return Status::OK();
+}
+
+Status Unpickler::GetInt32(int32_t* v) {
+  uint32_t zz;
+  TDB_RETURN_IF_ERROR(dec_.GetVarint32(&zz));
+  *v = static_cast<int32_t>((zz >> 1) ^ (~(zz & 1) + 1));
+  return Status::OK();
+}
+
+Status Unpickler::GetInt64(int64_t* v) {
+  uint64_t zz;
+  TDB_RETURN_IF_ERROR(dec_.GetVarint64(&zz));
+  *v = static_cast<int64_t>((zz >> 1) ^ (~(zz & 1) + 1));
+  return Status::OK();
+}
+
+Status Unpickler::GetDouble(double* v) {
+  uint64_t bits;
+  TDB_RETURN_IF_ERROR(dec_.GetFixed64(&bits));
+  std::memcpy(v, &bits, sizeof(*v));
+  return Status::OK();
+}
+
+Status Unpickler::GetString(std::string* s) {
+  Slice bytes;
+  TDB_RETURN_IF_ERROR(dec_.GetLengthPrefixed(&bytes));
+  *s = bytes.ToString();
+  return Status::OK();
+}
+
+Status Unpickler::GetBytes(Buffer* bytes) {
+  Slice view;
+  TDB_RETURN_IF_ERROR(dec_.GetLengthPrefixed(&view));
+  *bytes = view.ToBuffer();
+  return Status::OK();
+}
+
+}  // namespace tdb::object

@@ -1,0 +1,168 @@
+#include "platform/archival_store.h"
+
+#include <cstdio>
+#include <filesystem>
+
+namespace tdb::platform {
+
+namespace {
+
+class MemWriter final : public ArchiveWriter {
+ public:
+  MemWriter(std::map<std::string, Buffer>* archives, std::string name)
+      : archives_(archives), name_(std::move(name)) {}
+
+  Status Append(Slice data) override {
+    if (closed_) return Status::InvalidArgument("archive closed");
+    staged_.insert(staged_.end(), data.data(), data.data() + data.size());
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (closed_) return Status::InvalidArgument("archive closed");
+    closed_ = true;
+    (*archives_)[name_] = std::move(staged_);
+    return Status::OK();
+  }
+
+ private:
+  std::map<std::string, Buffer>* archives_;
+  std::string name_;
+  Buffer staged_;
+  bool closed_ = false;
+};
+
+class MemReader final : public ArchiveReader {
+ public:
+  explicit MemReader(Buffer data) : data_(std::move(data)) {}
+
+  Status Read(size_t n, Buffer* out) override {
+    if (pos_ + n > data_.size()) {
+      return Status::Corruption("archive truncated");
+    }
+    out->assign(data_.begin() + pos_, data_.begin() + pos_ + n);
+    pos_ += n;
+    return Status::OK();
+  }
+
+  uint64_t remaining() const override { return data_.size() - pos_; }
+
+ private:
+  Buffer data_;
+  size_t pos_ = 0;
+};
+
+class FileWriter final : public ArchiveWriter {
+ public:
+  explicit FileWriter(std::FILE* f) : f_(f) {}
+  ~FileWriter() override {
+    if (f_ != nullptr) std::fclose(f_);
+  }
+
+  Status Append(Slice data) override {
+    if (f_ == nullptr) return Status::InvalidArgument("archive closed");
+    if (std::fwrite(data.data(), 1, data.size(), f_) != data.size()) {
+      return Status::IOError("archive write failed");
+    }
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (f_ == nullptr) return Status::InvalidArgument("archive closed");
+    int rc = std::fclose(f_);
+    f_ = nullptr;
+    return rc == 0 ? Status::OK() : Status::IOError("archive close failed");
+  }
+
+ private:
+  std::FILE* f_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<ArchiveWriter>> MemArchivalStore::NewArchive(
+    const std::string& name) {
+  return std::unique_ptr<ArchiveWriter>(new MemWriter(&archives_, name));
+}
+
+Result<std::unique_ptr<ArchiveReader>> MemArchivalStore::OpenArchive(
+    const std::string& name) const {
+  auto it = archives_.find(name);
+  if (it == archives_.end()) return Status::NotFound("no archive: " + name);
+  return std::unique_ptr<ArchiveReader>(new MemReader(it->second));
+}
+
+Status MemArchivalStore::RemoveArchive(const std::string& name) {
+  if (archives_.erase(name) == 0) {
+    return Status::NotFound("no archive: " + name);
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> MemArchivalStore::ListArchives() const {
+  std::vector<std::string> names;
+  for (const auto& [name, _] : archives_) names.push_back(name);
+  return names;
+}
+
+Status MemArchivalStore::CorruptByte(const std::string& name, uint64_t offset,
+                                     uint8_t mask) {
+  auto it = archives_.find(name);
+  if (it == archives_.end()) return Status::NotFound("no archive: " + name);
+  if (offset >= it->second.size()) {
+    return Status::InvalidArgument("offset past end");
+  }
+  it->second[offset] ^= mask;
+  return Status::OK();
+}
+
+Result<uint64_t> MemArchivalStore::ArchiveSize(const std::string& name) const {
+  auto it = archives_.find(name);
+  if (it == archives_.end()) return Status::NotFound("no archive: " + name);
+  return static_cast<uint64_t>(it->second.size());
+}
+
+FileArchivalStore::FileArchivalStore(std::string dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+}
+
+Result<std::unique_ptr<ArchiveWriter>> FileArchivalStore::NewArchive(
+    const std::string& name) {
+  std::FILE* f = std::fopen((dir_ + "/" + name).c_str(), "wb");
+  if (f == nullptr) return Status::IOError("cannot create archive " + name);
+  return std::unique_ptr<ArchiveWriter>(new FileWriter(f));
+}
+
+Result<std::unique_ptr<ArchiveReader>> FileArchivalStore::OpenArchive(
+    const std::string& name) const {
+  std::FILE* f = std::fopen((dir_ + "/" + name).c_str(), "rb");
+  if (f == nullptr) return Status::NotFound("no archive: " + name);
+  Buffer data;
+  uint8_t buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    data.insert(data.end(), buf, buf + n);
+  }
+  std::fclose(f);
+  return std::unique_ptr<ArchiveReader>(new MemReader(std::move(data)));
+}
+
+Status FileArchivalStore::RemoveArchive(const std::string& name) {
+  std::error_code ec;
+  if (!std::filesystem::remove(dir_ + "/" + name, ec)) {
+    return Status::NotFound("no archive: " + name);
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> FileArchivalStore::ListArchives() const {
+  std::vector<std::string> names;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    if (entry.is_regular_file()) names.push_back(entry.path().filename());
+  }
+  return names;
+}
+
+}  // namespace tdb::platform

@@ -1,0 +1,82 @@
+#ifndef TDB_PLATFORM_ARCHIVAL_STORE_H_
+#define TDB_PLATFORM_ARCHIVAL_STORE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/slice.h"
+
+namespace tdb::platform {
+
+/// Append-only output stream for one archive (a backup volume).
+class ArchiveWriter {
+ public:
+  virtual ~ArchiveWriter() = default;
+  virtual Status Append(Slice data) = 0;
+  virtual Status Close() = 0;
+};
+
+/// Sequential input stream over one archive.
+class ArchiveReader {
+ public:
+  virtual ~ArchiveReader() = default;
+  /// Reads exactly n bytes; Corruption if fewer remain.
+  virtual Status Read(size_t n, Buffer* out) = 0;
+  virtual uint64_t remaining() const = 0;
+};
+
+/// The paper's "archival store": a stream interface to sequential storage
+/// holding backups (e.g., staged locally, migrated to a remote server). As
+/// with the untrusted store, the attacker may read and modify archives —
+/// the backup store's restore path validates everything it reads.
+class ArchivalStore {
+ public:
+  virtual ~ArchivalStore() = default;
+
+  virtual Result<std::unique_ptr<ArchiveWriter>> NewArchive(
+      const std::string& name) = 0;
+  virtual Result<std::unique_ptr<ArchiveReader>> OpenArchive(
+      const std::string& name) const = 0;
+  virtual Status RemoveArchive(const std::string& name) = 0;
+  virtual std::vector<std::string> ListArchives() const = 0;
+};
+
+/// In-memory archival store. Also plays the attacker via CorruptByte.
+class MemArchivalStore final : public ArchivalStore {
+ public:
+  Result<std::unique_ptr<ArchiveWriter>> NewArchive(
+      const std::string& name) override;
+  Result<std::unique_ptr<ArchiveReader>> OpenArchive(
+      const std::string& name) const override;
+  Status RemoveArchive(const std::string& name) override;
+  std::vector<std::string> ListArchives() const override;
+
+  Status CorruptByte(const std::string& name, uint64_t offset, uint8_t mask);
+  Result<uint64_t> ArchiveSize(const std::string& name) const;
+
+ private:
+  std::map<std::string, Buffer> archives_;
+};
+
+/// Archival store backed by files in a directory.
+class FileArchivalStore final : public ArchivalStore {
+ public:
+  explicit FileArchivalStore(std::string dir);
+
+  Result<std::unique_ptr<ArchiveWriter>> NewArchive(
+      const std::string& name) override;
+  Result<std::unique_ptr<ArchiveReader>> OpenArchive(
+      const std::string& name) const override;
+  Status RemoveArchive(const std::string& name) override;
+  std::vector<std::string> ListArchives() const override;
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace tdb::platform
+
+#endif  // TDB_PLATFORM_ARCHIVAL_STORE_H_

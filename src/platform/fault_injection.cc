@@ -1,0 +1,34 @@
+#include "platform/fault_injection.h"
+
+namespace tdb::platform {
+
+Status FaultInjectingStore::Write(const std::string& name, uint64_t offset,
+                                  Slice data) {
+  if (crashed_) return Status::IOError("simulated crash");
+  if (armed_ && !crash_on_sync_) {
+    if (writes_until_crash_ == 0) {
+      crashed_ = true;
+      // Torn write: apply a pseudo-random prefix of the final write, which
+      // models a sector-aligned partial flush.
+      size_t torn = static_cast<size_t>(rng_.Uniform(data.size() + 1));
+      if (torn > 0) {
+        Status s = base_->Write(name, offset, Slice(data.data(), torn));
+        (void)s;  // The caller sees the crash either way.
+      }
+      return Status::IOError("simulated crash (torn write)");
+    }
+    writes_until_crash_--;
+  }
+  return base_->Write(name, offset, data);
+}
+
+Status FaultInjectingStore::Sync(const std::string& name) {
+  if (crashed_) return Status::IOError("simulated crash");
+  if (armed_ && crash_on_sync_) {
+    crashed_ = true;
+    return Status::IOError("simulated crash (at sync)");
+  }
+  return base_->Sync(name);
+}
+
+}  // namespace tdb::platform

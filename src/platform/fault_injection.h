@@ -1,0 +1,94 @@
+#ifndef TDB_PLATFORM_FAULT_INJECTION_H_
+#define TDB_PLATFORM_FAULT_INJECTION_H_
+
+#include <cstdint>
+
+#include "common/random.h"
+#include "platform/untrusted_store.h"
+
+namespace tdb::platform {
+
+/// Wraps any UntrustedStore and simulates a system crash: after a
+/// configured number of write operations, the "power fails" — the crashing
+/// write may be applied only partially (a torn write), and every subsequent
+/// operation fails with IOError. Crash-recovery property tests drive a
+/// workload through this wrapper, crash at a random point, then reopen the
+/// database from the underlying store and check the durable-commit
+/// invariants.
+class FaultInjectingStore final : public UntrustedStore {
+ public:
+  /// Does not take ownership of `base`, which must outlive this wrapper.
+  explicit FaultInjectingStore(UntrustedStore* base, uint64_t rng_seed = 1)
+      : base_(base), rng_(rng_seed) {}
+
+  /// Arms the crash: it fires on the (count+1)-th Write() from now.
+  /// A torn fraction of that final write is applied (possibly none, possibly
+  /// all of it — chosen pseudo-randomly).
+  void CrashAfterWrites(uint64_t count) {
+    writes_until_crash_ = count;
+    armed_ = true;
+    crashed_ = false;
+  }
+
+  /// Arms the crash to fire on the next Sync() instead of a write.
+  void CrashOnNextSync() {
+    crash_on_sync_ = true;
+    armed_ = true;
+    crashed_ = false;
+  }
+
+  bool crashed() const { return crashed_; }
+
+  /// Clears the crash state so the store is usable again (models reboot —
+  /// recovery then reads whatever the base store holds).
+  void Reboot() {
+    armed_ = false;
+    crashed_ = false;
+    crash_on_sync_ = false;
+  }
+
+  // UntrustedStore:
+  Status Create(const std::string& name, bool overwrite) override {
+    TDB_RETURN_IF_ERROR(CheckAlive());
+    return base_->Create(name, overwrite);
+  }
+  Status Remove(const std::string& name) override {
+    TDB_RETURN_IF_ERROR(CheckAlive());
+    return base_->Remove(name);
+  }
+  bool Exists(const std::string& name) const override {
+    return base_->Exists(name);
+  }
+  Status Read(const std::string& name, uint64_t offset, size_t n,
+              Buffer* out) const override {
+    if (crashed_) return Status::IOError("simulated crash");
+    return base_->Read(name, offset, n, out);
+  }
+  Status Write(const std::string& name, uint64_t offset, Slice data) override;
+  Result<uint64_t> Size(const std::string& name) const override {
+    if (crashed_) return Status::IOError("simulated crash");
+    return base_->Size(name);
+  }
+  Status Truncate(const std::string& name, uint64_t size) override {
+    TDB_RETURN_IF_ERROR(CheckAlive());
+    return base_->Truncate(name, size);
+  }
+  Status Sync(const std::string& name) override;
+  std::vector<std::string> List() const override { return base_->List(); }
+
+ private:
+  Status CheckAlive() const {
+    return crashed_ ? Status::IOError("simulated crash") : Status::OK();
+  }
+
+  UntrustedStore* base_;
+  Random rng_;
+  bool armed_ = false;
+  bool crashed_ = false;
+  bool crash_on_sync_ = false;
+  uint64_t writes_until_crash_ = 0;
+};
+
+}  // namespace tdb::platform
+
+#endif  // TDB_PLATFORM_FAULT_INJECTION_H_

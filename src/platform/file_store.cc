@@ -1,0 +1,141 @@
+#include "platform/file_store.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+namespace tdb::platform {
+
+namespace {
+
+Status Errno(const std::string& op, const std::string& name) {
+  return Status::IOError(op + " " + name + ": " + std::strerror(errno));
+}
+
+// RAII fd.
+class Fd {
+ public:
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  int get() const { return fd_; }
+
+ private:
+  int fd_;
+};
+
+}  // namespace
+
+FileUntrustedStore::FileUntrustedStore(std::string dir, bool sync_writes)
+    : dir_(std::move(dir)), sync_writes_(sync_writes) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+}
+
+std::string FileUntrustedStore::Path(const std::string& name) const {
+  return dir_ + "/" + name;
+}
+
+Status FileUntrustedStore::Create(const std::string& name, bool overwrite) {
+  if (!overwrite && Exists(name)) {
+    return Status::AlreadyExists("file exists: " + name);
+  }
+  Fd fd(::open(Path(name).c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644));
+  if (fd.get() < 0) return Errno("create", name);
+  return Status::OK();
+}
+
+Status FileUntrustedStore::Remove(const std::string& name) {
+  if (::unlink(Path(name).c_str()) != 0) {
+    return errno == ENOENT ? Status::NotFound("no such file: " + name)
+                           : Errno("remove", name);
+  }
+  return Status::OK();
+}
+
+bool FileUntrustedStore::Exists(const std::string& name) const {
+  struct stat st;
+  return ::stat(Path(name).c_str(), &st) == 0;
+}
+
+Status FileUntrustedStore::Read(const std::string& name, uint64_t offset,
+                                size_t n, Buffer* out) const {
+  Fd fd(::open(Path(name).c_str(), O_RDONLY));
+  if (fd.get() < 0) {
+    return errno == ENOENT ? Status::NotFound("no such file: " + name)
+                           : Errno("open", name);
+  }
+  out->resize(n);
+  size_t got = 0;
+  while (got < n) {
+    ssize_t r = ::pread(fd.get(), out->data() + got, n - got, offset + got);
+    if (r < 0) return Errno("pread", name);
+    if (r == 0) return Status::Corruption("read past end of " + name);
+    got += static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+Status FileUntrustedStore::Write(const std::string& name, uint64_t offset,
+                                 Slice data) {
+  Fd fd(::open(Path(name).c_str(), O_WRONLY));
+  if (fd.get() < 0) {
+    return errno == ENOENT ? Status::NotFound("no such file: " + name)
+                           : Errno("open", name);
+  }
+  size_t put = 0;
+  while (put < data.size()) {
+    ssize_t w = ::pwrite(fd.get(), data.data() + put, data.size() - put,
+                         offset + put);
+    if (w < 0) return Errno("pwrite", name);
+    put += static_cast<size_t>(w);
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> FileUntrustedStore::Size(const std::string& name) const {
+  struct stat st;
+  if (::stat(Path(name).c_str(), &st) != 0) {
+    return errno == ENOENT ? Status::NotFound("no such file: " + name)
+                           : Errno("stat", name);
+  }
+  return static_cast<uint64_t>(st.st_size);
+}
+
+Status FileUntrustedStore::Truncate(const std::string& name, uint64_t size) {
+  if (::truncate(Path(name).c_str(), static_cast<off_t>(size)) != 0) {
+    return errno == ENOENT ? Status::NotFound("no such file: " + name)
+                           : Errno("truncate", name);
+  }
+  return Status::OK();
+}
+
+Status FileUntrustedStore::Sync(const std::string& name) {
+  if (!sync_writes_) return Status::OK();
+  Fd fd(::open(Path(name).c_str(), O_RDONLY));
+  if (fd.get() < 0) {
+    return errno == ENOENT ? Status::NotFound("no such file: " + name)
+                           : Errno("open", name);
+  }
+  if (::fsync(fd.get()) != 0) return Errno("fsync", name);
+  return Status::OK();
+}
+
+std::vector<std::string> FileUntrustedStore::List() const {
+  std::vector<std::string> names;
+  std::error_code ec;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(dir_, ec)) {
+    if (entry.is_regular_file()) names.push_back(entry.path().filename());
+  }
+  return names;
+}
+
+}  // namespace tdb::platform

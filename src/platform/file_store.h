@@ -1,0 +1,42 @@
+#ifndef TDB_PLATFORM_FILE_STORE_H_
+#define TDB_PLATFORM_FILE_STORE_H_
+
+#include <string>
+
+#include "platform/untrusted_store.h"
+
+namespace tdb::platform {
+
+/// Untrusted store backed by a directory of real files (POSIX pread/pwrite).
+/// This is the backend the paper's evaluation platform corresponds to
+/// (NTFS files with WRITE_THROUGH ≈ write + fsync here).
+class FileUntrustedStore final : public UntrustedStore {
+ public:
+  /// `dir` is created if absent. `sync_writes` maps to the paper's
+  /// WRITE_THROUGH configuration: Sync() calls fsync when true and is a
+  /// no-op when false (useful for fast benchmarking).
+  explicit FileUntrustedStore(std::string dir, bool sync_writes = true);
+
+  Status Create(const std::string& name, bool overwrite) override;
+  Status Remove(const std::string& name) override;
+  bool Exists(const std::string& name) const override;
+  Status Read(const std::string& name, uint64_t offset, size_t n,
+              Buffer* out) const override;
+  Status Write(const std::string& name, uint64_t offset, Slice data) override;
+  Result<uint64_t> Size(const std::string& name) const override;
+  Status Truncate(const std::string& name, uint64_t size) override;
+  Status Sync(const std::string& name) override;
+  std::vector<std::string> List() const override;
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  std::string Path(const std::string& name) const;
+
+  std::string dir_;
+  bool sync_writes_;
+};
+
+}  // namespace tdb::platform
+
+#endif  // TDB_PLATFORM_FILE_STORE_H_

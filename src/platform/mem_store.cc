@@ -1,0 +1,93 @@
+#include "platform/mem_store.h"
+
+#include <cstring>
+
+namespace tdb::platform {
+
+Status MemUntrustedStore::Create(const std::string& name, bool overwrite) {
+  if (!overwrite && files_.count(name)) {
+    return Status::AlreadyExists("file exists: " + name);
+  }
+  files_[name] = Buffer();
+  return Status::OK();
+}
+
+Status MemUntrustedStore::Remove(const std::string& name) {
+  if (files_.erase(name) == 0) {
+    return Status::NotFound("no such file: " + name);
+  }
+  return Status::OK();
+}
+
+bool MemUntrustedStore::Exists(const std::string& name) const {
+  return files_.count(name) > 0;
+}
+
+Status MemUntrustedStore::Read(const std::string& name, uint64_t offset,
+                               size_t n, Buffer* out) const {
+  auto it = files_.find(name);
+  if (it == files_.end()) return Status::NotFound("no such file: " + name);
+  const Buffer& f = it->second;
+  if (offset + n > f.size()) {
+    return Status::Corruption("read past end of " + name);
+  }
+  out->assign(f.begin() + offset, f.begin() + offset + n);
+  return Status::OK();
+}
+
+Status MemUntrustedStore::Write(const std::string& name, uint64_t offset,
+                                Slice data) {
+  auto it = files_.find(name);
+  if (it == files_.end()) return Status::NotFound("no such file: " + name);
+  Buffer& f = it->second;
+  if (offset + data.size() > f.size()) f.resize(offset + data.size(), 0);
+  std::memcpy(f.data() + offset, data.data(), data.size());
+  write_count_++;
+  bytes_written_ += data.size();
+  return Status::OK();
+}
+
+Result<uint64_t> MemUntrustedStore::Size(const std::string& name) const {
+  auto it = files_.find(name);
+  if (it == files_.end()) return Status::NotFound("no such file: " + name);
+  return static_cast<uint64_t>(it->second.size());
+}
+
+Status MemUntrustedStore::Truncate(const std::string& name, uint64_t size) {
+  auto it = files_.find(name);
+  if (it == files_.end()) return Status::NotFound("no such file: " + name);
+  it->second.resize(size, 0);
+  return Status::OK();
+}
+
+Status MemUntrustedStore::Sync(const std::string& name) {
+  if (!files_.count(name)) return Status::NotFound("no such file: " + name);
+  sync_count_++;
+  return Status::OK();
+}
+
+std::vector<std::string> MemUntrustedStore::List() const {
+  std::vector<std::string> names;
+  names.reserve(files_.size());
+  for (const auto& [name, _] : files_) names.push_back(name);
+  return names;
+}
+
+Status MemUntrustedStore::CorruptByte(const std::string& name,
+                                      uint64_t offset, uint8_t mask) {
+  auto it = files_.find(name);
+  if (it == files_.end()) return Status::NotFound("no such file: " + name);
+  if (offset >= it->second.size()) {
+    return Status::InvalidArgument("offset past end");
+  }
+  it->second[offset] ^= mask;
+  return Status::OK();
+}
+
+uint64_t MemUntrustedStore::TotalBytes() const {
+  uint64_t total = 0;
+  for (const auto& [_, data] : files_) total += data.size();
+  return total;
+}
+
+}  // namespace tdb::platform

@@ -1,0 +1,60 @@
+#ifndef TDB_PLATFORM_MEM_STORE_H_
+#define TDB_PLATFORM_MEM_STORE_H_
+
+#include <map>
+#include <string>
+
+#include "platform/untrusted_store.h"
+
+namespace tdb::platform {
+
+/// In-memory untrusted store. Primary backend for tests and benchmarks; it
+/// also plays the attacker: the image can be snapshotted, individual bytes
+/// corrupted, and a stale image replayed — exactly the offline attacks the
+/// paper's threat model allows on removable media.
+class MemUntrustedStore final : public UntrustedStore {
+ public:
+  using Image = std::map<std::string, Buffer>;
+
+  MemUntrustedStore() = default;
+
+  Status Create(const std::string& name, bool overwrite) override;
+  Status Remove(const std::string& name) override;
+  bool Exists(const std::string& name) const override;
+  Status Read(const std::string& name, uint64_t offset, size_t n,
+              Buffer* out) const override;
+  Status Write(const std::string& name, uint64_t offset, Slice data) override;
+  Result<uint64_t> Size(const std::string& name) const override;
+  Status Truncate(const std::string& name, uint64_t size) override;
+  Status Sync(const std::string& name) override;
+  std::vector<std::string> List() const override;
+
+  // --- Attacker / test hooks (not part of UntrustedStore) ---
+
+  /// Copies the full store image (the attacker "saving the database").
+  Image SnapshotImage() const { return files_; }
+
+  /// Replaces the store contents with a saved image (a replay attack).
+  void RestoreImage(Image image) { files_ = std::move(image); }
+
+  /// XORs one byte — the smallest possible malicious modification.
+  Status CorruptByte(const std::string& name, uint64_t offset, uint8_t mask);
+
+  /// Total bytes across all files (for space-accounting assertions).
+  uint64_t TotalBytes() const;
+
+  /// Number of Write() calls so far (for write-traffic accounting).
+  uint64_t write_count() const { return write_count_; }
+  uint64_t bytes_written() const { return bytes_written_; }
+  uint64_t sync_count() const { return sync_count_; }
+
+ private:
+  Image files_;
+  uint64_t write_count_ = 0;
+  uint64_t bytes_written_ = 0;
+  uint64_t sync_count_ = 0;
+};
+
+}  // namespace tdb::platform
+
+#endif  // TDB_PLATFORM_MEM_STORE_H_

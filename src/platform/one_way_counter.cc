@@ -1,0 +1,52 @@
+#include "platform/one_way_counter.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/coding.h"
+
+namespace tdb::platform {
+
+FileOneWayCounter::FileOneWayCounter(std::string path, bool sync)
+    : path_(std::move(path)), sync_(sync) {}
+
+Result<uint64_t> FileOneWayCounter::Read() const {
+  int fd = ::open(path_.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return static_cast<uint64_t>(0);
+    return Status::IOError("open counter: " + std::string(strerror(errno)));
+  }
+  uint8_t buf[8];
+  ssize_t n = ::pread(fd, buf, sizeof(buf), 0);
+  ::close(fd);
+  if (n == 0) return static_cast<uint64_t>(0);
+  if (n != 8) return Status::IOError("short counter read");
+  return DecodeFixed64(buf);
+}
+
+Result<uint64_t> FileOneWayCounter::Increment() {
+  TDB_ASSIGN_OR_RETURN(uint64_t current, Read());
+  uint64_t next = current + 1;
+  int fd = ::open(path_.c_str(), O_CREAT | O_WRONLY, 0644);
+  if (fd < 0) {
+    return Status::IOError("open counter: " + std::string(strerror(errno)));
+  }
+  Buffer enc;
+  PutFixed64(&enc, next);
+  ssize_t w = ::pwrite(fd, enc.data(), enc.size(), 0);
+  if (w != 8) {
+    ::close(fd);
+    return Status::IOError("short counter write");
+  }
+  if (sync_ && ::fsync(fd) != 0) {
+    ::close(fd);
+    return Status::IOError("counter fsync failed");
+  }
+  ::close(fd);
+  return next;
+}
+
+}  // namespace tdb::platform

@@ -1,0 +1,55 @@
+#ifndef TDB_PLATFORM_ONE_WAY_COUNTER_H_
+#define TDB_PLATFORM_ONE_WAY_COUNTER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace tdb::platform {
+
+/// The paper's one-way persistent counter: it can be read and incremented,
+/// never decremented. Real devices use special-purpose hardware (the paper
+/// cites Infineon's Eurochip); the paper's own evaluation — and this
+/// reproduction — emulates it as a file. The chunk store signs the counter
+/// value into its anchor record; replaying a stale database image then
+/// fails because the stored value lags the counter.
+class OneWayCounter {
+ public:
+  virtual ~OneWayCounter() = default;
+
+  virtual Result<uint64_t> Read() const = 0;
+
+  /// Atomically adds one and persists. Returns the new value.
+  virtual Result<uint64_t> Increment() = 0;
+};
+
+/// In-memory counter for tests and benchmarks.
+class MemOneWayCounter final : public OneWayCounter {
+ public:
+  Result<uint64_t> Read() const override { return value_; }
+  Result<uint64_t> Increment() override { return ++value_; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+/// File-emulated counter, as in the paper's evaluation platform ("the
+/// one-way counter was emulated as a file"). `sync` controls whether each
+/// increment is fsynced.
+class FileOneWayCounter final : public OneWayCounter {
+ public:
+  explicit FileOneWayCounter(std::string path, bool sync = true);
+
+  Result<uint64_t> Read() const override;
+  Result<uint64_t> Increment() override;
+
+ private:
+  std::string path_;
+  bool sync_;
+};
+
+}  // namespace tdb::platform
+
+#endif  // TDB_PLATFORM_ONE_WAY_COUNTER_H_

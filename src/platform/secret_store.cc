@@ -1,0 +1,35 @@
+#include "platform/secret_store.h"
+
+#include <cstdio>
+
+namespace tdb::platform {
+
+Result<Buffer> FileSecretStore::GetSecret() const {
+  std::FILE* f = std::fopen(path_.c_str(), "rb");
+  if (f == nullptr) return Status::NotFound("secret not provisioned");
+  Buffer secret;
+  uint8_t buf[256];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    secret.insert(secret.end(), buf, buf + n);
+  }
+  std::fclose(f);
+  if (secret.empty()) return Status::NotFound("secret not provisioned");
+  return secret;
+}
+
+Status FileSecretStore::Provision(Slice secret) {
+  if (secret.empty()) return Status::InvalidArgument("empty secret");
+  if (std::FILE* existing = std::fopen(path_.c_str(), "rb")) {
+    std::fclose(existing);
+    return Status::AlreadyExists("already provisioned");
+  }
+  std::FILE* f = std::fopen(path_.c_str(), "wb");
+  if (f == nullptr) return Status::IOError("cannot create " + path_);
+  size_t written = std::fwrite(secret.data(), 1, secret.size(), f);
+  std::fclose(f);
+  if (written != secret.size()) return Status::IOError("short write");
+  return Status::OK();
+}
+
+}  // namespace tdb::platform

@@ -1,0 +1,63 @@
+#ifndef TDB_PLATFORM_SECRET_STORE_H_
+#define TDB_PLATFORM_SECRET_STORE_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "common/slice.h"
+
+namespace tdb::platform {
+
+/// The paper's "secret store": a small store readable only by authorized
+/// programs (modeled after ROM or tamper-responding battery-backed SRAM).
+/// It holds the master secret from which the chunk store derives its
+/// encryption and MAC keys. The TRUST BOUNDARY is modeled, not physically
+/// enforced: in this reproduction "authorized program" = code holding a
+/// SecretStore reference, matching the paper's "programs linked with the
+/// DRM database system".
+class SecretStore {
+ public:
+  virtual ~SecretStore() = default;
+
+  /// Returns the master secret. NotFound if never provisioned.
+  virtual Result<Buffer> GetSecret() const = 0;
+
+  /// One-time provisioning (at device manufacture). AlreadyExists after.
+  virtual Status Provision(Slice secret) = 0;
+};
+
+/// In-memory secret store (tests, benches).
+class MemSecretStore final : public SecretStore {
+ public:
+  Result<Buffer> GetSecret() const override {
+    if (secret_.empty()) return Status::NotFound("secret not provisioned");
+    return secret_;
+  }
+  Status Provision(Slice secret) override {
+    if (!secret_.empty()) return Status::AlreadyExists("already provisioned");
+    if (secret.empty()) return Status::InvalidArgument("empty secret");
+    secret_ = secret.ToBuffer();
+    return Status::OK();
+  }
+
+ private:
+  Buffer secret_;
+};
+
+/// File-backed secret store. A real device would keep this in ROM; on a PC
+/// platform (like the paper's evaluation machine) it is simply a file that
+/// the OS is trusted to protect.
+class FileSecretStore final : public SecretStore {
+ public:
+  explicit FileSecretStore(std::string path) : path_(std::move(path)) {}
+
+  Result<Buffer> GetSecret() const override;
+  Status Provision(Slice secret) override;
+
+ private:
+  std::string path_;
+};
+
+}  // namespace tdb::platform
+
+#endif  // TDB_PLATFORM_SECRET_STORE_H_

@@ -1,0 +1,27 @@
+#include "platform/sim_disk.h"
+
+#include "common/coding.h"
+
+namespace tdb::platform {
+
+Result<uint64_t> StoreBackedCounter::Read() const {
+  if (!store_->Exists(file_)) return static_cast<uint64_t>(0);
+  Buffer bytes;
+  TDB_RETURN_IF_ERROR(store_->Read(file_, 0, 8, &bytes));
+  return DecodeFixed64(bytes.data());
+}
+
+Result<uint64_t> StoreBackedCounter::Increment() {
+  TDB_ASSIGN_OR_RETURN(uint64_t current, Read());
+  if (!store_->Exists(file_)) {
+    TDB_RETURN_IF_ERROR(store_->Create(file_, false));
+  }
+  uint64_t next = current + 1;
+  Buffer enc;
+  PutFixed64(&enc, next);
+  TDB_RETURN_IF_ERROR(store_->Write(file_, 0, enc));
+  TDB_RETURN_IF_ERROR(store_->Sync(file_));
+  return next;
+}
+
+}  // namespace tdb::platform

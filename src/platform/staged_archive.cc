@@ -1,0 +1,104 @@
+#include "platform/staged_archive.h"
+
+namespace tdb::platform {
+
+namespace {
+
+class StagedWriter final : public ArchiveWriter {
+ public:
+  StagedWriter(UntrustedStore* store, std::string file)
+      : store_(store), file_(std::move(file)) {}
+
+  Status Append(Slice data) override {
+    if (closed_) return Status::InvalidArgument("archive closed");
+    staged_.insert(staged_.end(), data.data(), data.data() + data.size());
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (closed_) return Status::InvalidArgument("archive closed");
+    closed_ = true;
+    // Written in one shot at close so a crash mid-backup never leaves a
+    // half archive visible.
+    TDB_RETURN_IF_ERROR(store_->Create(file_, /*overwrite=*/true));
+    TDB_RETURN_IF_ERROR(store_->Write(file_, 0, staged_));
+    return store_->Sync(file_);
+  }
+
+ private:
+  UntrustedStore* store_;
+  std::string file_;
+  Buffer staged_;
+  bool closed_ = false;
+};
+
+class StagedReader final : public ArchiveReader {
+ public:
+  explicit StagedReader(Buffer data) : data_(std::move(data)) {}
+
+  Status Read(size_t n, Buffer* out) override {
+    if (pos_ + n > data_.size()) {
+      return Status::Corruption("archive truncated");
+    }
+    out->assign(data_.begin() + pos_, data_.begin() + pos_ + n);
+    pos_ += n;
+    return Status::OK();
+  }
+
+  uint64_t remaining() const override { return data_.size() - pos_; }
+
+ private:
+  Buffer data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<ArchiveWriter>> StagedArchivalStore::NewArchive(
+    const std::string& name) {
+  return std::unique_ptr<ArchiveWriter>(
+      new StagedWriter(staging_, FileName(name)));
+}
+
+Result<std::unique_ptr<ArchiveReader>> StagedArchivalStore::OpenArchive(
+    const std::string& name) const {
+  const std::string file = FileName(name);
+  if (!staging_->Exists(file)) return Status::NotFound("no archive: " + name);
+  TDB_ASSIGN_OR_RETURN(uint64_t size, staging_->Size(file));
+  Buffer data;
+  TDB_RETURN_IF_ERROR(
+      staging_->Read(file, 0, static_cast<size_t>(size), &data));
+  return std::unique_ptr<ArchiveReader>(new StagedReader(std::move(data)));
+}
+
+Status StagedArchivalStore::RemoveArchive(const std::string& name) {
+  return staging_->Remove(FileName(name));
+}
+
+std::vector<std::string> StagedArchivalStore::ListArchives() const {
+  std::vector<std::string> names;
+  for (const std::string& file : staging_->List()) {
+    if (IsArchiveFile(file)) names.push_back(file.substr(8));
+  }
+  return names;
+}
+
+Status StagedArchivalStore::MigrateAll(ArchivalStore* remote, bool purge) {
+  for (const std::string& name : ListArchives()) {
+    TDB_ASSIGN_OR_RETURN(std::unique_ptr<ArchiveReader> reader,
+                         OpenArchive(name));
+    TDB_ASSIGN_OR_RETURN(std::unique_ptr<ArchiveWriter> writer,
+                         remote->NewArchive(name));
+    Buffer data;
+    TDB_RETURN_IF_ERROR(
+        reader->Read(static_cast<size_t>(reader->remaining()), &data));
+    TDB_RETURN_IF_ERROR(writer->Append(data));
+    TDB_RETURN_IF_ERROR(writer->Close());
+    if (purge) {
+      TDB_RETURN_IF_ERROR(RemoveArchive(name));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace tdb::platform

@@ -1,0 +1,51 @@
+#ifndef TDB_PLATFORM_STAGED_ARCHIVE_H_
+#define TDB_PLATFORM_STAGED_ARCHIVE_H_
+
+#include <string>
+#include <vector>
+
+#include "platform/archival_store.h"
+#include "platform/untrusted_store.h"
+
+namespace tdb::platform {
+
+/// The paper's typical backup deployment (§2): "a typical implementation
+/// of the backup store may stage backups in the untrusted store and
+/// opportunistically migrate them to a remote server." Archives are staged
+/// as files ("archive-<name>") in a local untrusted store and pushed to a
+/// remote ArchivalStore when connectivity allows.
+///
+/// Both sides are attacker-controlled; archive contents are already
+/// encrypted and MACed by the backup store, so migration is a plain copy.
+class StagedArchivalStore final : public ArchivalStore {
+ public:
+  /// Does not take ownership of `staging`.
+  explicit StagedArchivalStore(UntrustedStore* staging)
+      : staging_(staging) {}
+
+  Result<std::unique_ptr<ArchiveWriter>> NewArchive(
+      const std::string& name) override;
+  Result<std::unique_ptr<ArchiveReader>> OpenArchive(
+      const std::string& name) const override;
+  Status RemoveArchive(const std::string& name) override;
+  std::vector<std::string> ListArchives() const override;
+
+  /// Copies every staged archive to `remote`. With `purge`, staged copies
+  /// are deleted once the remote write succeeds (the opportunistic
+  /// migration freeing local space).
+  Status MigrateAll(ArchivalStore* remote, bool purge);
+
+ private:
+  static std::string FileName(const std::string& name) {
+    return "archive-" + name;
+  }
+  static bool IsArchiveFile(const std::string& file) {
+    return file.rfind("archive-", 0) == 0;
+  }
+
+  UntrustedStore* staging_;
+};
+
+}  // namespace tdb::platform
+
+#endif  // TDB_PLATFORM_STAGED_ARCHIVE_H_

@@ -1,0 +1,48 @@
+#ifndef TDB_PLATFORM_UNTRUSTED_STORE_H_
+#define TDB_PLATFORM_UNTRUSTED_STORE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace tdb::platform {
+
+/// The paper's "untrusted store": a file-system-like interface over a
+/// random-access storage system (flash RAM, hard disk). THREAT MODEL: an
+/// attacker can arbitrarily read and modify everything behind this
+/// interface, online or offline — nothing here is trusted. The chunk store
+/// layers secrecy (encryption) and tamper detection (Merkle tree + anchor)
+/// on top.
+///
+/// Files are flat-named byte arrays. Writes beyond the current end extend
+/// the file (zero-filling any gap).
+class UntrustedStore {
+ public:
+  virtual ~UntrustedStore() = default;
+
+  /// Creates an empty file. AlreadyExists if present and !overwrite.
+  virtual Status Create(const std::string& name, bool overwrite) = 0;
+  virtual Status Remove(const std::string& name) = 0;
+  virtual bool Exists(const std::string& name) const = 0;
+
+  /// Reads exactly n bytes at offset into *out (resized). Corruption if the
+  /// range extends past end-of-file.
+  virtual Status Read(const std::string& name, uint64_t offset, size_t n,
+                      Buffer* out) const = 0;
+  virtual Status Write(const std::string& name, uint64_t offset,
+                       Slice data) = 0;
+  virtual Result<uint64_t> Size(const std::string& name) const = 0;
+  virtual Status Truncate(const std::string& name, uint64_t size) = 0;
+
+  /// Forces buffered writes of `name` to stable storage.
+  virtual Status Sync(const std::string& name) = 0;
+
+  virtual std::vector<std::string> List() const = 0;
+};
+
+}  // namespace tdb::platform
+
+#endif  // TDB_PLATFORM_UNTRUSTED_STORE_H_

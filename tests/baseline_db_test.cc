@@ -1,0 +1,301 @@
+#include "baseline/baseline_db.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/coding.h"
+#include "common/random.h"
+#include "platform/fault_injection.h"
+#include "platform/mem_store.h"
+
+namespace tdb::baseline {
+namespace {
+
+using platform::FaultInjectingStore;
+using platform::MemUntrustedStore;
+
+BaselineDb::Options SmallCache() {
+  BaselineDb::Options options;
+  options.cache_bytes = 64 * 1024;  // 16 pages: forces barriers/evictions.
+  return options;
+}
+
+Buffer Key(int64_t k) {
+  Buffer b;
+  PutFixed64(&b, static_cast<uint64_t>(k));
+  return b;
+}
+
+TEST(BaselineDbTest, PutGetRoundtrip) {
+  MemUntrustedStore store;
+  auto db = BaselineDb::Open(&store, SmallCache());
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  auto tree = (*db)->CreateTree("accounts");
+  ASSERT_TRUE(tree.ok());
+  BaselineDb::Txn txn(db->get());
+  ASSERT_TRUE(txn.Put(*tree, Key(1), Slice("alice:100")).ok());
+  ASSERT_TRUE(txn.Put(*tree, Key(2), Slice("bob:50")).ok());
+  // Read-your-writes before commit.
+  EXPECT_EQ(Slice(*txn.Get(*tree, Key(1))).ToString(), "alice:100");
+  ASSERT_TRUE(txn.Commit().ok());
+
+  BaselineDb::Txn txn2(db->get());
+  EXPECT_EQ(Slice(*txn2.Get(*tree, Key(2))).ToString(), "bob:50");
+  EXPECT_TRUE(txn2.Get(*tree, Key(3)).status().IsNotFound());
+  ASSERT_TRUE(txn2.Commit().ok());
+}
+
+TEST(BaselineDbTest, OverwriteAndDelete) {
+  MemUntrustedStore store;
+  auto db = BaselineDb::Open(&store, SmallCache());
+  ASSERT_TRUE(db.ok());
+  auto tree = (*db)->CreateTree("t");
+  ASSERT_TRUE(tree.ok());
+  {
+    BaselineDb::Txn txn(db->get());
+    ASSERT_TRUE(txn.Put(*tree, Key(1), Slice("v1")).ok());
+    ASSERT_TRUE(txn.Commit().ok());
+  }
+  {
+    BaselineDb::Txn txn(db->get());
+    ASSERT_TRUE(txn.Put(*tree, Key(1), Slice("v2")).ok());
+    ASSERT_TRUE(txn.Commit().ok());
+  }
+  {
+    BaselineDb::Txn txn(db->get());
+    EXPECT_EQ(Slice(*txn.Get(*tree, Key(1))).ToString(), "v2");
+    ASSERT_TRUE(txn.Delete(*tree, Key(1)).ok());
+    EXPECT_TRUE(txn.Get(*tree, Key(1)).status().IsNotFound());
+    ASSERT_TRUE(txn.Commit().ok());
+  }
+  BaselineDb::Txn txn(db->get());
+  EXPECT_TRUE(txn.Get(*tree, Key(1)).status().IsNotFound());
+  ASSERT_TRUE(txn.Abort().ok());
+}
+
+TEST(BaselineDbTest, AbortDiscardsChanges) {
+  MemUntrustedStore store;
+  auto db = BaselineDb::Open(&store, SmallCache());
+  ASSERT_TRUE(db.ok());
+  auto tree = (*db)->CreateTree("t");
+  ASSERT_TRUE(tree.ok());
+  {
+    BaselineDb::Txn txn(db->get());
+    ASSERT_TRUE(txn.Put(*tree, Key(1), Slice("keep")).ok());
+    ASSERT_TRUE(txn.Commit().ok());
+  }
+  {
+    BaselineDb::Txn txn(db->get());
+    ASSERT_TRUE(txn.Put(*tree, Key(1), Slice("discard")).ok());
+    ASSERT_TRUE(txn.Abort().ok());
+  }
+  BaselineDb::Txn txn(db->get());
+  EXPECT_EQ(Slice(*txn.Get(*tree, Key(1))).ToString(), "keep");
+  ASSERT_TRUE(txn.Abort().ok());
+}
+
+TEST(BaselineDbTest, ManyKeysSplitPagesAndPersist) {
+  MemUntrustedStore store;
+  std::map<int64_t, std::string> model;
+  {
+    auto db = BaselineDb::Open(&store, SmallCache());
+    ASSERT_TRUE(db.ok());
+    auto tree = (*db)->CreateTree("t");
+    ASSERT_TRUE(tree.ok());
+    Random rng(3);
+    for (int batch = 0; batch < 40; batch++) {
+      BaselineDb::Txn txn(db->get());
+      for (int i = 0; i < 25; i++) {
+        int64_t k = static_cast<int64_t>(rng.Uniform(5000));
+        std::string value = "value-" + std::to_string(k) + "-" +
+                            std::string(rng.Uniform(80), 'x');
+        ASSERT_TRUE(txn.Put(*tree, Key(k), Slice(value)).ok());
+        model[k] = value;
+      }
+      ASSERT_TRUE(txn.Commit().ok());
+    }
+    ASSERT_TRUE((*db)->Close().ok());
+  }
+  // Reopen and verify everything.
+  auto db = BaselineDb::Open(&store, SmallCache());
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  auto tree = (*db)->OpenTree("t");
+  ASSERT_TRUE(tree.ok());
+  BaselineDb::Txn txn(db->get());
+  for (const auto& [k, expected] : model) {
+    auto value = txn.Get(*tree, Key(k));
+    ASSERT_TRUE(value.ok()) << k;
+    EXPECT_EQ(Slice(*value).ToString(), expected) << k;
+  }
+  ASSERT_TRUE(txn.Abort().ok());
+}
+
+TEST(BaselineDbTest, CommittedDataSurvivesCrash) {
+  MemUntrustedStore base;
+  FaultInjectingStore faulty(&base);
+  {
+    auto db = BaselineDb::Open(&faulty, SmallCache());
+    ASSERT_TRUE(db.ok());
+    auto tree = (*db)->CreateTree("t");
+    ASSERT_TRUE(tree.ok());
+    BaselineDb::Txn txn(db->get());
+    ASSERT_TRUE(txn.Put(*tree, Key(1), Slice("durable")).ok());
+    ASSERT_TRUE(txn.Commit().ok());
+    // Crash without Close (no barrier, pages unflushed: WAL must carry it).
+    faulty.CrashAfterWrites(0);
+  }
+  faulty.Reboot();
+  auto db = BaselineDb::Open(&faulty, SmallCache());
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  auto tree = (*db)->OpenTree("t");
+  ASSERT_TRUE(tree.ok());
+  BaselineDb::Txn txn(db->get());
+  EXPECT_EQ(Slice(*txn.Get(*tree, Key(1))).ToString(), "durable");
+  ASSERT_TRUE(txn.Abort().ok());
+}
+
+TEST(BaselineDbTest, UncommittedOpsDiscardedAfterCrash) {
+  MemUntrustedStore base;
+  FaultInjectingStore faulty(&base);
+  {
+    auto db = BaselineDb::Open(&faulty, SmallCache());
+    ASSERT_TRUE(db.ok());
+    auto tree = (*db)->CreateTree("t");
+    ASSERT_TRUE(tree.ok());
+    {
+      BaselineDb::Txn txn(db->get());
+      ASSERT_TRUE(txn.Put(*tree, Key(1), Slice("committed")).ok());
+      ASSERT_TRUE(txn.Commit().ok());
+    }
+    BaselineDb::Txn txn(db->get());
+    ASSERT_TRUE(txn.Put(*tree, Key(2), Slice("uncommitted")).ok());
+    // Crash mid-commit: the WAL write is torn.
+    faulty.CrashAfterWrites(0);
+    EXPECT_FALSE(txn.Commit().ok());
+  }
+  faulty.Reboot();
+  auto db = BaselineDb::Open(&faulty, SmallCache());
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  auto tree = (*db)->OpenTree("t");
+  ASSERT_TRUE(tree.ok());
+  BaselineDb::Txn txn(db->get());
+  EXPECT_EQ(Slice(*txn.Get(*tree, Key(1))).ToString(), "committed");
+  EXPECT_TRUE(txn.Get(*tree, Key(2)).status().IsNotFound());
+  ASSERT_TRUE(txn.Abort().ok());
+}
+
+// Random crash-point property test mirroring the chunk store's.
+class BaselineCrashTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BaselineCrashTest, CommittedStateSurvives) {
+  const uint64_t seed = GetParam();
+  Random rng(seed);
+  MemUntrustedStore base;
+  FaultInjectingStore faulty(&base, seed);
+
+  std::map<int64_t, std::string> committed;
+  std::map<int64_t, std::string> maybe;  // Last unacknowledged txn.
+  {
+    auto db_or = BaselineDb::Open(&faulty, SmallCache());
+    ASSERT_TRUE(db_or.ok());
+    auto& db = *db_or;
+    auto tree = db->CreateTree("t");
+    ASSERT_TRUE(tree.ok());
+    faulty.CrashAfterWrites(rng.Uniform(300) + 1);
+    for (int round = 0; round < 300; round++) {
+      BaselineDb::Txn txn(db.get());
+      std::map<int64_t, std::string> batch;
+      for (int i = 0; i < 3; i++) {
+        int64_t k = static_cast<int64_t>(rng.Uniform(100));
+        std::string value =
+            "v" + std::to_string(rng.Next() % 100000);
+        if (!txn.Put(*tree, Key(k), Slice(value)).ok()) break;
+        batch[k] = value;
+      }
+      Status s = txn.Commit();
+      if (!s.ok()) {
+        maybe = batch;
+        break;
+      }
+      for (auto& [k, v] : batch) committed[k] = v;
+      if (faulty.crashed()) break;
+    }
+  }
+  faulty.Reboot();
+  auto db_or = BaselineDb::Open(&faulty, SmallCache());
+  ASSERT_TRUE(db_or.ok()) << "seed " << seed << ": "
+                          << db_or.status().ToString();
+  auto tree = (*db_or)->OpenTree("t");
+  ASSERT_TRUE(tree.ok());
+  BaselineDb::Txn txn(db_or->get());
+  for (const auto& [k, v] : committed) {
+    auto got = txn.Get(*tree, Key(k));
+    ASSERT_TRUE(got.ok()) << "seed " << seed << " key " << k;
+    bool matches = Slice(*got).ToString() == v;
+    bool matches_maybe =
+        maybe.count(k) && Slice(*got).ToString() == maybe.at(k);
+    EXPECT_TRUE(matches || matches_maybe) << "seed " << seed << " key " << k;
+  }
+  ASSERT_TRUE(txn.Abort().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BaselineCrashTest,
+                         ::testing::Range<uint64_t>(0, 12));
+
+TEST(BaselineDbTest, SingleWriterEnforced) {
+  MemUntrustedStore store;
+  auto db = BaselineDb::Open(&store, SmallCache());
+  ASSERT_TRUE(db.ok());
+  auto tree = (*db)->CreateTree("t");
+  ASSERT_TRUE(tree.ok());
+  BaselineDb::Txn txn1(db->get());
+  BaselineDb::Txn txn2(db->get());
+  EXPECT_TRUE(txn1.active());
+  EXPECT_FALSE(txn2.active());
+  EXPECT_FALSE(txn2.Put(*tree, Key(1), Slice("x")).ok());
+  ASSERT_TRUE(txn1.Abort().ok());
+}
+
+TEST(BaselineDbTest, LogGrowsWithoutCheckpoint) {
+  MemUntrustedStore store;
+  BaselineDb::Options options;
+  options.cache_bytes = 4 * 1024 * 1024;  // Big cache: no forced barriers.
+  auto db = BaselineDb::Open(&store, options);
+  ASSERT_TRUE(db.ok());
+  auto tree = (*db)->CreateTree("t");
+  ASSERT_TRUE(tree.ok());
+  uint64_t size_100 = 0;
+  for (int i = 0; i < 200; i++) {
+    BaselineDb::Txn txn(db->get());
+    ASSERT_TRUE(txn.Put(*tree, Key(i % 10), Slice("some value")).ok());
+    ASSERT_TRUE(txn.Commit().ok());
+    if (i == 99) size_100 = *(*db)->TotalFileBytes();
+  }
+  uint64_t size_200 = *(*db)->TotalFileBytes();
+  EXPECT_GT(size_200, size_100);  // The log keeps growing (§7.4, Fig 11).
+  // A checkpoint reclaims the log.
+  ASSERT_TRUE((*db)->Checkpoint().ok());
+  EXPECT_LT(*(*db)->TotalFileBytes(), size_200);
+}
+
+TEST(BaselineDbTest, TreeNamesPersist) {
+  MemUntrustedStore store;
+  {
+    auto db = BaselineDb::Open(&store, SmallCache());
+    ASSERT_TRUE(db.ok());
+    ASSERT_TRUE((*db)->CreateTree("alpha").ok());
+    ASSERT_TRUE((*db)->CreateTree("beta").ok());
+    EXPECT_EQ((*db)->CreateTree("alpha").status().code(),
+              Status::Code::kAlreadyExists);
+    ASSERT_TRUE((*db)->Close().ok());
+  }
+  auto db = BaselineDb::Open(&store, SmallCache());
+  ASSERT_TRUE(db.ok());
+  EXPECT_TRUE((*db)->OpenTree("alpha").ok());
+  EXPECT_TRUE((*db)->OpenTree("beta").ok());
+  EXPECT_TRUE((*db)->OpenTree("gamma").status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace tdb::baseline

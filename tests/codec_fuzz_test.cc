@@ -1,0 +1,177 @@
+// Adversarial-input robustness: every decoder that parses bytes from the
+// untrusted store must fail cleanly (Status, never a crash or hang) on
+// arbitrary garbage. Randomized property tests stand in for a fuzzer.
+
+#include <gtest/gtest.h>
+
+#include "chunk/anchor.h"
+#include "chunk/location_map.h"
+#include "chunk/log_format.h"
+#include "common/random.h"
+#include "crypto/cipher_suite.h"
+#include "object/pickle.h"
+
+namespace tdb {
+namespace {
+
+crypto::CipherSuite Suite() {
+  return crypto::CipherSuite(crypto::SecurityConfig::Modern(),
+                             Slice("fuzz-secret"), Slice("iv"));
+}
+
+TEST(CodecFuzzTest, ParseRecordNeverCrashesOnGarbage) {
+  Random rng(1);
+  for (int trial = 0; trial < 2000; trial++) {
+    Buffer garbage;
+    rng.Fill(&garbage, rng.Uniform(200));
+    chunk::RecordView view;
+    // Either parses (checksum collision is possible but harmless here) or
+    // reports Corruption; must never crash.
+    (void)chunk::ParseRecord(garbage, &view).ok();
+  }
+}
+
+TEST(CodecFuzzTest, DecodeManifestNeverCrashesOnGarbage) {
+  Random rng(2);
+  for (int trial = 0; trial < 2000; trial++) {
+    Buffer garbage;
+    rng.Fill(&garbage, rng.Uniform(300));
+    chunk::CommitManifest manifest;
+    (void)chunk::DecodeManifest(garbage, 32, 12, &manifest).ok();
+  }
+}
+
+TEST(CodecFuzzTest, DecodeMapNodeNeverCrashesOnGarbage) {
+  Random rng(3);
+  for (int trial = 0; trial < 2000; trial++) {
+    Buffer garbage;
+    rng.Fill(&garbage, rng.Uniform(300));
+    (void)chunk::LocationMap::DecodeNode(garbage, 64, 12).ok();
+  }
+}
+
+TEST(CodecFuzzTest, DecodeAnchorNeverCrashesOnGarbage) {
+  Random rng(4);
+  crypto::CipherSuite suite = Suite();
+  for (int trial = 0; trial < 2000; trial++) {
+    Buffer garbage;
+    rng.Fill(&garbage, rng.Uniform(300));
+    (void)chunk::AnchorManager::Decode(garbage, suite, 12).ok();
+  }
+}
+
+TEST(CodecFuzzTest, ManifestRoundtripWithAllFields) {
+  Random rng(5);
+  for (int trial = 0; trial < 200; trial++) {
+    chunk::CommitManifest manifest;
+    manifest.seq = rng.Next();
+    manifest.flags = static_cast<uint8_t>(rng.Uniform(8));
+    manifest.next_chunk_id = rng.Next();
+    manifest.counter = rng.Next();
+    Buffer mac_bytes;
+    rng.Fill(&mac_bytes, 32);
+    manifest.prev_mac = crypto::Digest(mac_bytes.data(), 32);
+    int n_writes = static_cast<int>(rng.Uniform(10));
+    for (int i = 0; i < n_writes; i++) {
+      chunk::ManifestWrite w;
+      w.cid = rng.Next();
+      w.loc = {static_cast<uint32_t>(rng.Next()),
+               static_cast<uint32_t>(rng.Next()),
+               static_cast<uint32_t>(rng.Next())};
+      Buffer h;
+      rng.Fill(&h, 12);
+      w.hash = crypto::Digest(h.data(), 12);
+      manifest.writes.push_back(w);
+    }
+    int n_deallocs = static_cast<int>(rng.Uniform(5));
+    for (int i = 0; i < n_deallocs; i++) manifest.deallocs.push_back(rng.Next());
+    manifest.has_root = rng.Bernoulli(0.5);
+    if (manifest.has_root) {
+      manifest.root_loc = {1, 2, 3};
+      Buffer h;
+      rng.Fill(&h, 12);
+      manifest.root_hash = crypto::Digest(h.data(), 12);
+    }
+
+    Buffer encoded = chunk::EncodeManifest(manifest, 32, 12);
+    chunk::CommitManifest decoded;
+    ASSERT_TRUE(chunk::DecodeManifest(encoded, 32, 12, &decoded).ok());
+    EXPECT_EQ(decoded.seq, manifest.seq);
+    EXPECT_EQ(decoded.flags, manifest.flags);
+    EXPECT_EQ(decoded.counter, manifest.counter);
+    EXPECT_EQ(decoded.next_chunk_id, manifest.next_chunk_id);
+    EXPECT_EQ(decoded.prev_mac, manifest.prev_mac);
+    ASSERT_EQ(decoded.writes.size(), manifest.writes.size());
+    for (size_t i = 0; i < manifest.writes.size(); i++) {
+      EXPECT_EQ(decoded.writes[i].cid, manifest.writes[i].cid);
+      EXPECT_TRUE(decoded.writes[i].loc == manifest.writes[i].loc);
+      EXPECT_EQ(decoded.writes[i].hash, manifest.writes[i].hash);
+    }
+    EXPECT_EQ(decoded.deallocs, manifest.deallocs);
+    EXPECT_EQ(decoded.has_root, manifest.has_root);
+  }
+}
+
+TEST(CodecFuzzTest, TruncatedManifestAlwaysRejected) {
+  chunk::CommitManifest manifest;
+  manifest.seq = 7;
+  manifest.counter = 3;
+  Buffer mac(32, 0xAB);
+  manifest.prev_mac = crypto::Digest(mac.data(), 32);
+  chunk::ManifestWrite w;
+  w.cid = 9;
+  w.loc = {1, 2, 3};
+  Buffer h(12, 0xCD);
+  w.hash = crypto::Digest(h.data(), 12);
+  manifest.writes.push_back(w);
+
+  Buffer encoded = chunk::EncodeManifest(manifest, 32, 12);
+  for (size_t cut = 0; cut < encoded.size(); cut++) {
+    Buffer truncated(encoded.begin(), encoded.begin() + cut);
+    chunk::CommitManifest out;
+    EXPECT_FALSE(chunk::DecodeManifest(truncated, 32, 12, &out).ok())
+        << "cut at " << cut;
+  }
+}
+
+TEST(CodecFuzzTest, UnpicklerNeverCrashesOnGarbage) {
+  Random rng(6);
+  for (int trial = 0; trial < 2000; trial++) {
+    Buffer garbage;
+    rng.Fill(&garbage, rng.Uniform(100));
+    object::Unpickler u{Slice(garbage)};
+    // Pull a random sequence of typed reads.
+    for (int op = 0; op < 8; op++) {
+      switch (rng.Uniform(6)) {
+        case 0: { bool v; (void)u.GetBool(&v).ok(); break; }
+        case 1: { int32_t v; (void)u.GetInt32(&v).ok(); break; }
+        case 2: { int64_t v; (void)u.GetInt64(&v).ok(); break; }
+        case 3: { double v; (void)u.GetDouble(&v).ok(); break; }
+        case 4: { std::string v; (void)u.GetString(&v).ok(); break; }
+        case 5: { Buffer v; (void)u.GetBytes(&v).ok(); break; }
+      }
+    }
+  }
+}
+
+TEST(CodecFuzzTest, SealedChunkBitFlipsAlwaysCaughtByOpenOrHash) {
+  // Flip every byte of a sealed chunk: either CBC unpadding fails, or the
+  // plaintext differs (which the Merkle hash above would catch — emulated
+  // here by direct comparison).
+  crypto::CipherSuite suite = Suite();
+  Buffer plain;
+  Random rng(7);
+  rng.Fill(&plain, 100);
+  Buffer sealed = suite.Seal(plain);
+  for (size_t i = 0; i < sealed.size(); i++) {
+    Buffer tampered = sealed;
+    tampered[i] ^= 0x01;
+    auto opened = suite.Open(tampered);
+    if (opened.ok()) {
+      EXPECT_NE(*opened, plain) << "byte " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tdb

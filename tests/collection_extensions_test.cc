@@ -1,0 +1,325 @@
+// Tests for the §5.2.3 immutable-key extension, string-keyed collections,
+// and assorted collection/Ref edge cases not covered by the main suite.
+
+#include <gtest/gtest.h>
+
+#include "collection/collection.h"
+#include "common/random.h"
+#include "platform/mem_store.h"
+#include "platform/one_way_counter.h"
+#include "platform/secret_store.h"
+
+namespace tdb::collection {
+namespace {
+
+using object::ObjectId;
+
+constexpr object::ClassId kSongClass = 120;
+
+class Song : public object::Object {
+ public:
+  Song() = default;
+  Song(int64_t id, std::string title, int64_t plays)
+      : id_(id), title_(std::move(title)), plays_(plays) {}
+
+  object::ClassId class_id() const override { return kSongClass; }
+  void Pickle(object::Pickler* p) const override {
+    p->PutInt64(id_);
+    p->PutString(title_);
+    p->PutInt64(plays_);
+  }
+  Status UnpickleFrom(object::Unpickler* u) override {
+    TDB_RETURN_IF_ERROR(u->GetInt64(&id_));
+    TDB_RETURN_IF_ERROR(u->GetString(&title_));
+    return u->GetInt64(&plays_);
+  }
+
+  int64_t id_ = 0;
+  std::string title_;
+  int64_t plays_ = 0;
+};
+
+using SongIntIndexer = Indexer<Song, IntKey>;
+using SongStringIndexer = Indexer<Song, StringKey>;
+
+std::shared_ptr<GenericIndexer> IdIndexer() {
+  // The song id never changes: declared immutable (§5.2.3).
+  return std::make_shared<SongIntIndexer>(
+      "by-id", Uniqueness::kUnique, IndexKind::kHashTable,
+      [](const Song& s) { return IntKey(s.id_); }, KeyMutability::kImmutable);
+}
+
+std::shared_ptr<GenericIndexer> TitleIndexer() {
+  return std::make_shared<SongStringIndexer>(
+      "by-title", Uniqueness::kNonUnique, IndexKind::kBTree,
+      [](const Song& s) { return StringKey(s.title_); });
+}
+
+std::shared_ptr<GenericIndexer> PlaysIndexer() {
+  return std::make_shared<SongIntIndexer>(
+      "by-plays", Uniqueness::kNonUnique, IndexKind::kBTree,
+      [](const Song& s) { return IntKey(s.plays_); });
+}
+
+struct Env {
+  platform::MemUntrustedStore store;
+  platform::MemSecretStore secrets;
+  platform::MemOneWayCounter counter;
+  std::unique_ptr<chunk::ChunkStore> chunks;
+  std::unique_ptr<object::ObjectStore> objects;
+  std::unique_ptr<CollectionStore> collections;
+
+  Env() {
+    TDB_CHECK(secrets.Provision(Slice("ext-secret")).ok());
+    chunk::ChunkStoreOptions copts;
+    copts.security = crypto::SecurityConfig::Modern();
+    copts.segment_size = 16 * 1024;
+    copts.map_fanout = 8;
+    chunks = std::move(chunk::ChunkStore::Open(&store, &secrets, &counter,
+                                               copts))
+                 .value();
+    objects = std::move(object::ObjectStore::Open(chunks.get())).value();
+    TDB_CHECK(objects->registry().Register<Song>(kSongClass).ok());
+    collections = std::move(CollectionStore::Open(objects.get())).value();
+  }
+};
+
+// Builds a library collection with all three indexes and `n` songs.
+void Populate(Env& env, int n) {
+  CTransaction t(env.collections.get());
+  auto lib = t.CreateCollection("library", IdIndexer());
+  TDB_CHECK(lib.ok(), lib.status().ToString());
+  TDB_CHECK((*lib)->CreateIndex(&t, TitleIndexer()).ok());
+  TDB_CHECK((*lib)->CreateIndex(&t, PlaysIndexer()).ok());
+  for (int64_t i = 0; i < n; i++) {
+    TDB_CHECK((*lib)
+                  ->Insert(&t, std::make_unique<Song>(
+                                   i, "song-" + std::to_string(i % 7), i))
+                  .status()
+                  .ok());
+  }
+  TDB_CHECK(t.Commit(true).ok());
+}
+
+TEST(ImmutableKeyTest, UpdatesSkipImmutableIndexMaintenance) {
+  Env env;
+  Populate(env, 20);
+  CTransaction t(env.collections.get());
+  auto lib = t.ReadCollection("library");
+  ASSERT_TRUE(lib.ok());
+  auto id_indexer = IdIndexer();
+
+  // Update mutable fields through an iterator on the immutable index.
+  auto it = (*lib)->Query(&t, *id_indexer, IntKey(5));
+  ASSERT_TRUE(it.ok());
+  ASSERT_FALSE((*it)->end());
+  auto song = (*it)->Write<Song>();
+  ASSERT_TRUE(song.ok());
+  (*song)->plays_ = 999;
+  (*song)->title_ = "renamed";
+  ASSERT_TRUE((*it)->Close().ok());
+
+  // The immutable id index still resolves; the mutable indexes moved.
+  auto by_id = (*lib)->Query(&t, *id_indexer, IntKey(5));
+  ASSERT_TRUE(by_id.ok());
+  ASSERT_FALSE((*by_id)->end());
+  EXPECT_EQ((*(*by_id)->Read<Song>())->plays_, 999);
+  ASSERT_TRUE((*by_id)->Close().ok());
+
+  auto plays = PlaysIndexer();
+  auto by_plays = (*lib)->Query(&t, *plays, IntKey(999));
+  ASSERT_TRUE(by_plays.ok());
+  ASSERT_FALSE((*by_plays)->end());
+  EXPECT_EQ((*(*by_plays)->Read<Song>())->id_, 5);
+  ASSERT_TRUE((*by_plays)->Close().ok());
+
+  auto title = TitleIndexer();
+  auto by_title = (*lib)->Query(&t, *title, StringKey("renamed"));
+  ASSERT_TRUE(by_title.ok());
+  ASSERT_FALSE((*by_title)->end());
+  ASSERT_TRUE((*by_title)->Close().ok());
+  ASSERT_TRUE(t.Commit().ok());
+}
+
+TEST(ImmutableKeyTest, RemoveCurrentWorksOnImmutableIndex) {
+  Env env;
+  Populate(env, 10);
+  CTransaction t(env.collections.get());
+  auto lib = t.ReadCollection("library");
+  ASSERT_TRUE(lib.ok());
+  auto id_indexer = IdIndexer();
+  auto it = (*lib)->Query(&t, *id_indexer, IntKey(3));
+  ASSERT_TRUE(it.ok());
+  ASSERT_FALSE((*it)->end());
+  ASSERT_TRUE((*it)->RemoveCurrent().ok());
+  ASSERT_TRUE((*it)->Close().ok());
+
+  auto gone = (*lib)->Query(&t, *id_indexer, IntKey(3));
+  ASSERT_TRUE(gone.ok());
+  EXPECT_TRUE((*gone)->end());
+  ASSERT_TRUE((*gone)->Close().ok());
+  // The mutable indexes were maintained too.
+  auto plays = PlaysIndexer();
+  auto by_plays = (*lib)->Query(&t, *plays, IntKey(3));
+  ASSERT_TRUE(by_plays.ok());
+  EXPECT_TRUE((*by_plays)->end());
+  ASSERT_TRUE((*by_plays)->Close().ok());
+  ASSERT_TRUE(t.Commit().ok());
+}
+
+TEST(ImmutableKeyTest, MutabilityMismatchRejected) {
+  Env env;
+  Populate(env, 3);
+  CTransaction t(env.collections.get());
+  auto lib = t.ReadCollection("library");
+  ASSERT_TRUE(lib.ok());
+  // Same name/kind/uniqueness but declared mutable: stored index disagrees.
+  auto wrong = std::make_shared<SongIntIndexer>(
+      "by-id", Uniqueness::kUnique, IndexKind::kHashTable,
+      [](const Song& s) { return IntKey(s.id_); });
+  auto it = (*lib)->Query(&t, *wrong, IntKey(1));
+  EXPECT_EQ(it.status().code(), Status::Code::kInvalidArgument);
+}
+
+TEST(StringKeyTest, RangeQueriesOverTitles) {
+  Env env;
+  Populate(env, 21);  // Titles song-0 .. song-6, three of each.
+  CTransaction t(env.collections.get());
+  auto lib = t.ReadCollection("library");
+  ASSERT_TRUE(lib.ok());
+  auto title = TitleIndexer();
+  StringKey min("song-2"), max("song-4");
+  auto it = (*lib)->Query(&t, *title, &min, &max);
+  ASSERT_TRUE(it.ok()) << it.status().ToString();
+  int count = 0;
+  std::string last;
+  for (; !(*it)->end(); (*it)->Next()) {
+    auto song = (*it)->Read<Song>();
+    ASSERT_TRUE(song.ok());
+    EXPECT_GE((*song)->title_, "song-2");
+    EXPECT_LE((*song)->title_, "song-4");
+    EXPECT_GE((*song)->title_, last);  // B-tree returns sorted order.
+    last = (*song)->title_;
+    count++;
+  }
+  EXPECT_EQ(count, 9);  // 3 titles x 3 songs each.
+  ASSERT_TRUE((*it)->Close().ok());
+}
+
+TEST(RefCastTest, WritableDownCastChecked) {
+  Env env;
+  object::Transaction txn(env.objects.get());
+  ObjectId oid = *txn.Insert(std::make_unique<Song>(1, "t", 0));
+  auto base = txn.OpenWritable<object::Object>(oid);
+  ASSERT_TRUE(base.ok());
+  auto song = object::ref_cast<Song>(*base);
+  ASSERT_TRUE(song.ok());
+  (*song)->plays_ = 42;
+  // AsReadonly view of the same object.
+  auto ro = (*song).AsReadonly();
+  EXPECT_EQ(ro->plays_, 42);
+  // Wrong class fails cleanly.
+  auto wrong = object::ref_cast<Collection>(*base);
+  EXPECT_EQ(wrong.status().code(), Status::Code::kTypeMismatch);
+  ASSERT_TRUE(txn.Commit().ok());
+}
+
+TEST(IteratorEdgeTest, WriteThenRemoveSameObject) {
+  Env env;
+  Populate(env, 5);
+  CTransaction t(env.collections.get());
+  auto lib = t.ReadCollection("library");
+  ASSERT_TRUE(lib.ok());
+  auto id_indexer = IdIndexer();
+  auto it = (*lib)->Query(&t, *id_indexer, IntKey(2));
+  ASSERT_TRUE(it.ok());
+  auto song = (*it)->Write<Song>();
+  ASSERT_TRUE(song.ok());
+  (*song)->plays_ = 12345;        // Update...
+  ASSERT_TRUE((*it)->RemoveCurrent().ok());  // ...then delete: delete wins.
+  ASSERT_TRUE((*it)->Close().ok());
+
+  auto gone = (*lib)->Query(&t, *id_indexer, IntKey(2));
+  ASSERT_TRUE(gone.ok());
+  EXPECT_TRUE((*gone)->end());
+  ASSERT_TRUE((*gone)->Close().ok());
+  auto plays = PlaysIndexer();
+  for (int64_t key : {2, 12345}) {
+    auto by_plays = (*lib)->Query(&t, *plays, IntKey(key));
+    ASSERT_TRUE(by_plays.ok());
+    EXPECT_TRUE((*by_plays)->end()) << key;
+    ASSERT_TRUE((*by_plays)->Close().ok());
+  }
+  ASSERT_TRUE(t.Commit().ok());
+}
+
+TEST(IteratorEdgeTest, TransactionDestructorWithOpenIterator) {
+  Env env;
+  Populate(env, 5);
+  {
+    CTransaction t(env.collections.get());
+    auto lib = t.ReadCollection("library");
+    ASSERT_TRUE(lib.ok());
+    auto id_indexer = IdIndexer();
+    auto it = (*lib)->Query(&t, *id_indexer);
+    ASSERT_TRUE(it.ok());
+    auto song = (*it)->Write<Song>();
+    ASSERT_TRUE(song.ok());
+    (*song)->plays_ = -1;
+    // Neither iterator Close nor Commit: both destructors run (iterator
+    // first, then transaction abort). Must not crash, must roll back.
+  }
+  CTransaction t(env.collections.get());
+  auto lib = t.ReadCollection("library");
+  ASSERT_TRUE(lib.ok());
+  auto plays = PlaysIndexer();
+  auto by_plays = (*lib)->Query(&t, *plays, IntKey(-1));
+  ASSERT_TRUE(by_plays.ok());
+  EXPECT_TRUE((*by_plays)->end());
+  ASSERT_TRUE((*by_plays)->Close().ok());
+}
+
+TEST(IteratorEdgeTest, EmptyResultIterator) {
+  Env env;
+  Populate(env, 3);
+  CTransaction t(env.collections.get());
+  auto lib = t.ReadCollection("library");
+  ASSERT_TRUE(lib.ok());
+  auto id_indexer = IdIndexer();
+  auto it = (*lib)->Query(&t, *id_indexer, IntKey(777));
+  ASSERT_TRUE(it.ok());
+  EXPECT_TRUE((*it)->end());
+  EXPECT_EQ((*it)->Read<Song>().status().code(),
+            Status::Code::kInvalidArgument);
+  ASSERT_TRUE((*it)->Close().ok());
+  ASSERT_TRUE((*it)->Close().ok());  // Idempotent.
+}
+
+TEST(IteratorEdgeTest, SnapshotSkipsImmutableSavingBytes) {
+  // Quantify the §5.2.3 saving: with all indexes immutable vs mutable,
+  // writable dereferences do less snapshot work. (Behavioral proxy: both
+  // still work; this documents the API contract.)
+  Env env;
+  CTransaction t(env.collections.get());
+  auto all_immutable = std::make_shared<SongIntIndexer>(
+      "imm", Uniqueness::kUnique, IndexKind::kBTree,
+      [](const Song& s) { return IntKey(s.id_); }, KeyMutability::kImmutable);
+  auto coll = t.CreateCollection("imm-only", all_immutable);
+  ASSERT_TRUE(coll.ok());
+  for (int64_t i = 0; i < 10; i++) {
+    ASSERT_TRUE(
+        (*coll)->Insert(&t, std::make_unique<Song>(i, "x", 0)).ok());
+  }
+  auto it = (*coll)->Query(&t, *all_immutable);
+  ASSERT_TRUE(it.ok());
+  for (; !(*it)->end(); (*it)->Next()) {
+    auto song = (*it)->Write<Song>();
+    ASSERT_TRUE(song.ok());
+    (*song)->plays_++;
+  }
+  ASSERT_TRUE((*it)->Close().ok());
+  ASSERT_TRUE(t.Commit().ok());
+}
+
+}  // namespace
+}  // namespace tdb::collection

@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/coding.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace tdb {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, CodesAndMessages) {
+  Status s = Status::NotFound("chunk 42");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.ToString(), "NotFound: chunk 42");
+
+  EXPECT_TRUE(Status::TamperDetected("x").IsTamperDetected());
+  EXPECT_TRUE(Status::ReplayDetected("x").IsReplayDetected());
+  EXPECT_TRUE(Status::LockTimeout("x").IsLockTimeout());
+  EXPECT_TRUE(Status::UniqueViolation("x").IsUniqueViolation());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  auto inner = []() { return Status::IOError("disk"); };
+  auto outer = [&]() -> Status {
+    TDB_RETURN_IF_ERROR(inner());
+    return Status::OK();
+  };
+  EXPECT_EQ(outer().code(), Status::Code::kIOError);
+}
+
+TEST(ResultTest, ValueAndStatus) {
+  Result<int> ok_result(7);
+  ASSERT_TRUE(ok_result.ok());
+  EXPECT_EQ(*ok_result, 7);
+
+  Result<int> err_result(Status::NotFound("nope"));
+  EXPECT_FALSE(err_result.ok());
+  EXPECT_TRUE(err_result.status().IsNotFound());
+}
+
+TEST(ResultTest, AssignOrReturn) {
+  auto make = [](bool fail) -> Result<std::string> {
+    if (fail) return Status::IOError("bad");
+    return std::string("hello");
+  };
+  auto use = [&](bool fail) -> Status {
+    TDB_ASSIGN_OR_RETURN(std::string v, make(fail));
+    EXPECT_EQ(v, "hello");
+    return Status::OK();
+  };
+  EXPECT_TRUE(use(false).ok());
+  EXPECT_EQ(use(true).code(), Status::Code::kIOError);
+}
+
+TEST(SliceTest, BasicsAndEquality) {
+  Buffer b = {1, 2, 3};
+  Slice s(b);
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[1], 2);
+  EXPECT_EQ(s, Slice(b));
+  s.RemovePrefix(1);
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_EQ(s[0], 2);
+  EXPECT_NE(s, Slice(b));
+
+  Slice from_str("abc");
+  EXPECT_EQ(from_str.size(), 3u);
+  EXPECT_EQ(from_str.ToString(), "abc");
+}
+
+TEST(CodingTest, FixedRoundtrip) {
+  Buffer b;
+  PutFixed16(&b, 0xBEEF);
+  PutFixed32(&b, 0xDEADBEEF);
+  PutFixed64(&b, 0x0123456789ABCDEFull);
+  Decoder dec{Slice(b)};
+  uint16_t v16;
+  uint32_t v32;
+  uint64_t v64;
+  ASSERT_TRUE(dec.GetFixed16(&v16).ok());
+  ASSERT_TRUE(dec.GetFixed32(&v32).ok());
+  ASSERT_TRUE(dec.GetFixed64(&v64).ok());
+  EXPECT_EQ(v16, 0xBEEF);
+  EXPECT_EQ(v32, 0xDEADBEEFu);
+  EXPECT_EQ(v64, 0x0123456789ABCDEFull);
+  EXPECT_TRUE(dec.done());
+}
+
+TEST(CodingTest, VarintBoundaries) {
+  const uint64_t cases[] = {0,       1,          127,        128,
+                            16383,   16384,      UINT32_MAX, 1ull << 40,
+                            1ull << 63, UINT64_MAX};
+  for (uint64_t v : cases) {
+    Buffer b;
+    PutVarint64(&b, v);
+    Decoder dec{Slice(b)};
+    uint64_t out;
+    ASSERT_TRUE(dec.GetVarint64(&out).ok()) << v;
+    EXPECT_EQ(out, v);
+    EXPECT_TRUE(dec.done());
+  }
+}
+
+TEST(CodingTest, VarintRandomRoundtrip) {
+  Random rng(1234);
+  Buffer b;
+  std::vector<uint64_t> values;
+  for (int i = 0; i < 1000; i++) {
+    uint64_t v = rng.Next() >> (rng.Uniform(64));
+    values.push_back(v);
+    PutVarint64(&b, v);
+  }
+  Decoder dec{Slice(b)};
+  for (uint64_t expected : values) {
+    uint64_t out;
+    ASSERT_TRUE(dec.GetVarint64(&out).ok());
+    EXPECT_EQ(out, expected);
+  }
+  EXPECT_TRUE(dec.done());
+}
+
+TEST(CodingTest, LengthPrefixedRoundtrip) {
+  Buffer b;
+  PutLengthPrefixed(&b, Slice("hello"));
+  PutLengthPrefixed(&b, Slice(""));
+  PutLengthPrefixed(&b, Slice("world!"));
+  Decoder dec{Slice(b)};
+  Slice s1, s2, s3;
+  ASSERT_TRUE(dec.GetLengthPrefixed(&s1).ok());
+  ASSERT_TRUE(dec.GetLengthPrefixed(&s2).ok());
+  ASSERT_TRUE(dec.GetLengthPrefixed(&s3).ok());
+  EXPECT_EQ(s1.ToString(), "hello");
+  EXPECT_EQ(s2.ToString(), "");
+  EXPECT_EQ(s3.ToString(), "world!");
+}
+
+TEST(CodingTest, DecoderRejectsTruncation) {
+  Buffer b;
+  PutFixed32(&b, 42);
+  b.resize(3);  // Truncate.
+  Decoder dec{Slice(b)};
+  uint32_t v;
+  EXPECT_TRUE(dec.GetFixed32(&v).IsCorruption());
+}
+
+TEST(CodingTest, DecoderRejectsMalformedVarint) {
+  Buffer b(11, 0xFF);  // Continuation bit never clears.
+  Decoder dec{Slice(b)};
+  uint64_t v;
+  EXPECT_TRUE(dec.GetVarint64(&v).IsCorruption());
+}
+
+TEST(CodingTest, DecoderRejectsOverlongLengthPrefix) {
+  Buffer b;
+  PutVarint64(&b, 1000);  // Claims 1000 bytes; none follow.
+  Decoder dec{Slice(b)};
+  Slice s;
+  EXPECT_TRUE(dec.GetLengthPrefixed(&s).IsCorruption());
+}
+
+TEST(CodingTest, PatchFixed32) {
+  Buffer b;
+  PutFixed32(&b, 0);
+  PutFixed32(&b, 7);
+  PatchFixed32(&b, 0, 0xCAFEBABE);
+  EXPECT_EQ(DecodeFixed32(b.data()), 0xCAFEBABEu);
+  EXPECT_EQ(DecodeFixed32(b.data() + 4), 7u);
+}
+
+TEST(CodingTest, ToHex) {
+  Buffer b = {0x00, 0xab, 0xff};
+  EXPECT_EQ(ToHex(Slice(b)), "00abff");
+}
+
+TEST(CodingTest, ChecksumDistinguishesInputs) {
+  EXPECT_NE(Checksum32(Slice("abc")), Checksum32(Slice("abd")));
+  EXPECT_EQ(Checksum32(Slice("abc")), Checksum32(Slice("abc")));
+}
+
+TEST(RandomTest, DeterministicFromSeed) {
+  Random a(99), b(99), c(100);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_NE(a.Next(), c.Next());
+}
+
+TEST(RandomTest, UniformInRange) {
+  Random rng(7);
+  for (int i = 0; i < 1000; i++) {
+    uint64_t v = rng.Range(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(RandomTest, BernoulliExtremes) {
+  Random rng(7);
+  for (int i = 0; i < 100; i++) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+}  // namespace
+}  // namespace tdb

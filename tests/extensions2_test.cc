@@ -1,0 +1,223 @@
+// Tests for CompositeKey (multi-variable functional indexes, §5.1.1) and
+// StagedArchivalStore (stage-then-migrate backups, §2).
+
+#include <gtest/gtest.h>
+
+#include "backup/backup_store.h"
+#include "collection/collection.h"
+#include "platform/mem_store.h"
+#include "platform/one_way_counter.h"
+#include "platform/secret_store.h"
+#include "platform/staged_archive.h"
+
+namespace tdb {
+namespace {
+
+using collection::CompositeKey;
+using collection::CTransaction;
+using collection::IndexKind;
+using collection::IntKey;
+using collection::StringKey;
+using collection::Uniqueness;
+
+// --------------------------------------------------------- composite keys
+
+using RegionUserKey = CompositeKey<StringKey, IntKey>;
+
+TEST(CompositeKeyTest, LexicographicOrdering) {
+  RegionUserKey a{StringKey("eu"), IntKey(5)};
+  RegionUserKey b{StringKey("eu"), IntKey(9)};
+  RegionUserKey c{StringKey("us"), IntKey(1)};
+  RegionUserKey a2{StringKey("eu"), IntKey(5)};
+  EXPECT_LT(a.Compare(b), 0);
+  EXPECT_LT(b.Compare(c), 0);  // First component dominates.
+  EXPECT_GT(c.Compare(a), 0);
+  EXPECT_EQ(a.Compare(a2), 0);
+  EXPECT_EQ(a.Hash(), a2.Hash());
+  EXPECT_NE(a.Hash(), b.Hash());
+}
+
+TEST(CompositeKeyTest, PickleRoundtrip) {
+  RegionUserKey original{StringKey("apac"), IntKey(-42)};
+  Buffer pickled = collection::PickleKey(original);
+  RegionUserKey restored;
+  object::Unpickler u{Slice(pickled)};
+  ASSERT_TRUE(restored.UnpickleFrom(&u).ok());
+  EXPECT_EQ(restored.get<0>().value(), "apac");
+  EXPECT_EQ(restored.get<1>().value(), -42);
+  EXPECT_EQ(original.Compare(restored), 0);
+}
+
+TEST(CompositeKeyTest, CloneIsDeepEqual) {
+  RegionUserKey key{StringKey("eu"), IntKey(7)};
+  auto clone = key.Clone();
+  EXPECT_EQ(key.Compare(*clone), 0);
+}
+
+// A collection indexed by a composite (region, usage) key.
+constexpr object::ClassId kDeviceClass = 130;
+
+class Device : public object::Object {
+ public:
+  Device() = default;
+  Device(std::string region, int64_t usage)
+      : region_(std::move(region)), usage_(usage) {}
+  object::ClassId class_id() const override { return kDeviceClass; }
+  void Pickle(object::Pickler* p) const override {
+    p->PutString(region_);
+    p->PutInt64(usage_);
+  }
+  Status UnpickleFrom(object::Unpickler* u) override {
+    TDB_RETURN_IF_ERROR(u->GetString(&region_));
+    return u->GetInt64(&usage_);
+  }
+  std::string region_;
+  int64_t usage_ = 0;
+};
+
+TEST(CompositeKeyTest, CompositeIndexRangeQuery) {
+  platform::MemUntrustedStore store;
+  platform::MemSecretStore secrets;
+  platform::MemOneWayCounter counter;
+  ASSERT_TRUE(secrets.Provision(Slice("s")).ok());
+  chunk::ChunkStoreOptions copts;
+  copts.security = crypto::SecurityConfig::Modern();
+  auto chunks =
+      std::move(chunk::ChunkStore::Open(&store, &secrets, &counter, copts))
+          .value();
+  auto objects = std::move(object::ObjectStore::Open(chunks.get())).value();
+  ASSERT_TRUE(objects->registry().Register<Device>(kDeviceClass).ok());
+  auto colls =
+      std::move(collection::CollectionStore::Open(objects.get())).value();
+
+  auto indexer =
+      std::make_shared<collection::Indexer<Device, RegionUserKey>>(
+          "by-region-usage", Uniqueness::kNonUnique, IndexKind::kBTree,
+          [](const Device& d) {
+            return RegionUserKey{StringKey(d.region_), IntKey(d.usage_)};
+          });
+
+  CTransaction t(colls.get());
+  auto fleet = t.CreateCollection("fleet", indexer);
+  ASSERT_TRUE(fleet.ok());
+  for (const char* region : {"eu", "us", "apac"}) {
+    for (int64_t usage = 0; usage < 10; usage++) {
+      ASSERT_TRUE(
+          (*fleet)->Insert(&t, std::make_unique<Device>(region, usage)).ok());
+    }
+  }
+  // All EU devices with usage in [3, 6].
+  RegionUserKey min{StringKey("eu"), IntKey(3)};
+  RegionUserKey max{StringKey("eu"), IntKey(6)};
+  auto it = (*fleet)->Query(&t, *indexer, &min, &max);
+  ASSERT_TRUE(it.ok()) << it.status().ToString();
+  int count = 0;
+  int64_t last_usage = -1;
+  for (; !(*it)->end(); (*it)->Next()) {
+    auto device = (*it)->Read<Device>();
+    ASSERT_TRUE(device.ok());
+    EXPECT_EQ((*device)->region_, "eu");
+    EXPECT_GE((*device)->usage_, 3);
+    EXPECT_LE((*device)->usage_, 6);
+    EXPECT_GT((*device)->usage_, last_usage);  // Sorted by the composite.
+    last_usage = (*device)->usage_;
+    count++;
+  }
+  EXPECT_EQ(count, 4);
+  ASSERT_TRUE((*it)->Close().ok());
+  ASSERT_TRUE(t.Commit().ok());
+}
+
+// ------------------------------------------------------- staged archives
+
+TEST(StagedArchiveTest, StageListReadRemove) {
+  platform::MemUntrustedStore staging;
+  platform::StagedArchivalStore archive(&staging);
+  auto writer = archive.NewArchive("b0");
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->Append(Slice("payload-1")).ok());
+  ASSERT_TRUE((*writer)->Append(Slice("payload-2")).ok());
+  ASSERT_TRUE((*writer)->Close().ok());
+
+  EXPECT_EQ(archive.ListArchives(), std::vector<std::string>{"b0"});
+  auto reader = archive.OpenArchive("b0");
+  ASSERT_TRUE(reader.ok());
+  Buffer data;
+  ASSERT_TRUE((*reader)->Read(18, &data).ok());
+  EXPECT_EQ(Slice(data).ToString(), "payload-1payload-2");
+  ASSERT_TRUE(archive.RemoveArchive("b0").ok());
+  EXPECT_TRUE(archive.OpenArchive("b0").status().IsNotFound());
+}
+
+TEST(StagedArchiveTest, UnclosedArchiveInvisible) {
+  platform::MemUntrustedStore staging;
+  platform::StagedArchivalStore archive(&staging);
+  auto writer = archive.NewArchive("partial");
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->Append(Slice("half")).ok());
+  EXPECT_TRUE(archive.OpenArchive("partial").status().IsNotFound());
+}
+
+TEST(StagedArchiveTest, MigrationMovesArchivesToRemote) {
+  platform::MemUntrustedStore staging;
+  platform::StagedArchivalStore local(&staging);
+  platform::MemArchivalStore remote;
+  for (const char* name : {"day0", "day1"}) {
+    auto writer = local.NewArchive(name);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE((*writer)->Append(Slice(name)).ok());
+    ASSERT_TRUE((*writer)->Close().ok());
+  }
+  ASSERT_TRUE(local.MigrateAll(&remote, /*purge=*/true).ok());
+  EXPECT_TRUE(local.ListArchives().empty());
+  EXPECT_EQ(remote.ListArchives().size(), 2u);
+  auto reader = remote.OpenArchive("day1");
+  ASSERT_TRUE(reader.ok());
+  Buffer data;
+  ASSERT_TRUE((*reader)->Read(4, &data).ok());
+  EXPECT_EQ(Slice(data).ToString(), "day1");
+}
+
+TEST(StagedArchiveTest, EndToEndBackupThroughStagingAndMigration) {
+  // Device: chunk store + staged backups on the SAME untrusted store, then
+  // migration to the remote server, then restore from the remote.
+  platform::MemUntrustedStore device;
+  platform::MemSecretStore secrets;
+  platform::MemOneWayCounter counter;
+  ASSERT_TRUE(secrets.Provision(Slice("s")).ok());
+  chunk::ChunkStoreOptions options;
+  auto cs = std::move(chunk::ChunkStore::Open(&device, &secrets, &counter,
+                                              options))
+                .value();
+  chunk::ChunkId cid = cs->AllocateChunkId();
+  ASSERT_TRUE(cs->Write(cid, Slice("device-state"), true).ok());
+
+  platform::StagedArchivalStore staged(&device);
+  auto backups = std::move(backup::BackupStore::Open(cs.get(), &staged,
+                                                     &secrets,
+                                                     options.security))
+                     .value();
+  ASSERT_TRUE(backups->CreateFull("b0").ok());
+  ASSERT_TRUE(cs->Write(cid, Slice("device-state-2"), true).ok());
+  ASSERT_TRUE(backups->CreateIncremental("b1").ok());
+
+  // Opportunistic migration to the remote server.
+  platform::MemArchivalStore remote;
+  ASSERT_TRUE(staged.MigrateAll(&remote, /*purge=*/true).ok());
+
+  // Restore on a replacement device, reading from the remote.
+  platform::MemUntrustedStore replacement;
+  platform::MemOneWayCounter new_counter;
+  auto target = std::move(chunk::ChunkStore::Open(&replacement, &secrets,
+                                                  &new_counter, options))
+                    .value();
+  auto remote_backups =
+      std::move(backup::BackupStore::Open(target.get(), &remote, &secrets,
+                                          options.security))
+          .value();
+  ASSERT_TRUE(remote_backups->Restore({"b0", "b1"}, target.get()).ok());
+  EXPECT_EQ(Slice(*target->Read(cid)).ToString(), "device-state-2");
+}
+
+}  // namespace
+}  // namespace tdb

@@ -1,0 +1,98 @@
+// Direct unit tests of the strict-2PL lock manager (§4.2.3); the
+// transactional suites cover it end to end, these pin the table mechanics.
+
+#include "object/lock_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace tdb::object {
+namespace {
+
+using namespace std::chrono_literals;
+
+class LockManagerTest : public ::testing::Test {
+ protected:
+  Status Lock(TxnId txn, ObjectId oid, bool exclusive,
+              std::chrono::milliseconds timeout = 50ms) {
+    std::unique_lock<std::mutex> guard(mutex_);
+    return locks_.Lock(txn, oid, exclusive, guard, timeout);
+  }
+
+  std::mutex mutex_;
+  LockManager locks_;
+};
+
+TEST_F(LockManagerTest, SharedLocksCoexist) {
+  ASSERT_TRUE(Lock(1, 100, false).ok());
+  ASSERT_TRUE(Lock(2, 100, false).ok());
+  EXPECT_TRUE(locks_.HoldsShared(1, 100));
+  EXPECT_TRUE(locks_.HoldsShared(2, 100));
+}
+
+TEST_F(LockManagerTest, ExclusiveExcludesEverything) {
+  ASSERT_TRUE(Lock(1, 100, true).ok());
+  EXPECT_TRUE(Lock(2, 100, false).IsLockTimeout());
+  EXPECT_TRUE(Lock(2, 100, true).IsLockTimeout());
+}
+
+TEST_F(LockManagerTest, SharedBlocksExclusive) {
+  ASSERT_TRUE(Lock(1, 100, false).ok());
+  EXPECT_TRUE(Lock(2, 100, true).IsLockTimeout());
+}
+
+TEST_F(LockManagerTest, ReentrantAndUpgrade) {
+  ASSERT_TRUE(Lock(1, 100, false).ok());
+  ASSERT_TRUE(Lock(1, 100, false).ok());  // Re-request shared.
+  ASSERT_TRUE(Lock(1, 100, true).ok());   // Sole holder upgrades.
+  EXPECT_TRUE(locks_.HoldsExclusive(1, 100));
+  EXPECT_FALSE(locks_.HoldsShared(1, 100));  // Upgrade consumed it.
+  ASSERT_TRUE(Lock(1, 100, false).ok());  // Shared under own exclusive: ok.
+  ASSERT_TRUE(Lock(1, 100, true).ok());   // Re-request exclusive: ok.
+}
+
+TEST_F(LockManagerTest, UpgradeBlockedByOtherReader) {
+  ASSERT_TRUE(Lock(1, 100, false).ok());
+  ASSERT_TRUE(Lock(2, 100, false).ok());
+  EXPECT_TRUE(Lock(1, 100, true).IsLockTimeout());
+}
+
+TEST_F(LockManagerTest, ReleaseAllWakesWaiters) {
+  ASSERT_TRUE(Lock(1, 100, true).ok());
+  std::thread releaser([&] {
+    std::this_thread::sleep_for(30ms);
+    std::lock_guard<std::mutex> guard(mutex_);
+    locks_.ReleaseAll(1);
+  });
+  // Waits under the state mutex, which Lock releases while blocked.
+  EXPECT_TRUE(Lock(2, 100, true, 2000ms).ok());
+  releaser.join();
+  EXPECT_TRUE(locks_.HoldsExclusive(2, 100));
+}
+
+TEST_F(LockManagerTest, ReleaseAllDropsEveryLockOfTxn) {
+  ASSERT_TRUE(Lock(1, 100, true).ok());
+  ASSERT_TRUE(Lock(1, 101, false).ok());
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    locks_.ReleaseAll(1);
+  }
+  EXPECT_FALSE(locks_.HoldsExclusive(1, 100));
+  EXPECT_FALSE(locks_.HoldsShared(1, 101));
+  EXPECT_TRUE(Lock(2, 100, true).ok());
+  EXPECT_TRUE(Lock(2, 101, true).ok());
+}
+
+TEST_F(LockManagerTest, IndependentObjectsDoNotInterfere) {
+  ASSERT_TRUE(Lock(1, 100, true).ok());
+  EXPECT_TRUE(Lock(2, 200, true).ok());
+}
+
+TEST_F(LockManagerTest, ReleaseOfUnknownTxnIsNoop) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  locks_.ReleaseAll(42);  // Must not crash.
+}
+
+}  // namespace
+}  // namespace tdb::object

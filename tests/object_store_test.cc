@@ -1,0 +1,717 @@
+#include "object/object_store.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/random.h"
+#include "platform/mem_store.h"
+#include "platform/one_way_counter.h"
+#include "platform/secret_store.h"
+
+namespace tdb::object {
+namespace {
+
+// --- Example application classes (the paper's Figure 4 Meter/Profile) ---
+
+constexpr ClassId kMeterClass = 100;
+constexpr ClassId kProfileClass = 101;
+constexpr ClassId kExtendedMeterClass = 102;
+
+class Meter : public Object {
+ public:
+  Meter() = default;
+  Meter(int32_t id, int32_t views, int32_t prints)
+      : id_(id), view_count_(views), print_count_(prints) {}
+
+  ClassId class_id() const override { return kMeterClass; }
+  void Pickle(Pickler* p) const override {
+    p->PutInt32(id_);
+    p->PutInt32(view_count_);
+    p->PutInt32(print_count_);
+  }
+  Status UnpickleFrom(Unpickler* u) override {
+    TDB_RETURN_IF_ERROR(u->GetInt32(&id_));
+    TDB_RETURN_IF_ERROR(u->GetInt32(&view_count_));
+    return u->GetInt32(&print_count_);
+  }
+  size_t ApproxSize() const override { return sizeof(*this); }
+
+  int32_t id() const { return id_; }
+  int32_t view_count() const { return view_count_; }
+  int32_t print_count() const { return print_count_; }
+  void IncrementViews() { view_count_++; }
+  void Reset() { view_count_ = print_count_ = 0; }
+
+ private:
+  int32_t id_ = 0;
+  int32_t view_count_ = 0;
+  int32_t print_count_ = 0;
+};
+
+// Schema evolution by subclassing (§5.1.1 allows this for collections too).
+class ExtendedMeter : public Meter {
+ public:
+  ExtendedMeter() = default;
+  ClassId class_id() const override { return kExtendedMeterClass; }
+  void Pickle(Pickler* p) const override {
+    Meter::Pickle(p);
+    p->PutString(region_);
+  }
+  Status UnpickleFrom(Unpickler* u) override {
+    TDB_RETURN_IF_ERROR(Meter::UnpickleFrom(u));
+    return u->GetString(&region_);
+  }
+  std::string region_;
+};
+
+class Profile : public Object {
+ public:
+  ClassId class_id() const override { return kProfileClass; }
+  void Pickle(Pickler* p) const override {
+    p->PutUint64(meters_.size());
+    for (ObjectId m : meters_) p->PutUint64(m);
+  }
+  Status UnpickleFrom(Unpickler* u) override {
+    uint64_t n;
+    TDB_RETURN_IF_ERROR(u->GetUint64(&n));
+    meters_.resize(n);
+    for (uint64_t i = 0; i < n; i++) {
+      TDB_RETURN_IF_ERROR(u->GetUint64(&meters_[i]));
+    }
+    return Status::OK();
+  }
+  size_t ApproxSize() const override {
+    return sizeof(*this) + meters_.size() * sizeof(ObjectId);
+  }
+
+  std::vector<ObjectId> meters_;
+};
+
+struct Env {
+  platform::MemUntrustedStore store;
+  platform::MemSecretStore secrets;
+  platform::MemOneWayCounter counter;
+  std::unique_ptr<chunk::ChunkStore> chunks;
+  std::unique_ptr<ObjectStore> objects;
+
+  explicit Env(ObjectStoreOptions options = {}) {
+    TDB_CHECK(secrets.Provision(Slice("obj-secret")).ok());
+    OpenStores(options);
+  }
+
+  void OpenStores(ObjectStoreOptions options = {}) {
+    objects.reset();
+    chunks.reset();
+    chunk::ChunkStoreOptions copts;
+    copts.security = crypto::SecurityConfig::Modern();
+    copts.segment_size = 8 * 1024;
+    copts.map_fanout = 8;
+    auto cs = chunk::ChunkStore::Open(&store, &secrets, &counter, copts);
+    TDB_CHECK(cs.ok(), cs.status().ToString());
+    chunks = std::move(cs).value();
+    auto os = ObjectStore::Open(chunks.get(), options);
+    TDB_CHECK(os.ok(), os.status().ToString());
+    objects = std::move(os).value();
+    RegisterAll();
+  }
+
+  void RegisterAll() {
+    TDB_CHECK(objects->registry().Register<Meter>(kMeterClass).ok());
+    TDB_CHECK(objects->registry().Register<Profile>(kProfileClass).ok());
+    TDB_CHECK(
+        objects->registry().Register<ExtendedMeter>(kExtendedMeterClass).ok());
+  }
+
+  // Simulates a device restart.
+  void Reopen(ObjectStoreOptions options = {}) {
+    TDB_CHECK(chunks->Close().ok());
+    OpenStores(options);
+  }
+};
+
+// ----------------------------------------------------------------- pickle
+
+TEST(PickleTest, AllTypesRoundtrip) {
+  Pickler p;
+  p.PutBool(true);
+  p.PutInt32(-12345);
+  p.PutInt64(-99999999999LL);
+  p.PutUint32(77);
+  p.PutUint64(1ull << 60);
+  p.PutDouble(3.14159);
+  p.PutString("hello");
+  const Buffer raw = {0x00, 0x01, 0x02};
+  p.PutBytes(raw);
+
+  Unpickler u{Slice(p.buffer())};
+  bool b;
+  int32_t i32;
+  int64_t i64;
+  uint32_t u32;
+  uint64_t u64;
+  double d;
+  std::string s;
+  Buffer bytes;
+  ASSERT_TRUE(u.GetBool(&b).ok());
+  ASSERT_TRUE(u.GetInt32(&i32).ok());
+  ASSERT_TRUE(u.GetInt64(&i64).ok());
+  ASSERT_TRUE(u.GetUint32(&u32).ok());
+  ASSERT_TRUE(u.GetUint64(&u64).ok());
+  ASSERT_TRUE(u.GetDouble(&d).ok());
+  ASSERT_TRUE(u.GetString(&s).ok());
+  ASSERT_TRUE(u.GetBytes(&bytes).ok());
+  EXPECT_TRUE(b);
+  EXPECT_EQ(i32, -12345);
+  EXPECT_EQ(i64, -99999999999LL);
+  EXPECT_EQ(u32, 77u);
+  EXPECT_EQ(u64, 1ull << 60);
+  EXPECT_DOUBLE_EQ(d, 3.14159);
+  EXPECT_EQ(s, "hello");
+  EXPECT_EQ(bytes.size(), 3u);
+  EXPECT_TRUE(u.done());
+}
+
+TEST(PickleTest, SignedBoundaries) {
+  for (int64_t v : {int64_t(0), int64_t(-1), int64_t(1), INT64_MIN,
+                    INT64_MAX}) {
+    Pickler p;
+    p.PutInt64(v);
+    Unpickler u{Slice(p.buffer())};
+    int64_t out;
+    ASSERT_TRUE(u.GetInt64(&out).ok());
+    EXPECT_EQ(out, v);
+  }
+}
+
+TEST(PickleTest, TruncatedInputRejected) {
+  Pickler p;
+  p.PutString("long string value");
+  Buffer data = p.Take();
+  data.resize(data.size() - 3);
+  Unpickler u{Slice(data)};
+  std::string s;
+  EXPECT_TRUE(u.GetString(&s).IsCorruption());
+}
+
+// --------------------------------------------------------------- registry
+
+TEST(ClassRegistryTest, DuplicateIdRejected) {
+  ClassRegistry registry;
+  ASSERT_TRUE(registry.Register<Meter>(1).ok());
+  EXPECT_EQ(registry.Register<Profile>(1).code(),
+            Status::Code::kAlreadyExists);
+}
+
+TEST(ClassRegistryTest, UnregisteredClassFails) {
+  ClassRegistry registry;
+  Pickler p;
+  Unpickler u{Slice(p.buffer())};
+  EXPECT_TRUE(registry.Unpickle(42, &u).status().IsNotFound());
+}
+
+// ------------------------------------------------------------ object store
+
+TEST(ObjectStoreTest, InsertOpenCommitReadBack) {
+  Env env;
+  ObjectId meter_id;
+  {
+    Transaction txn(env.objects.get());
+    auto id = txn.Insert(std::make_unique<Meter>(7, 3, 1));
+    ASSERT_TRUE(id.ok()) << id.status().ToString();
+    meter_id = *id;
+    ASSERT_TRUE(txn.Commit().ok());
+  }
+  {
+    Transaction txn(env.objects.get());
+    auto meter = txn.OpenReadonly<Meter>(meter_id);
+    ASSERT_TRUE(meter.ok()) << meter.status().ToString();
+    EXPECT_EQ((*meter)->id(), 7);
+    EXPECT_EQ((*meter)->view_count(), 3);
+    ASSERT_TRUE(txn.Commit().ok());
+  }
+}
+
+TEST(ObjectStoreTest, PaperFigure4Scenario) {
+  Env env;
+  // Add a new Meter to the Profile registered as root object.
+  ObjectId profile_id;
+  {
+    Transaction t(env.objects.get());
+    auto pid = t.Insert(std::make_unique<Profile>());
+    ASSERT_TRUE(pid.ok());
+    profile_id = *pid;
+    auto mid = t.Insert(std::make_unique<Meter>(1, 0, 0));
+    ASSERT_TRUE(mid.ok());
+    auto profile = t.OpenWritable<Profile>(profile_id);
+    ASSERT_TRUE(profile.ok());
+    (*profile)->meters_.push_back(*mid);
+    ASSERT_TRUE(t.Commit().ok());
+    ASSERT_TRUE(env.objects->SetRoot(profile_id).ok());
+  }
+  // Increment view count for the first good.
+  {
+    Transaction t2(env.objects.get());
+    auto root = env.objects->GetRoot();
+    ASSERT_TRUE(root.ok());
+    auto profile = t2.OpenReadonly<Profile>(*root);
+    ASSERT_TRUE(profile.ok());
+    ObjectId meter_id = (*profile)->meters_[0];
+    auto meter = t2.OpenWritable<Meter>(meter_id);
+    ASSERT_TRUE(meter.ok());
+    (*meter)->IncrementViews();
+    ASSERT_TRUE(t2.Commit().ok());
+  }
+  // Check.
+  {
+    Transaction t3(env.objects.get());
+    auto root = env.objects->GetRoot();
+    auto profile = t3.OpenReadonly<Profile>(*root);
+    auto meter = t3.OpenReadonly<Meter>((*profile)->meters_[0]);
+    ASSERT_TRUE(meter.ok());
+    EXPECT_EQ((*meter)->view_count(), 1);
+  }
+}
+
+TEST(ObjectStoreTest, StateSurvivesRestart) {
+  Env env;
+  ObjectId meter_id;
+  {
+    Transaction txn(env.objects.get());
+    meter_id = *txn.Insert(std::make_unique<Meter>(9, 42, 17));
+    ASSERT_TRUE(txn.Commit(true).ok());
+    ASSERT_TRUE(env.objects->SetRoot(meter_id).ok());
+  }
+  env.Reopen();
+  EXPECT_EQ(*env.objects->GetRoot(), meter_id);
+  Transaction txn(env.objects.get());
+  auto meter = txn.OpenReadonly<Meter>(meter_id);
+  ASSERT_TRUE(meter.ok()) << meter.status().ToString();
+  EXPECT_EQ((*meter)->view_count(), 42);
+}
+
+TEST(ObjectStoreTest, AbortRollsBackModifications) {
+  Env env;
+  ObjectId meter_id;
+  {
+    Transaction txn(env.objects.get());
+    meter_id = *txn.Insert(std::make_unique<Meter>(1, 10, 0));
+    ASSERT_TRUE(txn.Commit().ok());
+  }
+  {
+    Transaction txn(env.objects.get());
+    auto meter = txn.OpenWritable<Meter>(meter_id);
+    ASSERT_TRUE(meter.ok());
+    (*meter)->IncrementViews();
+    (*meter)->IncrementViews();
+    EXPECT_EQ((*meter)->view_count(), 12);
+    ASSERT_TRUE(txn.Abort().ok());
+  }
+  Transaction txn(env.objects.get());
+  auto meter = txn.OpenReadonly<Meter>(meter_id);
+  ASSERT_TRUE(meter.ok());
+  EXPECT_EQ((*meter)->view_count(), 10);  // Rolled back.
+}
+
+TEST(ObjectStoreTest, DestructorAbortsActiveTransaction) {
+  Env env;
+  ObjectId meter_id;
+  {
+    Transaction txn(env.objects.get());
+    meter_id = *txn.Insert(std::make_unique<Meter>(1, 5, 0));
+    ASSERT_TRUE(txn.Commit().ok());
+  }
+  {
+    Transaction txn(env.objects.get());
+    auto meter = txn.OpenWritable<Meter>(meter_id);
+    ASSERT_TRUE(meter.ok());
+    (*meter)->Reset();
+    // No commit: destructor aborts.
+  }
+  Transaction txn(env.objects.get());
+  EXPECT_EQ((*txn.OpenReadonly<Meter>(meter_id))->view_count(), 5);
+}
+
+TEST(ObjectStoreTest, InsertRolledBackByAbort) {
+  Env env;
+  ObjectId meter_id;
+  {
+    Transaction txn(env.objects.get());
+    meter_id = *txn.Insert(std::make_unique<Meter>(1, 0, 0));
+    ASSERT_TRUE(txn.Abort().ok());
+  }
+  Transaction txn(env.objects.get());
+  EXPECT_TRUE(txn.OpenReadonly<Meter>(meter_id).status().IsNotFound());
+}
+
+TEST(ObjectStoreTest, RemoveFreesObject) {
+  Env env;
+  ObjectId meter_id;
+  {
+    Transaction txn(env.objects.get());
+    meter_id = *txn.Insert(std::make_unique<Meter>(1, 0, 0));
+    ASSERT_TRUE(txn.Commit().ok());
+  }
+  {
+    Transaction txn(env.objects.get());
+    ASSERT_TRUE(txn.Remove(meter_id).ok());
+    ASSERT_TRUE(txn.Commit().ok());
+  }
+  Transaction txn(env.objects.get());
+  EXPECT_TRUE(txn.OpenReadonly<Meter>(meter_id).status().IsNotFound());
+}
+
+TEST(ObjectStoreTest, RemoveOfMissingObjectFails) {
+  Env env;
+  Transaction txn(env.objects.get());
+  EXPECT_TRUE(txn.Remove(99999).IsNotFound());
+}
+
+TEST(ObjectStoreTest, TypeMismatchCaught) {
+  Env env;
+  ObjectId meter_id;
+  {
+    Transaction txn(env.objects.get());
+    meter_id = *txn.Insert(std::make_unique<Meter>(1, 0, 0));
+    ASSERT_TRUE(txn.Commit().ok());
+  }
+  Transaction txn(env.objects.get());
+  auto as_profile = txn.OpenReadonly<Profile>(meter_id);
+  EXPECT_EQ(as_profile.status().code(), Status::Code::kTypeMismatch);
+}
+
+TEST(ObjectStoreTest, SubtypingWorksThroughBaseRef) {
+  Env env;
+  ObjectId ext_id;
+  {
+    Transaction txn(env.objects.get());
+    auto ext = std::make_unique<ExtendedMeter>();
+    ext->region_ = "EU";
+    ext_id = *txn.Insert(std::move(ext));
+    ASSERT_TRUE(txn.Commit().ok());
+  }
+  Transaction txn(env.objects.get());
+  // Open as base class: fine (ExtendedMeter is-a Meter).
+  auto base = txn.OpenReadonly<Meter>(ext_id);
+  ASSERT_TRUE(base.ok());
+  // Checked down-cast back to the subclass (the paper's Ref copy-construct
+  // with runtime check).
+  auto derived = ref_cast<ExtendedMeter>(*base);
+  ASSERT_TRUE(derived.ok());
+  EXPECT_EQ((*derived)->region_, "EU");
+  // Down-cast to an unrelated class fails cleanly.
+  auto wrong = ref_cast<Profile>(*base);
+  EXPECT_EQ(wrong.status().code(), Status::Code::kTypeMismatch);
+}
+
+TEST(ObjectStoreDeathTest, RefInvalidAfterCommit) {
+  Env env;
+  Transaction txn(env.objects.get());
+  ObjectId id = *txn.Insert(std::make_unique<Meter>(1, 0, 0));
+  auto meter = txn.OpenWritable<Meter>(id);
+  ASSERT_TRUE(meter.ok());
+  ASSERT_TRUE(txn.Commit().ok());
+  // Using the Ref after commit is the paper's "checked runtime error".
+  EXPECT_DEATH((*meter)->view_count(), "outside its transaction");
+}
+
+TEST(ObjectStoreTest, UnregisteredClassFailsOnRead) {
+  Env env;
+  ObjectId meter_id;
+  {
+    Transaction txn(env.objects.get());
+    meter_id = *txn.Insert(std::make_unique<Meter>(1, 2, 3));
+    ASSERT_TRUE(txn.Commit(true).ok());
+  }
+  // Restart without registering Meter.
+  TDB_CHECK(env.chunks->Close().ok());
+  chunk::ChunkStoreOptions copts;
+  copts.security = crypto::SecurityConfig::Modern();
+  copts.segment_size = 8 * 1024;
+  copts.map_fanout = 8;
+  env.objects.reset();
+  env.chunks =
+      std::move(chunk::ChunkStore::Open(&env.store, &env.secrets,
+                                        &env.counter, copts))
+          .value();
+  auto os = ObjectStore::Open(env.chunks.get(), {});
+  ASSERT_TRUE(os.ok());
+  Transaction txn(os->get());
+  EXPECT_TRUE(txn.OpenReadonly<Meter>(meter_id).status().IsNotFound());
+}
+
+// ------------------------------------------------------------- concurrency
+
+TEST(ObjectStoreConcurrencyTest, WriteLockBlocksSecondWriter) {
+  ObjectStoreOptions options;
+  options.lock_timeout = std::chrono::milliseconds(100);
+  Env env(options);
+  ObjectId meter_id;
+  {
+    Transaction txn(env.objects.get());
+    meter_id = *txn.Insert(std::make_unique<Meter>(1, 0, 0));
+    ASSERT_TRUE(txn.Commit().ok());
+  }
+  Transaction writer(env.objects.get());
+  ASSERT_TRUE(writer.OpenWritable<Meter>(meter_id).ok());
+
+  // A second transaction times out trying to write the same object.
+  Transaction contender(env.objects.get());
+  auto result = contender.OpenWritable<Meter>(meter_id);
+  EXPECT_TRUE(result.status().IsLockTimeout()) << result.status().ToString();
+}
+
+TEST(ObjectStoreConcurrencyTest, SharedReadersCoexist) {
+  Env env;
+  ObjectId meter_id;
+  {
+    Transaction txn(env.objects.get());
+    meter_id = *txn.Insert(std::make_unique<Meter>(1, 0, 0));
+    ASSERT_TRUE(txn.Commit().ok());
+  }
+  Transaction r1(env.objects.get());
+  Transaction r2(env.objects.get());
+  EXPECT_TRUE(r1.OpenReadonly<Meter>(meter_id).ok());
+  EXPECT_TRUE(r2.OpenReadonly<Meter>(meter_id).ok());
+}
+
+TEST(ObjectStoreConcurrencyTest, ReaderBlocksWriterUntilCommit) {
+  ObjectStoreOptions options;
+  options.lock_timeout = std::chrono::milliseconds(2000);
+  Env env(options);
+  ObjectId meter_id;
+  {
+    Transaction txn(env.objects.get());
+    meter_id = *txn.Insert(std::make_unique<Meter>(1, 0, 0));
+    ASSERT_TRUE(txn.Commit().ok());
+  }
+  auto reader = std::make_unique<Transaction>(env.objects.get());
+  ASSERT_TRUE(reader->OpenReadonly<Meter>(meter_id).ok());
+
+  // Writer thread blocks on the exclusive lock until the reader commits.
+  std::thread release([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    ASSERT_TRUE(reader->Commit().ok());
+  });
+  Transaction writer(env.objects.get());
+  auto w = writer.OpenWritable<Meter>(meter_id);
+  EXPECT_TRUE(w.ok()) << w.status().ToString();
+  release.join();
+}
+
+TEST(ObjectStoreConcurrencyTest, LockUpgradeForSoleReader) {
+  Env env;
+  ObjectId meter_id;
+  {
+    Transaction txn(env.objects.get());
+    meter_id = *txn.Insert(std::make_unique<Meter>(1, 0, 0));
+    ASSERT_TRUE(txn.Commit().ok());
+  }
+  Transaction txn(env.objects.get());
+  ASSERT_TRUE(txn.OpenReadonly<Meter>(meter_id).ok());
+  auto writable = txn.OpenWritable<Meter>(meter_id);  // Upgrade.
+  ASSERT_TRUE(writable.ok()) << writable.status().ToString();
+  (*writable)->IncrementViews();
+  ASSERT_TRUE(txn.Commit().ok());
+}
+
+TEST(ObjectStoreConcurrencyTest, DeadlockBrokenByTimeout) {
+  ObjectStoreOptions options;
+  options.lock_timeout = std::chrono::milliseconds(100);
+  Env env(options);
+  ObjectId a, b;
+  {
+    Transaction txn(env.objects.get());
+    a = *txn.Insert(std::make_unique<Meter>(1, 0, 0));
+    b = *txn.Insert(std::make_unique<Meter>(2, 0, 0));
+    ASSERT_TRUE(txn.Commit().ok());
+  }
+  Transaction t1(env.objects.get());
+  Transaction t2(env.objects.get());
+  ASSERT_TRUE(t1.OpenWritable<Meter>(a).ok());
+  ASSERT_TRUE(t2.OpenWritable<Meter>(b).ok());
+
+  // t1 wants b (held by t2) while t2 wants a (held by t1): deadlock.
+  std::atomic<bool> t2_timed_out{false};
+  std::thread th([&] {
+    auto r = t2.OpenWritable<Meter>(a);
+    if (r.status().IsLockTimeout()) t2_timed_out = true;
+    if (!r.ok()) {
+      ASSERT_TRUE(t2.Abort().ok());
+    }
+  });
+  auto r1 = t1.OpenWritable<Meter>(b);
+  th.join();
+  // At least one of the two must have timed out, breaking the deadlock.
+  EXPECT_TRUE(r1.status().IsLockTimeout() || t2_timed_out);
+}
+
+TEST(ObjectStoreConcurrencyTest, LockingCanBeDisabled) {
+  ObjectStoreOptions options;
+  options.locking_enabled = false;
+  Env env(options);
+  ObjectId meter_id;
+  {
+    Transaction txn(env.objects.get());
+    meter_id = *txn.Insert(std::make_unique<Meter>(1, 0, 0));
+    ASSERT_TRUE(txn.Commit().ok());
+  }
+  Transaction t1(env.objects.get());
+  Transaction t2(env.objects.get());
+  EXPECT_TRUE(t1.OpenWritable<Meter>(meter_id).ok());
+  EXPECT_TRUE(t2.OpenWritable<Meter>(meter_id).ok());  // No blocking.
+}
+
+// ------------------------------------------------------------------- cache
+
+TEST(ObjectCacheTest, EvictionRespectsCapacityAndLru) {
+  ObjectStoreOptions options;
+  options.cache_capacity_bytes = 2000;  // Tiny cache.
+  Env env(options);
+  std::vector<ObjectId> ids;
+  {
+    Transaction txn(env.objects.get());
+    for (int i = 0; i < 50; i++) {
+      ids.push_back(*txn.Insert(std::make_unique<Meter>(i, i, 0)));
+    }
+    ASSERT_TRUE(txn.Commit().ok());
+  }
+  // After commit, dirty pins are gone; capacity enforcement evicted some.
+  EXPECT_LE(env.objects->cache_size_bytes(), 2000u);
+  // Everything still readable (cache misses re-fetch).
+  Transaction txn(env.objects.get());
+  for (int i = 0; i < 50; i++) {
+    auto meter = txn.OpenReadonly<Meter>(ids[i]);
+    ASSERT_TRUE(meter.ok()) << i;
+    EXPECT_EQ((*meter)->view_count(), i);
+  }
+  EXPECT_GT(env.objects->cache_stats().misses, 0u);
+  EXPECT_GT(env.objects->cache_stats().evictions, 0u);
+}
+
+TEST(ObjectCacheTest, RepeatedReadsHitCache) {
+  Env env;
+  ObjectId meter_id;
+  {
+    Transaction txn(env.objects.get());
+    meter_id = *txn.Insert(std::make_unique<Meter>(1, 0, 0));
+    ASSERT_TRUE(txn.Commit().ok());
+  }
+  for (int i = 0; i < 10; i++) {
+    Transaction txn(env.objects.get());
+    ASSERT_TRUE(txn.OpenReadonly<Meter>(meter_id).ok());
+  }
+  EXPECT_GE(env.objects->cache_stats().hits, 9u);
+}
+
+TEST(ObjectCacheTest, UnitTestsPinAndDirty) {
+  ObjectCache cache(300);
+  auto* m1 = cache.Put(1, std::make_unique<Meter>(1, 0, 0), false);
+  ASSERT_NE(m1, nullptr);
+  EXPECT_EQ(cache.Get(1), m1);
+  EXPECT_EQ(cache.Get(2), nullptr);
+
+  cache.Pin(1);
+  for (ObjectId oid = 2; oid <= 10; oid++) {
+    cache.Put(oid, std::make_unique<Meter>(int32_t(oid), 0, 0), false);
+  }
+  cache.EnforceCapacity();
+  // Entry 1 is pinned: must survive even though it is the LRU tail.
+  EXPECT_NE(cache.Get(1), nullptr);
+  EXPECT_LE(cache.size_bytes(), 300u + 150u);  // Allow one entry overshoot.
+  cache.Unpin(1);
+
+  // Dirty entries survive too (no-steal).
+  cache.Put(20, std::make_unique<Meter>(20, 0, 0), true);
+  for (ObjectId oid = 30; oid < 40; oid++) {
+    cache.Put(oid, std::make_unique<Meter>(int32_t(oid), 0, 0), false);
+  }
+  cache.EnforceCapacity();
+  EXPECT_NE(cache.Get(20), nullptr);
+  cache.SetDirty(20, false);
+  for (ObjectId oid = 50; oid < 70; oid++) {
+    cache.Put(oid, std::make_unique<Meter>(int32_t(oid), 0, 0), false);
+  }
+  cache.EnforceCapacity();
+  EXPECT_EQ(cache.Get(20), nullptr);  // Now evictable, and evicted.
+}
+
+// ------------------------------------------------------------ transactions
+
+TEST(ObjectStoreTest, CommittedTransactionCannotBeReused) {
+  Env env;
+  Transaction txn(env.objects.get());
+  ASSERT_TRUE(txn.Insert(std::make_unique<Meter>(1, 0, 0)).ok());
+  ASSERT_TRUE(txn.Commit().ok());
+  EXPECT_FALSE(txn.active());
+  EXPECT_EQ(txn.Insert(std::make_unique<Meter>(2, 0, 0)).status().code(),
+            Status::Code::kTransactionInvalid);
+  EXPECT_EQ(txn.Commit().code(), Status::Code::kTransactionInvalid);
+  EXPECT_EQ(txn.Abort().code(), Status::Code::kTransactionInvalid);
+}
+
+TEST(ObjectStoreTest, NondurableCommitsCoveredByDurableOne) {
+  Env env;
+  ObjectId id;
+  {
+    Transaction t1(env.objects.get());
+    id = *t1.Insert(std::make_unique<Meter>(1, 1, 0));
+    ASSERT_TRUE(t1.Commit(/*durable=*/false).ok());
+    Transaction t2(env.objects.get());
+    auto meter = t2.OpenWritable<Meter>(id);
+    ASSERT_TRUE(meter.ok());
+    (*meter)->IncrementViews();
+    ASSERT_TRUE(t2.Commit(/*durable=*/true).ok());
+  }
+  env.Reopen();
+  Transaction txn(env.objects.get());
+  auto meter = txn.OpenReadonly<Meter>(id);
+  ASSERT_TRUE(meter.ok());
+  EXPECT_EQ((*meter)->view_count(), 2);
+}
+
+TEST(ObjectStoreTest, ManyObjectsStressWithModel) {
+  Env env;
+  Random rng(77);
+  std::map<ObjectId, int32_t> model;
+  for (int round = 0; round < 30; round++) {
+    Transaction txn(env.objects.get());
+    for (int op = 0; op < 10; op++) {
+      double roll = 0.01 * rng.Uniform(100);
+      if (model.empty() || roll < 0.3) {
+        int32_t views = static_cast<int32_t>(rng.Uniform(1000));
+        ObjectId id = *txn.Insert(std::make_unique<Meter>(0, views, 0));
+        model[id] = views;
+      } else if (roll < 0.6) {
+        auto it = model.begin();
+        std::advance(it, rng.Uniform(model.size()));
+        auto meter = txn.OpenWritable<Meter>(it->first);
+        ASSERT_TRUE(meter.ok());
+        (*meter)->IncrementViews();
+        it->second++;
+      } else if (roll < 0.75) {
+        auto it = model.begin();
+        std::advance(it, rng.Uniform(model.size()));
+        ASSERT_TRUE(txn.Remove(it->first).ok());
+        model.erase(it);
+      } else {
+        auto it = model.begin();
+        std::advance(it, rng.Uniform(model.size()));
+        auto meter = txn.OpenReadonly<Meter>(it->first);
+        ASSERT_TRUE(meter.ok());
+        EXPECT_EQ((*meter)->view_count(), it->second);
+      }
+    }
+    ASSERT_TRUE(txn.Commit(round % 5 == 0).ok());
+  }
+  env.Reopen();
+  Transaction txn(env.objects.get());
+  for (const auto& [id, views] : model) {
+    auto meter = txn.OpenReadonly<Meter>(id);
+    ASSERT_TRUE(meter.ok()) << id;
+    EXPECT_EQ((*meter)->view_count(), views) << id;
+  }
+}
+
+}  // namespace
+}  // namespace tdb::object

@@ -1,0 +1,331 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "common/random.h"
+#include "platform/archival_store.h"
+#include "platform/fault_injection.h"
+#include "platform/file_store.h"
+#include "platform/mem_store.h"
+#include "platform/one_way_counter.h"
+#include "platform/secret_store.h"
+
+namespace tdb::platform {
+namespace {
+
+// Temporary directory scoped to one test.
+class TempDir {
+ public:
+  explicit TempDir(const std::string& tag) {
+    path_ = std::filesystem::temp_directory_path() /
+            ("tdb_test_" + tag + "_" + std::to_string(::getpid()));
+    std::filesystem::remove_all(path_);
+    std::filesystem::create_directories(path_);
+  }
+  ~TempDir() { std::filesystem::remove_all(path_); }
+  std::string path() const { return path_.string(); }
+
+ private:
+  std::filesystem::path path_;
+};
+
+// ---------------------------------------------------------------- stores
+
+// One fixture runs the whole contract against both backends.
+class UntrustedStoreTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  void SetUp() override {
+    if (GetParam() == "mem") {
+      store_ = std::make_unique<MemUntrustedStore>();
+    } else {
+      dir_ = std::make_unique<TempDir>("store");
+      store_ = std::make_unique<FileUntrustedStore>(dir_->path());
+    }
+  }
+
+  std::unique_ptr<TempDir> dir_;
+  std::unique_ptr<UntrustedStore> store_;
+};
+
+TEST_P(UntrustedStoreTest, CreateWriteReadRoundtrip) {
+  ASSERT_TRUE(store_->Create("log", false).ok());
+  ASSERT_TRUE(store_->Write("log", 0, Slice("hello world")).ok());
+  Buffer out;
+  ASSERT_TRUE(store_->Read("log", 6, 5, &out).ok());
+  EXPECT_EQ(Slice(out).ToString(), "world");
+}
+
+TEST_P(UntrustedStoreTest, CreateRespectsOverwriteFlag) {
+  ASSERT_TRUE(store_->Create("f", false).ok());
+  ASSERT_TRUE(store_->Write("f", 0, Slice("data")).ok());
+  EXPECT_TRUE(store_->Create("f", false).code() ==
+              Status::Code::kAlreadyExists);
+  ASSERT_TRUE(store_->Create("f", true).ok());
+  EXPECT_EQ(*store_->Size("f"), 0u);
+}
+
+TEST_P(UntrustedStoreTest, WriteExtendsAndZeroFills) {
+  ASSERT_TRUE(store_->Create("f", false).ok());
+  ASSERT_TRUE(store_->Write("f", 10, Slice("x")).ok());
+  EXPECT_EQ(*store_->Size("f"), 11u);
+  Buffer out;
+  ASSERT_TRUE(store_->Read("f", 0, 11, &out).ok());
+  for (int i = 0; i < 10; i++) EXPECT_EQ(out[i], 0) << i;
+  EXPECT_EQ(out[10], 'x');
+}
+
+TEST_P(UntrustedStoreTest, ReadPastEndFails) {
+  ASSERT_TRUE(store_->Create("f", false).ok());
+  ASSERT_TRUE(store_->Write("f", 0, Slice("abc")).ok());
+  Buffer out;
+  EXPECT_FALSE(store_->Read("f", 2, 5, &out).ok());
+}
+
+TEST_P(UntrustedStoreTest, MissingFileOperationsFail) {
+  Buffer out;
+  EXPECT_TRUE(store_->Read("nope", 0, 1, &out).IsNotFound());
+  EXPECT_TRUE(store_->Write("nope", 0, Slice("x")).IsNotFound());
+  EXPECT_FALSE(store_->Size("nope").ok());
+  EXPECT_TRUE(store_->Remove("nope").IsNotFound());
+  EXPECT_FALSE(store_->Exists("nope"));
+}
+
+TEST_P(UntrustedStoreTest, TruncateShrinksAndGrows) {
+  ASSERT_TRUE(store_->Create("f", false).ok());
+  ASSERT_TRUE(store_->Write("f", 0, Slice("abcdef")).ok());
+  ASSERT_TRUE(store_->Truncate("f", 3).ok());
+  EXPECT_EQ(*store_->Size("f"), 3u);
+  ASSERT_TRUE(store_->Truncate("f", 5).ok());
+  Buffer out;
+  ASSERT_TRUE(store_->Read("f", 0, 5, &out).ok());
+  EXPECT_EQ(out[2], 'c');
+  EXPECT_EQ(out[3], 0);
+}
+
+TEST_P(UntrustedStoreTest, ListAndRemove) {
+  ASSERT_TRUE(store_->Create("a", false).ok());
+  ASSERT_TRUE(store_->Create("b", false).ok());
+  auto names = store_->List();
+  EXPECT_EQ(names.size(), 2u);
+  ASSERT_TRUE(store_->Remove("a").ok());
+  EXPECT_FALSE(store_->Exists("a"));
+  EXPECT_TRUE(store_->Exists("b"));
+}
+
+TEST_P(UntrustedStoreTest, SyncSucceeds) {
+  ASSERT_TRUE(store_->Create("f", false).ok());
+  ASSERT_TRUE(store_->Write("f", 0, Slice("x")).ok());
+  EXPECT_TRUE(store_->Sync("f").ok());
+}
+
+TEST_P(UntrustedStoreTest, OverwriteInMiddle) {
+  ASSERT_TRUE(store_->Create("f", false).ok());
+  ASSERT_TRUE(store_->Write("f", 0, Slice("aaaaaa")).ok());
+  ASSERT_TRUE(store_->Write("f", 2, Slice("BB")).ok());
+  Buffer out;
+  ASSERT_TRUE(store_->Read("f", 0, 6, &out).ok());
+  EXPECT_EQ(Slice(out).ToString(), "aaBBaa");
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, UntrustedStoreTest,
+                         ::testing::Values("mem", "file"));
+
+TEST(MemStoreAttackerTest, SnapshotAndReplay) {
+  MemUntrustedStore store;
+  ASSERT_TRUE(store.Create("db", false).ok());
+  ASSERT_TRUE(store.Write("db", 0, Slice("version-1")).ok());
+  auto saved = store.SnapshotImage();
+  ASSERT_TRUE(store.Write("db", 0, Slice("version-2")).ok());
+  store.RestoreImage(saved);
+  Buffer out;
+  ASSERT_TRUE(store.Read("db", 0, 9, &out).ok());
+  EXPECT_EQ(Slice(out).ToString(), "version-1");
+}
+
+TEST(MemStoreAttackerTest, CorruptByteFlipsExactlyOneBit) {
+  MemUntrustedStore store;
+  ASSERT_TRUE(store.Create("db", false).ok());
+  ASSERT_TRUE(store.Write("db", 0, Slice("AAAA")).ok());
+  ASSERT_TRUE(store.CorruptByte("db", 2, 0x01).ok());
+  Buffer out;
+  ASSERT_TRUE(store.Read("db", 0, 4, &out).ok());
+  EXPECT_EQ(out[2], 'A' ^ 0x01);
+  EXPECT_TRUE(store.CorruptByte("db", 99, 1).code() ==
+              Status::Code::kInvalidArgument);
+}
+
+TEST(MemStoreAccountingTest, CountsWritesAndBytes) {
+  MemUntrustedStore store;
+  ASSERT_TRUE(store.Create("f", false).ok());
+  ASSERT_TRUE(store.Write("f", 0, Slice("12345")).ok());
+  ASSERT_TRUE(store.Write("f", 5, Slice("678")).ok());
+  EXPECT_EQ(store.write_count(), 2u);
+  EXPECT_EQ(store.bytes_written(), 8u);
+  EXPECT_EQ(store.TotalBytes(), 8u);
+}
+
+// -------------------------------------------------------- fault injection
+
+TEST(FaultInjectionTest, CrashAfterNWrites) {
+  MemUntrustedStore base;
+  FaultInjectingStore store(&base);
+  ASSERT_TRUE(store.Create("f", false).ok());
+  store.CrashAfterWrites(2);
+  EXPECT_TRUE(store.Write("f", 0, Slice("a")).ok());
+  EXPECT_TRUE(store.Write("f", 1, Slice("b")).ok());
+  EXPECT_FALSE(store.Write("f", 2, Slice("c")).ok());  // Crash fires here.
+  EXPECT_TRUE(store.crashed());
+  // Everything fails until reboot.
+  Buffer out;
+  EXPECT_FALSE(store.Read("f", 0, 1, &out).ok());
+  EXPECT_FALSE(store.Sync("f").ok());
+  store.Reboot();
+  EXPECT_TRUE(store.Read("f", 0, 2, &out).ok());
+  EXPECT_EQ(Slice(out).ToString(), "ab");
+}
+
+TEST(FaultInjectionTest, TornWriteAppliesOnlyPrefix) {
+  // With many trials, some final writes must be partially applied.
+  bool saw_partial = false, saw_none = false;
+  for (uint64_t seed = 0; seed < 64 && !(saw_partial && saw_none); seed++) {
+    MemUntrustedStore base;
+    FaultInjectingStore store(&base, seed);
+    ASSERT_TRUE(store.Create("f", false).ok());
+    store.CrashAfterWrites(0);
+    EXPECT_FALSE(store.Write("f", 0, Slice("0123456789")).ok());
+    uint64_t size = *base.Size("f");
+    EXPECT_LE(size, 10u);
+    if (size > 0 && size < 10) saw_partial = true;
+    if (size == 0) saw_none = true;
+  }
+  EXPECT_TRUE(saw_partial);
+  EXPECT_TRUE(saw_none);
+}
+
+TEST(FaultInjectionTest, CrashOnSync) {
+  MemUntrustedStore base;
+  FaultInjectingStore store(&base);
+  ASSERT_TRUE(store.Create("f", false).ok());
+  store.CrashOnNextSync();
+  EXPECT_TRUE(store.Write("f", 0, Slice("a")).ok());  // Writes still fine.
+  EXPECT_FALSE(store.Sync("f").ok());
+  EXPECT_TRUE(store.crashed());
+}
+
+// ------------------------------------------------------------ secret store
+
+TEST(SecretStoreTest, MemProvisionOnce) {
+  MemSecretStore store;
+  EXPECT_TRUE(store.GetSecret().status().IsNotFound());
+  ASSERT_TRUE(store.Provision(Slice("top-secret")).ok());
+  EXPECT_EQ(Slice(*store.GetSecret()).ToString(), "top-secret");
+  EXPECT_TRUE(store.Provision(Slice("again")).code() ==
+              Status::Code::kAlreadyExists);
+  EXPECT_FALSE(MemSecretStore().Provision(Slice("")).ok());
+}
+
+TEST(SecretStoreTest, FileBacked) {
+  TempDir dir("secret");
+  std::string path = dir.path() + "/secret";
+  FileSecretStore store(path);
+  EXPECT_TRUE(store.GetSecret().status().IsNotFound());
+  ASSERT_TRUE(store.Provision(Slice("key-bytes")).ok());
+  EXPECT_TRUE(store.Provision(Slice("x")).code() ==
+              Status::Code::kAlreadyExists);
+  // A fresh handle (reboot) still reads it.
+  FileSecretStore reopened(path);
+  EXPECT_EQ(Slice(*reopened.GetSecret()).ToString(), "key-bytes");
+}
+
+// --------------------------------------------------------- one-way counter
+
+TEST(OneWayCounterTest, MemIncrements) {
+  MemOneWayCounter counter;
+  EXPECT_EQ(*counter.Read(), 0u);
+  EXPECT_EQ(*counter.Increment(), 1u);
+  EXPECT_EQ(*counter.Increment(), 2u);
+  EXPECT_EQ(*counter.Read(), 2u);
+}
+
+TEST(OneWayCounterTest, FilePersistsAcrossReopen) {
+  TempDir dir("counter");
+  std::string path = dir.path() + "/counter";
+  {
+    FileOneWayCounter counter(path);
+    EXPECT_EQ(*counter.Read(), 0u);
+    EXPECT_EQ(*counter.Increment(), 1u);
+    EXPECT_EQ(*counter.Increment(), 2u);
+  }
+  FileOneWayCounter reopened(path);
+  EXPECT_EQ(*reopened.Read(), 2u);
+  EXPECT_EQ(*reopened.Increment(), 3u);
+}
+
+// ---------------------------------------------------------- archival store
+
+TEST(ArchivalStoreTest, MemWriteReadRoundtrip) {
+  MemArchivalStore store;
+  auto writer = store.NewArchive("backup-1");
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->Append(Slice("hello ")).ok());
+  ASSERT_TRUE((*writer)->Append(Slice("backup")).ok());
+  ASSERT_TRUE((*writer)->Close().ok());
+
+  auto reader = store.OpenArchive("backup-1");
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ((*reader)->remaining(), 12u);
+  Buffer out;
+  ASSERT_TRUE((*reader)->Read(6, &out).ok());
+  EXPECT_EQ(Slice(out).ToString(), "hello ");
+  ASSERT_TRUE((*reader)->Read(6, &out).ok());
+  EXPECT_EQ(Slice(out).ToString(), "backup");
+  EXPECT_TRUE((*reader)->Read(1, &out).IsCorruption());
+}
+
+TEST(ArchivalStoreTest, UnclosedArchiveIsInvisible) {
+  MemArchivalStore store;
+  auto writer = store.NewArchive("partial");
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->Append(Slice("data")).ok());
+  // No Close(): the archive must not exist.
+  EXPECT_TRUE(store.OpenArchive("partial").status().IsNotFound());
+}
+
+TEST(ArchivalStoreTest, FileBackedRoundtrip) {
+  TempDir dir("archive");
+  FileArchivalStore store(dir.path());
+  auto writer = store.NewArchive("vol1");
+  ASSERT_TRUE(writer.ok());
+  Buffer payload;
+  Random rng(5);
+  rng.Fill(&payload, 10000);
+  ASSERT_TRUE((*writer)->Append(payload).ok());
+  ASSERT_TRUE((*writer)->Close().ok());
+
+  auto reader = store.OpenArchive("vol1");
+  ASSERT_TRUE(reader.ok());
+  Buffer out;
+  ASSERT_TRUE((*reader)->Read(10000, &out).ok());
+  EXPECT_EQ(out, payload);
+  EXPECT_EQ(store.ListArchives().size(), 1u);
+  ASSERT_TRUE(store.RemoveArchive("vol1").ok());
+  EXPECT_TRUE(store.OpenArchive("vol1").status().IsNotFound());
+}
+
+TEST(ArchivalStoreTest, ListAndRemoveMem) {
+  MemArchivalStore store;
+  for (const char* name : {"a", "b", "c"}) {
+    auto w = store.NewArchive(name);
+    ASSERT_TRUE(w.ok());
+    ASSERT_TRUE((*w)->Close().ok());
+  }
+  EXPECT_EQ(store.ListArchives().size(), 3u);
+  ASSERT_TRUE(store.RemoveArchive("b").ok());
+  EXPECT_EQ(store.ListArchives().size(), 2u);
+  EXPECT_TRUE(store.RemoveArchive("b").IsNotFound());
+}
+
+}  // namespace
+}  // namespace tdb::platform
