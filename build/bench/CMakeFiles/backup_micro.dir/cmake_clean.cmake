@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backup_micro.dir/backup_micro.cc.o"
+  "CMakeFiles/backup_micro.dir/backup_micro.cc.o.d"
+  "backup_micro"
+  "backup_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backup_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_micro.dir/cache_micro.cc.o"
+  "CMakeFiles/cache_micro.dir/cache_micro.cc.o.d"
+  "cache_micro"
+  "cache_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

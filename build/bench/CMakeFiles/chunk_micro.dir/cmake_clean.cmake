@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chunk_micro.dir/chunk_micro.cc.o"
+  "CMakeFiles/chunk_micro.dir/chunk_micro.cc.o.d"
+  "chunk_micro"
+  "chunk_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chunk_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/cleaner_ablation.cc" "bench/CMakeFiles/cleaner_ablation.dir/cleaner_ablation.cc.o" "gcc" "bench/CMakeFiles/cleaner_ablation.dir/cleaner_ablation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/tdb_bench_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/tdb_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/collection/CMakeFiles/tdb_collection.dir/DependInfo.cmake"
+  "/root/repo/build/src/object/CMakeFiles/tdb_object.dir/DependInfo.cmake"
+  "/root/repo/build/src/backup/CMakeFiles/tdb_backup.dir/DependInfo.cmake"
+  "/root/repo/build/src/chunk/CMakeFiles/tdb_chunk.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/tdb_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/tdb_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cleaner_ablation.dir/cleaner_ablation.cc.o"
+  "CMakeFiles/cleaner_ablation.dir/cleaner_ablation.cc.o.d"
+  "cleaner_ablation"
+  "cleaner_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cleaner_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

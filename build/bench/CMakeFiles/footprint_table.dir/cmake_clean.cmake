@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/footprint_table.dir/footprint_table.cc.o"
+  "CMakeFiles/footprint_table.dir/footprint_table.cc.o.d"
+  "footprint_table"
+  "footprint_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/footprint_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/index_micro.dir/index_micro.cc.o"
+  "CMakeFiles/index_micro.dir/index_micro.cc.o.d"
+  "index_micro"
+  "index_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/index_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

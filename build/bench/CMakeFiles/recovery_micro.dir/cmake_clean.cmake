@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recovery_micro.dir/recovery_micro.cc.o"
+  "CMakeFiles/recovery_micro.dir/recovery_micro.cc.o.d"
+  "recovery_micro"
+  "recovery_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recovery_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

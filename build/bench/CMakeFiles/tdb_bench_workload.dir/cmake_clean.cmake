@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/libtdb_bench_workload.a"
+  "../lib/libtdb_bench_workload.pdb"
+  "CMakeFiles/tdb_bench_workload.dir/workload/tpcb.cc.o"
+  "CMakeFiles/tdb_bench_workload.dir/workload/tpcb.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdb_bench_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libtdb_bench_workload.a"
+)

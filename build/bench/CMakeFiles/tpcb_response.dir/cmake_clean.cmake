@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpcb_response.dir/tpcb_response.cc.o"
+  "CMakeFiles/tpcb_response.dir/tpcb_response.cc.o.d"
+  "tpcb_response"
+  "tpcb_response.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpcb_response.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

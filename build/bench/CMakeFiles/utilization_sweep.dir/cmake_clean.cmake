@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/utilization_sweep.dir/utilization_sweep.cc.o"
+  "CMakeFiles/utilization_sweep.dir/utilization_sweep.cc.o.d"
+  "utilization_sweep"
+  "utilization_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/utilization_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drm_meter.dir/drm_meter.cpp.o"
+  "CMakeFiles/drm_meter.dir/drm_meter.cpp.o.d"
+  "drm_meter"
+  "drm_meter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drm_meter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

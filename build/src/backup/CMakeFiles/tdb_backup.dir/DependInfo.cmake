@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/backup/backup_store.cc" "src/backup/CMakeFiles/tdb_backup.dir/backup_store.cc.o" "gcc" "src/backup/CMakeFiles/tdb_backup.dir/backup_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/chunk/CMakeFiles/tdb_chunk.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/tdb_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/tdb_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

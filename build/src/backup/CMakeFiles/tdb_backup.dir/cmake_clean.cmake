@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdb_backup.dir/backup_store.cc.o"
+  "CMakeFiles/tdb_backup.dir/backup_store.cc.o.d"
+  "libtdb_backup.a"
+  "libtdb_backup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdb_backup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/baseline_db.cc" "src/baseline/CMakeFiles/tdb_baseline.dir/baseline_db.cc.o" "gcc" "src/baseline/CMakeFiles/tdb_baseline.dir/baseline_db.cc.o.d"
+  "/root/repo/src/baseline/pager.cc" "src/baseline/CMakeFiles/tdb_baseline.dir/pager.cc.o" "gcc" "src/baseline/CMakeFiles/tdb_baseline.dir/pager.cc.o.d"
+  "/root/repo/src/baseline/wal.cc" "src/baseline/CMakeFiles/tdb_baseline.dir/wal.cc.o" "gcc" "src/baseline/CMakeFiles/tdb_baseline.dir/wal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/platform/CMakeFiles/tdb_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdb_baseline.dir/baseline_db.cc.o"
+  "CMakeFiles/tdb_baseline.dir/baseline_db.cc.o.d"
+  "CMakeFiles/tdb_baseline.dir/pager.cc.o"
+  "CMakeFiles/tdb_baseline.dir/pager.cc.o.d"
+  "CMakeFiles/tdb_baseline.dir/wal.cc.o"
+  "CMakeFiles/tdb_baseline.dir/wal.cc.o.d"
+  "libtdb_baseline.a"
+  "libtdb_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdb_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

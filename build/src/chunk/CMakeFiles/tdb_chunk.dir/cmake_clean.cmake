@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdb_chunk.dir/anchor.cc.o"
+  "CMakeFiles/tdb_chunk.dir/anchor.cc.o.d"
+  "CMakeFiles/tdb_chunk.dir/chunk_store.cc.o"
+  "CMakeFiles/tdb_chunk.dir/chunk_store.cc.o.d"
+  "CMakeFiles/tdb_chunk.dir/location_map.cc.o"
+  "CMakeFiles/tdb_chunk.dir/location_map.cc.o.d"
+  "CMakeFiles/tdb_chunk.dir/log_format.cc.o"
+  "CMakeFiles/tdb_chunk.dir/log_format.cc.o.d"
+  "libtdb_chunk.a"
+  "libtdb_chunk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdb_chunk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

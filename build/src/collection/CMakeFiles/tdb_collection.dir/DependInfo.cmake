@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/collection/btree_index.cc" "src/collection/CMakeFiles/tdb_collection.dir/btree_index.cc.o" "gcc" "src/collection/CMakeFiles/tdb_collection.dir/btree_index.cc.o.d"
+  "/root/repo/src/collection/collection.cc" "src/collection/CMakeFiles/tdb_collection.dir/collection.cc.o" "gcc" "src/collection/CMakeFiles/tdb_collection.dir/collection.cc.o.d"
+  "/root/repo/src/collection/hash_index.cc" "src/collection/CMakeFiles/tdb_collection.dir/hash_index.cc.o" "gcc" "src/collection/CMakeFiles/tdb_collection.dir/hash_index.cc.o.d"
+  "/root/repo/src/collection/index_nodes.cc" "src/collection/CMakeFiles/tdb_collection.dir/index_nodes.cc.o" "gcc" "src/collection/CMakeFiles/tdb_collection.dir/index_nodes.cc.o.d"
+  "/root/repo/src/collection/key.cc" "src/collection/CMakeFiles/tdb_collection.dir/key.cc.o" "gcc" "src/collection/CMakeFiles/tdb_collection.dir/key.cc.o.d"
+  "/root/repo/src/collection/list_index.cc" "src/collection/CMakeFiles/tdb_collection.dir/list_index.cc.o" "gcc" "src/collection/CMakeFiles/tdb_collection.dir/list_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/object/CMakeFiles/tdb_object.dir/DependInfo.cmake"
+  "/root/repo/build/src/chunk/CMakeFiles/tdb_chunk.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/tdb_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/tdb_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdb_collection.dir/btree_index.cc.o"
+  "CMakeFiles/tdb_collection.dir/btree_index.cc.o.d"
+  "CMakeFiles/tdb_collection.dir/collection.cc.o"
+  "CMakeFiles/tdb_collection.dir/collection.cc.o.d"
+  "CMakeFiles/tdb_collection.dir/hash_index.cc.o"
+  "CMakeFiles/tdb_collection.dir/hash_index.cc.o.d"
+  "CMakeFiles/tdb_collection.dir/index_nodes.cc.o"
+  "CMakeFiles/tdb_collection.dir/index_nodes.cc.o.d"
+  "CMakeFiles/tdb_collection.dir/key.cc.o"
+  "CMakeFiles/tdb_collection.dir/key.cc.o.d"
+  "CMakeFiles/tdb_collection.dir/list_index.cc.o"
+  "CMakeFiles/tdb_collection.dir/list_index.cc.o.d"
+  "libtdb_collection.a"
+  "libtdb_collection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdb_collection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdb_common.dir/coding.cc.o"
+  "CMakeFiles/tdb_common.dir/coding.cc.o.d"
+  "CMakeFiles/tdb_common.dir/status.cc.o"
+  "CMakeFiles/tdb_common.dir/status.cc.o.d"
+  "libtdb_common.a"
+  "libtdb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

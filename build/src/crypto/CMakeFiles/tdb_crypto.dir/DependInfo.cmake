@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/aes.cc" "src/crypto/CMakeFiles/tdb_crypto.dir/aes.cc.o" "gcc" "src/crypto/CMakeFiles/tdb_crypto.dir/aes.cc.o.d"
+  "/root/repo/src/crypto/block_cipher.cc" "src/crypto/CMakeFiles/tdb_crypto.dir/block_cipher.cc.o" "gcc" "src/crypto/CMakeFiles/tdb_crypto.dir/block_cipher.cc.o.d"
+  "/root/repo/src/crypto/cbc.cc" "src/crypto/CMakeFiles/tdb_crypto.dir/cbc.cc.o" "gcc" "src/crypto/CMakeFiles/tdb_crypto.dir/cbc.cc.o.d"
+  "/root/repo/src/crypto/cipher_suite.cc" "src/crypto/CMakeFiles/tdb_crypto.dir/cipher_suite.cc.o" "gcc" "src/crypto/CMakeFiles/tdb_crypto.dir/cipher_suite.cc.o.d"
+  "/root/repo/src/crypto/des.cc" "src/crypto/CMakeFiles/tdb_crypto.dir/des.cc.o" "gcc" "src/crypto/CMakeFiles/tdb_crypto.dir/des.cc.o.d"
+  "/root/repo/src/crypto/drbg.cc" "src/crypto/CMakeFiles/tdb_crypto.dir/drbg.cc.o" "gcc" "src/crypto/CMakeFiles/tdb_crypto.dir/drbg.cc.o.d"
+  "/root/repo/src/crypto/hash.cc" "src/crypto/CMakeFiles/tdb_crypto.dir/hash.cc.o" "gcc" "src/crypto/CMakeFiles/tdb_crypto.dir/hash.cc.o.d"
+  "/root/repo/src/crypto/hmac.cc" "src/crypto/CMakeFiles/tdb_crypto.dir/hmac.cc.o" "gcc" "src/crypto/CMakeFiles/tdb_crypto.dir/hmac.cc.o.d"
+  "/root/repo/src/crypto/sha1.cc" "src/crypto/CMakeFiles/tdb_crypto.dir/sha1.cc.o" "gcc" "src/crypto/CMakeFiles/tdb_crypto.dir/sha1.cc.o.d"
+  "/root/repo/src/crypto/sha256.cc" "src/crypto/CMakeFiles/tdb_crypto.dir/sha256.cc.o" "gcc" "src/crypto/CMakeFiles/tdb_crypto.dir/sha256.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdb_crypto.dir/aes.cc.o"
+  "CMakeFiles/tdb_crypto.dir/aes.cc.o.d"
+  "CMakeFiles/tdb_crypto.dir/block_cipher.cc.o"
+  "CMakeFiles/tdb_crypto.dir/block_cipher.cc.o.d"
+  "CMakeFiles/tdb_crypto.dir/cbc.cc.o"
+  "CMakeFiles/tdb_crypto.dir/cbc.cc.o.d"
+  "CMakeFiles/tdb_crypto.dir/cipher_suite.cc.o"
+  "CMakeFiles/tdb_crypto.dir/cipher_suite.cc.o.d"
+  "CMakeFiles/tdb_crypto.dir/des.cc.o"
+  "CMakeFiles/tdb_crypto.dir/des.cc.o.d"
+  "CMakeFiles/tdb_crypto.dir/drbg.cc.o"
+  "CMakeFiles/tdb_crypto.dir/drbg.cc.o.d"
+  "CMakeFiles/tdb_crypto.dir/hash.cc.o"
+  "CMakeFiles/tdb_crypto.dir/hash.cc.o.d"
+  "CMakeFiles/tdb_crypto.dir/hmac.cc.o"
+  "CMakeFiles/tdb_crypto.dir/hmac.cc.o.d"
+  "CMakeFiles/tdb_crypto.dir/sha1.cc.o"
+  "CMakeFiles/tdb_crypto.dir/sha1.cc.o.d"
+  "CMakeFiles/tdb_crypto.dir/sha256.cc.o"
+  "CMakeFiles/tdb_crypto.dir/sha256.cc.o.d"
+  "libtdb_crypto.a"
+  "libtdb_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdb_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

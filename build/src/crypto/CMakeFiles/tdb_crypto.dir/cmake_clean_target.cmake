@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtdb_crypto.a"
+)

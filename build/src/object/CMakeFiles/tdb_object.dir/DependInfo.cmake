@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/object/class_registry.cc" "src/object/CMakeFiles/tdb_object.dir/class_registry.cc.o" "gcc" "src/object/CMakeFiles/tdb_object.dir/class_registry.cc.o.d"
+  "/root/repo/src/object/lock_manager.cc" "src/object/CMakeFiles/tdb_object.dir/lock_manager.cc.o" "gcc" "src/object/CMakeFiles/tdb_object.dir/lock_manager.cc.o.d"
+  "/root/repo/src/object/object_cache.cc" "src/object/CMakeFiles/tdb_object.dir/object_cache.cc.o" "gcc" "src/object/CMakeFiles/tdb_object.dir/object_cache.cc.o.d"
+  "/root/repo/src/object/object_store.cc" "src/object/CMakeFiles/tdb_object.dir/object_store.cc.o" "gcc" "src/object/CMakeFiles/tdb_object.dir/object_store.cc.o.d"
+  "/root/repo/src/object/pickle.cc" "src/object/CMakeFiles/tdb_object.dir/pickle.cc.o" "gcc" "src/object/CMakeFiles/tdb_object.dir/pickle.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/chunk/CMakeFiles/tdb_chunk.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/tdb_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/tdb_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

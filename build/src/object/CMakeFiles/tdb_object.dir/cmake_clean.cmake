@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdb_object.dir/class_registry.cc.o"
+  "CMakeFiles/tdb_object.dir/class_registry.cc.o.d"
+  "CMakeFiles/tdb_object.dir/lock_manager.cc.o"
+  "CMakeFiles/tdb_object.dir/lock_manager.cc.o.d"
+  "CMakeFiles/tdb_object.dir/object_cache.cc.o"
+  "CMakeFiles/tdb_object.dir/object_cache.cc.o.d"
+  "CMakeFiles/tdb_object.dir/object_store.cc.o"
+  "CMakeFiles/tdb_object.dir/object_store.cc.o.d"
+  "CMakeFiles/tdb_object.dir/pickle.cc.o"
+  "CMakeFiles/tdb_object.dir/pickle.cc.o.d"
+  "libtdb_object.a"
+  "libtdb_object.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdb_object.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/platform/archival_store.cc" "src/platform/CMakeFiles/tdb_platform.dir/archival_store.cc.o" "gcc" "src/platform/CMakeFiles/tdb_platform.dir/archival_store.cc.o.d"
+  "/root/repo/src/platform/fault_injection.cc" "src/platform/CMakeFiles/tdb_platform.dir/fault_injection.cc.o" "gcc" "src/platform/CMakeFiles/tdb_platform.dir/fault_injection.cc.o.d"
+  "/root/repo/src/platform/file_store.cc" "src/platform/CMakeFiles/tdb_platform.dir/file_store.cc.o" "gcc" "src/platform/CMakeFiles/tdb_platform.dir/file_store.cc.o.d"
+  "/root/repo/src/platform/mem_store.cc" "src/platform/CMakeFiles/tdb_platform.dir/mem_store.cc.o" "gcc" "src/platform/CMakeFiles/tdb_platform.dir/mem_store.cc.o.d"
+  "/root/repo/src/platform/one_way_counter.cc" "src/platform/CMakeFiles/tdb_platform.dir/one_way_counter.cc.o" "gcc" "src/platform/CMakeFiles/tdb_platform.dir/one_way_counter.cc.o.d"
+  "/root/repo/src/platform/secret_store.cc" "src/platform/CMakeFiles/tdb_platform.dir/secret_store.cc.o" "gcc" "src/platform/CMakeFiles/tdb_platform.dir/secret_store.cc.o.d"
+  "/root/repo/src/platform/sim_disk.cc" "src/platform/CMakeFiles/tdb_platform.dir/sim_disk.cc.o" "gcc" "src/platform/CMakeFiles/tdb_platform.dir/sim_disk.cc.o.d"
+  "/root/repo/src/platform/staged_archive.cc" "src/platform/CMakeFiles/tdb_platform.dir/staged_archive.cc.o" "gcc" "src/platform/CMakeFiles/tdb_platform.dir/staged_archive.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdb_platform.dir/archival_store.cc.o"
+  "CMakeFiles/tdb_platform.dir/archival_store.cc.o.d"
+  "CMakeFiles/tdb_platform.dir/fault_injection.cc.o"
+  "CMakeFiles/tdb_platform.dir/fault_injection.cc.o.d"
+  "CMakeFiles/tdb_platform.dir/file_store.cc.o"
+  "CMakeFiles/tdb_platform.dir/file_store.cc.o.d"
+  "CMakeFiles/tdb_platform.dir/mem_store.cc.o"
+  "CMakeFiles/tdb_platform.dir/mem_store.cc.o.d"
+  "CMakeFiles/tdb_platform.dir/one_way_counter.cc.o"
+  "CMakeFiles/tdb_platform.dir/one_way_counter.cc.o.d"
+  "CMakeFiles/tdb_platform.dir/secret_store.cc.o"
+  "CMakeFiles/tdb_platform.dir/secret_store.cc.o.d"
+  "CMakeFiles/tdb_platform.dir/sim_disk.cc.o"
+  "CMakeFiles/tdb_platform.dir/sim_disk.cc.o.d"
+  "CMakeFiles/tdb_platform.dir/staged_archive.cc.o"
+  "CMakeFiles/tdb_platform.dir/staged_archive.cc.o.d"
+  "libtdb_platform.a"
+  "libtdb_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdb_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collection_extensions_test.dir/collection_extensions_test.cc.o"
+  "CMakeFiles/collection_extensions_test.dir/collection_extensions_test.cc.o.d"
+  "collection_extensions_test"
+  "collection_extensions_test.pdb"
+  "collection_extensions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collection_extensions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collection_store_test.dir/collection_store_test.cc.o"
+  "CMakeFiles/collection_store_test.dir/collection_store_test.cc.o.d"
+  "collection_store_test"
+  "collection_store_test.pdb"
+  "collection_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collection_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_disk_test.dir/sim_disk_test.cc.o"
+  "CMakeFiles/sim_disk_test.dir/sim_disk_test.cc.o.d"
+  "sim_disk_test"
+  "sim_disk_test.pdb"
+  "sim_disk_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_disk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

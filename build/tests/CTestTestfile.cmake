@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/crypto_test[1]_include.cmake")
+include("/root/repo/build/tests/platform_test[1]_include.cmake")
+include("/root/repo/build/tests/chunk_store_test[1]_include.cmake")
+include("/root/repo/build/tests/backup_store_test[1]_include.cmake")
+include("/root/repo/build/tests/object_store_test[1]_include.cmake")
+include("/root/repo/build/tests/collection_store_test[1]_include.cmake")
+include("/root/repo/build/tests/baseline_db_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_disk_test[1]_include.cmake")
+include("/root/repo/build/tests/robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/collection_extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/codec_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions2_test[1]_include.cmake")
+include("/root/repo/build/tests/lock_manager_test[1]_include.cmake")

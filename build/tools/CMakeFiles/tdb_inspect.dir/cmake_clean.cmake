@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdb_inspect.dir/tdb_inspect.cc.o"
+  "CMakeFiles/tdb_inspect.dir/tdb_inspect.cc.o.d"
+  "tdb_inspect"
+  "tdb_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdb_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
