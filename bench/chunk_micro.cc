@@ -22,13 +22,19 @@ struct Fixture {
   platform::MemOneWayCounter counter;
   std::unique_ptr<ChunkStore> chunks;
 
-  explicit Fixture(bool secure) {
+  // cache_bytes/crypto_threads default to 0 (the pre-cache, pre-pipeline
+  // configuration) so the longstanding baseline numbers stay comparable;
+  // the hot-read and parallel-commit benches below opt in explicitly.
+  explicit Fixture(bool secure, size_t cache_bytes = 0,
+                   int crypto_threads = 0) {
     (void)secrets.Provision(Slice("bench-secret")).ok();
     ChunkStoreOptions options;
     options.security = secure ? crypto::SecurityConfig::PaperTdbS()
                               : crypto::SecurityConfig::Disabled();
     options.segment_size = 256 * 1024;
     options.checkpoint_interval_bytes = 8 * 1024 * 1024;
+    options.cache_bytes = cache_bytes;
+    options.crypto_threads = crypto_threads;
     chunks = std::move(ChunkStore::Open(&store, &secrets, &counter, options))
                  .value();
   }
@@ -95,9 +101,46 @@ void BM_ChunkReadSecure(benchmark::State& state) {
 }
 BENCHMARK(BM_ChunkReadSecure)->Arg(100)->Arg(1024);
 
+// Hot reads served by the validated-plaintext cache vs. the full
+// validated-read path (range(0) = chunk size, range(1) = cache on/off).
+// The working set fits in the cache, so after one warm pass every read is
+// a hit — the target of the cache tentpole.
+void BM_ChunkReadHot(benchmark::State& state) {
+  const bool cached = state.range(1) != 0;
+  Fixture fx(/*secure=*/true, /*cache_bytes=*/cached ? 64u << 20 : 0);
+  Random rng(2);
+  std::vector<ChunkId> cids;
+  for (int i = 0; i < 1000; i++) {
+    Buffer data;
+    rng.Fill(&data, state.range(0));
+    ChunkId cid = fx.chunks->AllocateChunkId();
+    (void)fx.chunks->Write(cid, data, false).ok();
+    cids.push_back(cid);
+  }
+  (void)fx.chunks->Checkpoint().ok();
+  for (ChunkId cid : cids) {  // Warm pass.
+    (void)fx.chunks->Read(cid).ok();
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    auto data = fx.chunks->Read(cids[i++ % cids.size()]);
+    if (!data.ok()) state.SkipWithError(data.status().ToString().c_str());
+    benchmark::DoNotOptimize(data);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+  state.counters["hits"] =
+      static_cast<double>(fx.chunks->Stats().cache_hits);
+}
+BENCHMARK(BM_ChunkReadHot)
+    ->Args({100, 0})->Args({100, 1})
+    ->Args({1024, 0})->Args({1024, 1})
+    ->Args({16384, 0})->Args({16384, 1});
+
 // Multi-chunk atomic commits: per-commit overhead amortization.
+// range(0) = batch size, range(1) = crypto_threads (0 = serial sealing).
 void BM_ChunkBatchCommit(benchmark::State& state) {
-  Fixture fx(true);
+  Fixture fx(true, /*cache_bytes=*/0,
+             /*crypto_threads=*/static_cast<int>(state.range(1)));
   Random rng(3);
   const int batch_size = static_cast<int>(state.range(0));
   std::vector<ChunkId> cids;
@@ -114,7 +157,34 @@ void BM_ChunkBatchCommit(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * batch_size);
 }
-BENCHMARK(BM_ChunkBatchCommit)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+BENCHMARK(BM_ChunkBatchCommit)
+    ->Args({1, 0})->Args({4, 0})->Args({16, 0})->Args({64, 0});
+
+// Large-batch commits with crypto-sized payloads, where sealing dominates:
+// the parallel pipeline's target. 4 KB chunks, batches of 64/256.
+void BM_ChunkBatchCommitLarge(benchmark::State& state) {
+  Fixture fx(true, /*cache_bytes=*/0,
+             /*crypto_threads=*/static_cast<int>(state.range(1)));
+  Random rng(4);
+  const int batch_size = static_cast<int>(state.range(0));
+  std::vector<ChunkId> cids;
+  for (int i = 0; i < batch_size; i++) {
+    cids.push_back(fx.chunks->AllocateChunkId());
+  }
+  Buffer data;
+  rng.Fill(&data, 4096);
+  for (auto _ : state) {
+    WriteBatch batch;
+    for (ChunkId cid : cids) batch.Write(cid, data);
+    Status s = fx.chunks->Commit(batch, true);
+    if (!s.ok()) state.SkipWithError(s.ToString().c_str());
+  }
+  state.SetItemsProcessed(state.iterations() * batch_size);
+  state.SetBytesProcessed(state.iterations() * batch_size * data.size());
+}
+BENCHMARK(BM_ChunkBatchCommitLarge)
+    ->Args({64, 0})->Args({64, 2})->Args({64, 4})->Args({64, 8})
+    ->Args({256, 0})->Args({256, 4});
 
 }  // namespace
 

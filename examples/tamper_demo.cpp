@@ -36,6 +36,11 @@ int main() {
     platform::MemOneWayCounter counter;
     CHECK_OK(secrets.Provision(Slice("device-secret")));
     chunk::ChunkStoreOptions options;  // Secure by default (TDB-S).
+    // The attack reads straight from the tampered image: disable the
+    // validated-plaintext cache so every Read revalidates the stored bytes
+    // (a warm cached read would simply keep serving the correct balance —
+    // the attacker gains nothing, but nothing is "detected" either).
+    options.cache_bytes = 0;
     auto cs = std::move(ChunkStore::Open(&store, &secrets, &counter, options))
                   .value();
     ChunkId balance = cs->AllocateChunkId();

@@ -1,0 +1,50 @@
+#include "chunk/chunk_cache.h"
+
+namespace tdb::chunk {
+
+const Buffer* ChunkCache::Get(ChunkId cid) {
+  auto it = entries_.find(cid);
+  if (it == entries_.end()) return nullptr;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  return &it->second.data;
+}
+
+void ChunkCache::Put(ChunkId cid, Slice data) {
+  if (!enabled()) return;
+  // Replace-or-erase: a stale entry under this id must never survive, even
+  // when the new payload itself is too large to cache.
+  Erase(cid);
+  Buffer payload = data.ToBuffer();
+  const size_t charge = Charge(payload);
+  if (charge > capacity_) return;
+  EvictToFit(charge);
+  lru_.push_front(cid);
+  entries_[cid] = Entry{std::move(payload), lru_.begin()};
+  size_ += charge;
+}
+
+void ChunkCache::Erase(ChunkId cid) {
+  auto it = entries_.find(cid);
+  if (it == entries_.end()) return;
+  size_ -= Charge(it->second.data);
+  lru_.erase(it->second.lru_pos);
+  entries_.erase(it);
+}
+
+void ChunkCache::Clear() {
+  entries_.clear();
+  lru_.clear();
+  size_ = 0;
+}
+
+void ChunkCache::EvictToFit(size_t incoming_charge) {
+  while (size_ + incoming_charge > capacity_ && !lru_.empty()) {
+    auto it = entries_.find(lru_.back());
+    size_ -= Charge(it->second.data);
+    entries_.erase(it);
+    lru_.pop_back();
+    evictions_++;
+  }
+}
+
+}  // namespace tdb::chunk

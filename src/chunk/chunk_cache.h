@@ -1,0 +1,78 @@
+#ifndef TDB_CHUNK_CHUNK_CACHE_H_
+#define TDB_CHUNK_CHUNK_CACHE_H_
+
+#include <list>
+#include <unordered_map>
+
+#include "chunk/types.h"
+#include "common/slice.h"
+
+namespace tdb::chunk {
+
+/// Byte-budgeted LRU cache of validated plaintext chunk payloads.
+///
+/// Every entry holds bytes that already passed the full read validation
+/// (Merkle hash check + decryption) or that the store itself just sealed
+/// and committed, so serving a hit skips untrusted-store I/O, record
+/// parsing, hashing, and decryption entirely. The cache lives in trusted
+/// memory; holding decrypted bytes here does not change the threat model,
+/// which only covers state behind the UntrustedStore interface.
+///
+/// Keyed by ChunkId and always reflecting the LAST COMMITTED state of the
+/// chunk: the owning ChunkStore write-throughs commits, erases
+/// deallocations, and never populates it from snapshot reads (which may
+/// see older versions). Cleaner relocation moves sealed bytes verbatim —
+/// same id, same plaintext — so cached entries stay valid across Clean.
+///
+/// Not thread-safe; like the rest of ChunkStore, callers serialize access.
+class ChunkCache {
+ public:
+  /// `capacity_bytes` = 0 disables the cache (all ops become no-ops).
+  explicit ChunkCache(size_t capacity_bytes) : capacity_(capacity_bytes) {}
+
+  bool enabled() const { return capacity_ > 0; }
+
+  /// Returns the cached payload and refreshes its LRU position, or nullptr
+  /// on miss. The pointer is valid only until the next mutating call.
+  const Buffer* Get(ChunkId cid);
+
+  /// Inserts or replaces the entry for `cid`, evicting LRU entries to fit.
+  /// Payloads that alone exceed the budget are not cached (but still
+  /// replace — i.e. erase — any stale entry under the same id).
+  void Put(ChunkId cid, Slice data);
+
+  /// Drops the entry for `cid` if present (deallocate / failed commit).
+  void Erase(ChunkId cid);
+
+  /// Drops everything.
+  void Clear();
+
+  size_t size_bytes() const { return size_; }
+  size_t entry_count() const { return entries_.size(); }
+  uint64_t evictions() const { return evictions_; }
+
+ private:
+  // Per-entry bookkeeping overhead charged against the budget, so millions
+  // of tiny chunks cannot blow past the nominal byte cap.
+  static constexpr size_t kEntryOverhead = 64;
+
+  struct Entry {
+    Buffer data;
+    std::list<ChunkId>::iterator lru_pos;
+  };
+
+  size_t Charge(const Buffer& data) const {
+    return data.size() + kEntryOverhead;
+  }
+  void EvictToFit(size_t incoming_charge);
+
+  std::unordered_map<ChunkId, Entry> entries_;
+  std::list<ChunkId> lru_;  // Front = most recently used.
+  size_t capacity_;
+  size_t size_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace tdb::chunk
+
+#endif  // TDB_CHUNK_CHUNK_CACHE_H_

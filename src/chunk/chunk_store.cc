@@ -14,6 +14,14 @@ namespace {
 // Lexicographically sortable segment file names.
 constexpr char kSegmentPrefix[] = "seg-";
 
+// Commit batches below this many writes seal serially: the fan-out/join
+// overhead only pays for itself once several independent seals overlap.
+constexpr size_t kParallelSealMinWrites = 4;
+
+// VerifyIntegrity fans validation out in batches of this many chunks so
+// sealed bytes are buffered boundedly (I/O stays serial; crypto overlaps).
+constexpr size_t kVerifyBatchChunks = 256;
+
 // Parses "seg-<id>"; returns false for other files (anchors etc.).
 bool ParseSegmentName(const std::string& name, uint32_t* id) {
   if (name.rfind(kSegmentPrefix, 0) != 0) return false;
@@ -52,7 +60,21 @@ ChunkStore::ChunkStore(platform::UntrustedStore* store,
       options_(options),
       suite_(std::move(suite)),
       anchor_mgr_(store, &suite_, entry_hash_size()),
-      map_(options.map_fanout) {}
+      map_(options.map_fanout),
+      cache_(options.cache_bytes) {}
+
+ThreadPool* ChunkStore::CryptoPool() {
+  if (options_.crypto_threads <= 1) return nullptr;
+  if (crypto_pool_ == nullptr) {
+    crypto_pool_ = std::make_unique<ThreadPool>(options_.crypto_threads);
+  }
+  return crypto_pool_.get();
+}
+
+void ChunkStore::SyncCacheStats() {
+  stats_.cache_evictions = cache_.evictions();
+  stats_.cache_bytes_used = cache_.size_bytes();
+}
 
 size_t ChunkStore::entry_hash_size() const {
   size_t full = suite_.hash_size();
@@ -438,9 +460,8 @@ Status ChunkStore::SyncDirtyFiles() {
 // ---------------------------------------------------------------------------
 // Record reads
 
-Result<Buffer> ChunkStore::ReadRawRecord(const Location& loc,
-                                         RecordType expected,
-                                         const crypto::Digest& expected_hash) {
+Result<Buffer> ChunkStore::FetchRawRecord(const Location& loc,
+                                          RecordType expected) {
   Buffer bytes;
   Status read = store_->Read(SegmentName(loc.segment), loc.offset,
                              kRecordHeaderSize + loc.length, &bytes);
@@ -457,10 +478,17 @@ Result<Buffer> ChunkStore::ReadRawRecord(const Location& loc,
   if (view.type != expected || view.payload.size() != loc.length) {
     return Status::TamperDetected("record does not match location map");
   }
-  if (suite_.enabled() && EntryHash(view.payload) != expected_hash) {
+  return view.payload.ToBuffer();
+}
+
+Result<Buffer> ChunkStore::ReadRawRecord(const Location& loc,
+                                         RecordType expected,
+                                         const crypto::Digest& expected_hash) {
+  TDB_ASSIGN_OR_RETURN(Buffer payload, FetchRawRecord(loc, expected));
+  if (suite_.enabled() && EntryHash(payload) != expected_hash) {
     return Status::TamperDetected("chunk hash mismatch");
   }
-  return view.payload.ToBuffer();
+  return payload;
 }
 
 Result<Buffer> ChunkStore::ReadDataAt(const MapEntry& entry) {
@@ -524,12 +552,25 @@ Result<std::shared_ptr<MapNode>> ChunkStore::LoadRoot(
 
 Result<Buffer> ChunkStore::Read(ChunkId cid) {
   if (!open_) return Status::InvalidArgument("chunk store not open");
+  // Cache entries hold already-validated plaintext of the chunk's last
+  // committed state, so a hit skips the map walk, untrusted-store I/O,
+  // hash check, and decryption entirely.
+  if (const Buffer* hit = cache_.Get(cid)) {
+    stats_.cache_hits++;
+    return *hit;
+  }
   NodeLoader loader = MakeLoader();
   TDB_ASSIGN_OR_RETURN(std::optional<MapEntry> entry, map_.Get(cid, loader));
   if (!entry.has_value()) {
     return Status::NotFound("chunk " + std::to_string(cid));
   }
-  return ReadDataAt(*entry);
+  TDB_ASSIGN_OR_RETURN(Buffer plain, ReadDataAt(*entry));
+  if (cache_.enabled()) {
+    stats_.cache_misses++;
+    cache_.Put(cid, plain);
+    SyncCacheStats();
+  }
+  return plain;
 }
 
 Status ChunkStore::Write(ChunkId cid, Slice data, bool durable) {
@@ -559,22 +600,62 @@ Status ChunkStore::Commit(const WriteBatch& batch, bool durable) {
       last[op.cid] = &op;
     }
   }
-  std::vector<StagedWrite> writes;
+  std::vector<const WriteBatch::Op*> write_ops;
   std::vector<ChunkId> deallocs;
   for (ChunkId cid : order) {
     const WriteBatch::Op* op = last[cid];
     if (op->is_write) {
-      StagedWrite staged;
-      staged.cid = cid;
-      staged.sealed = suite_.Seal(op->data);
-      staged.hash = EntryHash(staged.sealed);
-      writes.push_back(std::move(staged));
+      write_ops.push_back(op);
+      stats_.sealed_bytes += op->data.size();
     } else {
       deallocs.push_back(cid);
     }
   }
-  TDB_RETURN_IF_ERROR(CommitInternal(writes, deallocs,
-                                     durable ? kCommitDurable : 0, nullptr));
+
+  // Seal + hash the staged writes. Each write is independent, so with a
+  // pool available the CPU-bound crypto fans out: IVs are drawn serially
+  // in batch order (keeping the sealed bytes bit-identical to the serial
+  // path), then encryption and hashing run across the workers.
+  std::vector<StagedWrite> writes(write_ops.size());
+  ThreadPool* pool = CryptoPool();
+  if (pool != nullptr && suite_.enabled() &&
+      write_ops.size() >= kParallelSealMinWrites) {
+    std::vector<Buffer> ivs(write_ops.size());
+    for (size_t i = 0; i < write_ops.size(); i++) ivs[i] = suite_.NextIv();
+    pool->ParallelFor(write_ops.size(), [&](size_t i) {
+      writes[i].cid = write_ops[i]->cid;
+      writes[i].sealed = suite_.SealWithIv(write_ops[i]->data, ivs[i]);
+      writes[i].hash = EntryHash(writes[i].sealed);
+    });
+    for (const WriteBatch::Op* op : write_ops) {
+      stats_.parallel_sealed_bytes += op->data.size();
+    }
+  } else {
+    for (size_t i = 0; i < write_ops.size(); i++) {
+      writes[i].cid = write_ops[i]->cid;
+      writes[i].sealed = suite_.Seal(write_ops[i]->data);
+      writes[i].hash = EntryHash(writes[i].sealed);
+    }
+  }
+
+  Status committed = CommitInternal(writes, deallocs,
+                                    durable ? kCommitDurable : 0, nullptr);
+  if (cache_.enabled()) {
+    if (committed.ok()) {
+      // Write-through: the batch's plaintext is the chunks' new committed
+      // state, already in trusted memory — cache it without revalidation.
+      for (const WriteBatch::Op* op : write_ops) {
+        cache_.Put(op->cid, op->data);
+      }
+      for (ChunkId cid : deallocs) cache_.Erase(cid);
+    } else {
+      // A failed commit may have partially applied the in-memory map;
+      // drop every touched id so no stale plaintext can be served.
+      for (ChunkId cid : order) cache_.Erase(cid);
+    }
+    SyncCacheStats();
+  }
+  TDB_RETURN_IF_ERROR(committed);
   TDB_RETURN_IF_ERROR(MaybeCheckpoint());
   return MaybeClean();
 }
@@ -1022,19 +1103,74 @@ Status ChunkStore::VerifyIntegrity(uint64_t* chunks_checked) {
   if (!open_) return Status::InvalidArgument("chunk store not open");
   uint64_t checked = 0;
   NodeLoader loader = MakeLoader();
-  Status walk = map_.ForEach(
+  ThreadPool* pool = CryptoPool();
+  if (pool == nullptr) {
+    Status walk = map_.ForEach(
+        map_.root(), loader,
+        [&](ChunkId cid, const MapEntry& entry) -> Status {
+          Status read = ReadDataAt(entry).status();
+          if (!read.ok()) {
+            return Status::TamperDetected("chunk " + std::to_string(cid) +
+                                          ": " + read.ToString());
+          }
+          checked++;
+          return Status::OK();
+        });
+    if (chunks_checked != nullptr) *chunks_checked = checked;
+    return walk;
+  }
+
+  // Parallel scrub: collect the live entries first (map-node loading stays
+  // serial), then validate in bounded batches — the untrusted-store reads
+  // run serially on this thread, the hash checks and decryption fan out.
+  // Failures are reported for the lowest chunk position, matching the
+  // serial path's "first failure" regardless of scheduling.
+  std::vector<std::pair<ChunkId, MapEntry>> entries;
+  TDB_RETURN_IF_ERROR(map_.ForEach(
       map_.root(), loader,
       [&](ChunkId cid, const MapEntry& entry) -> Status {
-        Status read = ReadDataAt(entry).status();
-        if (!read.ok()) {
-          return Status::TamperDetected("chunk " + std::to_string(cid) +
-                                        ": " + read.ToString());
-        }
-        checked++;
+        entries.push_back({cid, entry});
         return Status::OK();
-      });
+      }));
+  for (size_t start = 0; start < entries.size();
+       start += kVerifyBatchChunks) {
+    const size_t n = std::min(kVerifyBatchChunks, entries.size() - start);
+    std::vector<Buffer> sealed(n);
+    std::vector<Status> results(n, Status::OK());
+    for (size_t j = 0; j < n; j++) {
+      auto raw = FetchRawRecord(entries[start + j].second.loc,
+                                RecordType::kData);
+      if (raw.ok()) {
+        sealed[j] = std::move(raw).value();
+      } else {
+        results[j] = raw.status();
+      }
+    }
+    pool->ParallelFor(n, [&](size_t j) {
+      if (!results[j].ok()) return;
+      const MapEntry& entry = entries[start + j].second;
+      if (suite_.enabled() && EntryHash(sealed[j]) != entry.hash) {
+        results[j] = Status::TamperDetected("chunk hash mismatch");
+        return;
+      }
+      auto plain = suite_.Open(sealed[j]);
+      if (!plain.ok()) {
+        results[j] = Status::TamperDetected("chunk decryption failed: " +
+                                            plain.status().ToString());
+      }
+    });
+    for (size_t j = 0; j < n; j++) {
+      if (!results[j].ok()) {
+        if (chunks_checked != nullptr) *chunks_checked = checked;
+        return Status::TamperDetected(
+            "chunk " + std::to_string(entries[start + j].first) + ": " +
+            results[j].ToString());
+      }
+      checked++;
+    }
+  }
   if (chunks_checked != nullptr) *chunks_checked = checked;
-  return walk;
+  return Status::OK();
 }
 
 // ---------------------------------------------------------------------------

@@ -8,10 +8,12 @@
 #include <vector>
 
 #include "chunk/anchor.h"
+#include "chunk/chunk_cache.h"
 #include "chunk/location_map.h"
 #include "chunk/log_format.h"
 #include "chunk/types.h"
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "crypto/cipher_suite.h"
 #include "platform/one_way_counter.h"
 #include "platform/secret_store.h"
@@ -51,6 +53,21 @@ struct ChunkStoreOptions {
 
   /// Extra entropy mixed into the encryption-IV generator.
   std::string iv_seed = "tdb-iv";
+
+  /// Byte budget for the validated-plaintext chunk cache: decrypted,
+  /// hash-checked payloads served straight from trusted memory on re-read,
+  /// skipping untrusted-store I/O, hashing, and decryption. 0 disables the
+  /// cache (every read revalidates — the pre-cache behavior). Snapshot
+  /// reads always bypass the cache; see DESIGN.md "Chunk cache & crypto
+  /// pipeline".
+  size_t cache_bytes = 4 * 1024 * 1024;
+
+  /// Worker threads for the commit-path crypto pipeline (sealing + hashing
+  /// of independent staged writes) and for VerifyIntegrity validation.
+  /// 0 or 1 runs fully serial on the caller (the pre-pipeline behavior).
+  /// Sealed output is bit-identical regardless of thread count: IVs are
+  /// drawn serially in submission order, then encryption fans out.
+  int crypto_threads = 4;
 };
 
 /// Counters exposed for tests, benchmarks, and the utilization experiment.
@@ -70,6 +87,14 @@ struct ChunkStoreStats {
   uint64_t data_bytes = 0;
   uint64_t map_bytes = 0;
   uint64_t commit_bytes = 0;
+  // Validated-plaintext chunk cache (only moves when cache_bytes > 0).
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;    // Reads that fell through to validation.
+  uint64_t cache_evictions = 0;
+  uint64_t cache_bytes_used = 0;
+  // Commit-path crypto pipeline.
+  uint64_t sealed_bytes = 0;           // Plaintext bytes sealed by commits.
+  uint64_t parallel_sealed_bytes = 0;  // Subset sealed via the worker pool.
   double utilization() const {
     return total_bytes == 0 ? 0.0
                             : static_cast<double>(live_bytes) / total_bytes;
@@ -125,7 +150,10 @@ class Snapshot {
 ///    crashes; nondurable commits never survive a crash unless followed by
 ///    a durable commit.
 ///
-/// Not thread-safe: callers (the object store) serialize access.
+/// Not thread-safe: callers (the object store) serialize access. The store
+/// does use an internal worker pool (options.crypto_threads) to fan
+/// independent sealing/validation work across cores, but all of its public
+/// entry points remain single-caller.
 class ChunkStore {
  public:
   static Result<std::unique_ptr<ChunkStore>> Open(
@@ -166,7 +194,10 @@ class ChunkStore {
   Status VerifyIntegrity(uint64_t* chunks_checked);
 
   /// Snapshots (§3.2.1, used by the backup store). Checkpoints first so
-  /// the snapshot is fully persisted.
+  /// the snapshot is fully persisted. ReadAtSnapshot always bypasses the
+  /// validated-plaintext cache — the cache is keyed by a chunk's CURRENT
+  /// committed state, which a snapshot may predate — and performs the full
+  /// validated read instead.
   Result<std::shared_ptr<Snapshot>> CreateSnapshot();
   Result<Buffer> ReadAtSnapshot(const Snapshot& snap, ChunkId cid);
   Status ForEachChunkAt(
@@ -176,7 +207,10 @@ class ChunkStore {
       const Snapshot& base, const Snapshot& delta,
       const std::function<Status(ChunkId, DiffKind, const MapEntry&)>& fn);
 
-  const ChunkStoreStats& stats() const { return stats_; }
+  /// Operation counters, including cache hit/miss/eviction and sealed-byte
+  /// breakdowns for the commit pipeline.
+  const ChunkStoreStats& Stats() const { return stats_; }
+  const ChunkStoreStats& stats() const { return stats_; }  // Legacy alias.
   const ChunkStoreOptions& options() const { return options_; }
   uint64_t next_chunk_id() const { return next_chunk_id_; }
 
@@ -215,6 +249,10 @@ class ChunkStore {
   Status SyncDirtyFiles();
 
   // --- records ---
+  // I/O + structural checks only: reads the record at `loc`, verifying
+  // type and payload length against the location map but NOT the hash —
+  // callers validate (possibly on another thread) before trusting it.
+  Result<Buffer> FetchRawRecord(const Location& loc, RecordType expected);
   Result<Buffer> ReadRawRecord(const Location& loc, RecordType expected,
                                const crypto::Digest& expected_hash);
   Result<Buffer> ReadDataAt(const MapEntry& entry);
@@ -259,6 +297,12 @@ class ChunkStore {
   crypto::Digest EntryHash(Slice sealed) const;
   size_t entry_hash_size() const;
 
+  // Worker pool for the commit/verify crypto pipeline; created lazily on
+  // first use, nullptr when options_.crypto_threads <= 1.
+  ThreadPool* CryptoPool();
+  // Mirrors cache occupancy/eviction counters into stats_.
+  void SyncCacheStats();
+
   platform::UntrustedStore* store_;
   platform::OneWayCounter* counter_;
   ChunkStoreOptions options_;
@@ -293,6 +337,12 @@ class ChunkStore {
 
   bool in_maintenance_ = false;  // Guards checkpoint/clean reentrancy.
   ChunkStoreStats stats_;
+
+  // Validated-plaintext cache (tentpole of the hot-read path): holds only
+  // bytes that already passed Merkle + decryption validation, keyed by the
+  // chunk's last committed state. See DESIGN.md for invalidation rules.
+  ChunkCache cache_;
+  std::unique_ptr<ThreadPool> crypto_pool_;
 };
 
 }  // namespace tdb::chunk

@@ -1,0 +1,108 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+
+namespace tdb {
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads <= 1) return;
+  workers_.reserve(num_threads);
+  for (int i = 0; i < num_threads; i++) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown_ with a drained queue.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+std::future<void> ThreadPool::Submit(std::function<void()> fn) {
+  std::packaged_task<void()> task(std::move(fn));
+  std::future<void> future = task.get_future();
+  if (workers_.empty()) {
+    task();
+    return future;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    for (size_t i = 0; i < n; i++) fn(i);
+    return;
+  }
+  std::atomic<size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::mutex error_mu;
+  std::exception_ptr first_error;
+  auto drain = [&] {
+    size_t i;
+    while ((i = next.fetch_add(1)) < n) {
+      if (failed.load(std::memory_order_relaxed)) return;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (first_error == nullptr) first_error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+  const size_t helpers = std::min(workers_.size(), n - 1);
+  std::vector<std::future<void>> joins;
+  joins.reserve(helpers);
+  for (size_t h = 0; h < helpers; h++) joins.push_back(Submit(drain));
+  drain();  // The caller participates instead of idling.
+  for (std::future<void>& f : joins) f.get();
+  if (first_error != nullptr) std::rethrow_exception(first_error);
+}
+
+Status ThreadPool::ParallelForStatus(
+    size_t n, const std::function<Status(size_t)>& fn) {
+  std::atomic<bool> failed{false};
+  std::mutex error_mu;
+  size_t error_index = n;
+  Status error = Status::OK();
+  ParallelFor(n, [&](size_t i) {
+    if (failed.load(std::memory_order_relaxed)) return;
+    Status s = fn(i);
+    if (s.ok()) return;
+    std::lock_guard<std::mutex> lock(error_mu);
+    // Keep the lowest-index failure so the reported error does not depend
+    // on scheduling.
+    if (i < error_index) {
+      error_index = i;
+      error = std::move(s);
+    }
+    failed.store(true, std::memory_order_relaxed);
+  });
+  return error;
+}
+
+}  // namespace tdb

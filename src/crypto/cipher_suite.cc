@@ -60,12 +60,23 @@ Digest CipherSuite::Mac(Slice data) const {
 
 Buffer CipherSuite::Seal(Slice plain) {
   if (!config_.enabled || cipher_ == nullptr) return plain.ToBuffer();
-  size_t block = cipher_->block_size();
-  Buffer iv = iv_gen_->Generate(block);
+  Buffer iv = NextIv();
+  return SealWithIv(plain, iv);
+}
+
+Buffer CipherSuite::NextIv() {
+  if (!config_.enabled || cipher_ == nullptr) return Buffer();
+  return iv_gen_->Generate(cipher_->block_size());
+}
+
+Buffer CipherSuite::SealWithIv(Slice plain, Slice iv) const {
+  if (!config_.enabled || cipher_ == nullptr) return plain.ToBuffer();
+  TDB_CHECK(iv.size() == cipher_->block_size(),
+            "IV must be exactly one cipher block");
   Buffer cipher_text = CbcEncrypt(*cipher_, iv, plain);
   Buffer out;
-  out.reserve(block + cipher_text.size());
-  out.insert(out.end(), iv.begin(), iv.end());
+  out.reserve(iv.size() + cipher_text.size());
+  out.insert(out.end(), iv.data(), iv.data() + iv.size());
   out.insert(out.end(), cipher_text.begin(), cipher_text.end());
   return out;
 }

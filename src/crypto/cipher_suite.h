@@ -39,6 +39,15 @@ struct SecurityConfig {
 /// hashes are empty (the paper's plain-TDB configuration, which still
 /// detects *accidental* corruption via log checksums but offers no defense
 /// against an intelligent attacker).
+///
+/// THREAD SAFETY: after construction, every const member (HashData, Mac,
+/// Open, SealWithIv, SealedSize, hash_size) is safe to call concurrently —
+/// the key schedules are immutable and each call keeps its working state
+/// on the stack. Only Seal()/NextIv() mutate (they advance the IV
+/// generator) and need external serialization. The chunk store's parallel
+/// commit pipeline relies on this split: IVs are drawn serially in
+/// submission order, then SealWithIv/HashData fan out across threads,
+/// producing output bit-identical to the serial path.
 class CipherSuite {
  public:
   /// `master_secret` comes from the SecretStore; `iv_seed` seeds the IV
@@ -61,7 +70,18 @@ class CipherSuite {
   Digest Mac(Slice data) const;
 
   /// Encrypts `plain` into IV || ciphertext (pass-through when disabled).
+  /// Equivalent to SealWithIv(plain, NextIv()).
   Buffer Seal(Slice plain);
+
+  /// Draws the next IV (one cipher block; empty when encryption is off).
+  /// Mutates the generator — serialize calls, and draw in a deterministic
+  /// order if reproducible output matters.
+  Buffer NextIv();
+
+  /// Seals under a caller-supplied IV of exactly one cipher block (ignored
+  /// and pass-through when encryption is off). Const and safe to call from
+  /// multiple threads concurrently.
+  Buffer SealWithIv(Slice plain, Slice iv) const;
 
   /// Inverse of Seal. Corruption on malformed input.
   Result<Buffer> Open(Slice sealed) const;

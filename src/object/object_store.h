@@ -41,6 +41,14 @@ struct TxnState {
 /// Options for the object store.
 struct ObjectStoreOptions {
   /// Budget for the object cache. The paper's evaluation uses 4 MB (§7.2).
+  ///
+  /// Sizing note: an object-cache miss is no longer a full validated chunk
+  /// read. The chunk store keeps its own validated-plaintext cache
+  /// (ChunkStoreOptions::cache_bytes), so a miss here typically costs one
+  /// chunk-cache lookup plus unpickling — untrusted-store I/O, hashing,
+  /// and decryption are skipped for chunks hot at that layer. Deployments
+  /// that sized this budget defensively to avoid re-validation can run
+  /// tighter and lean on the (cheaper, type-erased) chunk-layer cache.
   size_t cache_capacity_bytes = 4 * 1024 * 1024;
 
   /// How long lock acquisition waits before reporting LockTimeout ("thus

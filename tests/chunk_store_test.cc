@@ -414,7 +414,13 @@ INSTANTIATE_TEST_SUITE_P(Seeds, CrashRecoveryPropertyTest,
 
 TEST(ChunkStoreTamperTest, FlippedDataByteDetectedOnRead) {
   TestEnv env;
-  auto cs = env.Open(SmallSegments());
+  // Cold reads only: the validated-plaintext cache would (correctly) serve
+  // this chunk from trusted memory and never touch the tampered bytes.
+  // Detection on a cold read after eviction is covered separately in
+  // ChunkCacheTest.TamperDetectedOnColdReadAfterEviction.
+  auto options = SmallSegments();
+  options.cache_bytes = 0;
+  auto cs = env.Open(options);
   ASSERT_TRUE(cs.ok());
   ChunkId cid = (*cs)->AllocateChunkId();
   ASSERT_TRUE((*cs)->Write(cid, Slice("sensitive balance: $100"), true).ok());
@@ -443,7 +449,10 @@ TEST(ChunkStoreTamperTest, FlippedDataByteDetectedOnRead) {
 
 TEST(ChunkStoreTamperTest, TamperedChunkReportsTamperDetected) {
   TestEnv env;
-  auto cs = env.Open(SmallSegments());
+  // Cold reads only (see FlippedDataByteDetectedOnRead).
+  auto options = SmallSegments();
+  options.cache_bytes = 0;
+  auto cs = env.Open(options);
   ASSERT_TRUE(cs.ok());
   ChunkId cid = (*cs)->AllocateChunkId();
   Buffer data(200, 0x5a);
@@ -913,6 +922,271 @@ TEST(ChunkStoreTest, WrongSecretCannotOpenDatabase) {
   auto cs = ChunkStore::Open(&store, &wrong, &counter, SmallSegments());
   ASSERT_FALSE(cs.ok());
   EXPECT_TRUE(cs.status().IsTamperDetected()) << cs.status().ToString();
+}
+
+// ------------------------------------- validated-plaintext cache & pipeline
+
+TEST(ChunkCacheTest, HitsMissesAndEvictionsCounted) {
+  TestEnv env;
+  auto cs = env.Open(SmallSegments());
+  ASSERT_TRUE(cs.ok());
+  ChunkId cid = (*cs)->AllocateChunkId();
+  ASSERT_TRUE((*cs)->Write(cid, Slice("cached payload"), true).ok());
+
+  // The commit write-through already populated the cache.
+  EXPECT_EQ((*cs)->Stats().cache_hits, 0u);
+  auto first = (*cs)->Read(cid);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ((*cs)->Stats().cache_hits, 1u);
+  EXPECT_EQ((*cs)->Stats().cache_misses, 0u);
+  auto second = (*cs)->Read(cid);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ((*cs)->Stats().cache_hits, 2u);
+  EXPECT_EQ(Slice(*second).ToString(), "cached payload");
+  EXPECT_GT((*cs)->Stats().cache_bytes_used, 0u);
+
+  // A store reopened on the same image starts cold: the first read is a
+  // miss that repopulates, the second a hit.
+  ASSERT_TRUE((*cs)->Close().ok());
+  auto reopened = env.Open(SmallSegments());
+  ASSERT_TRUE(reopened.ok());
+  ASSERT_TRUE((*reopened)->Read(cid).ok());
+  EXPECT_EQ((*reopened)->Stats().cache_misses, 1u);
+  EXPECT_EQ((*reopened)->Stats().cache_hits, 0u);
+  ASSERT_TRUE((*reopened)->Read(cid).ok());
+  EXPECT_EQ((*reopened)->Stats().cache_hits, 1u);
+}
+
+TEST(ChunkCacheTest, EvictionRespectsByteBudget) {
+  TestEnv env;
+  auto options = SmallSegments();
+  options.cache_bytes = 2048;
+  auto cs = env.Open(options);
+  ASSERT_TRUE(cs.ok());
+  Random rng(11);
+  std::map<ChunkId, Buffer> model;
+  for (int i = 0; i < 30; i++) {
+    ChunkId cid = (*cs)->AllocateChunkId();
+    Buffer data;
+    rng.Fill(&data, 300);
+    ASSERT_TRUE((*cs)->Write(cid, data, false).ok());
+    model[cid] = data;
+    ASSERT_TRUE((*cs)->Read(cid).ok());
+  }
+  const ChunkStoreStats& stats = (*cs)->Stats();
+  EXPECT_GT(stats.cache_evictions, 0u);
+  EXPECT_LE(stats.cache_bytes_used, options.cache_bytes);
+  // Evicted or not, every chunk reads back correctly.
+  for (const auto& [cid, expected] : model) {
+    auto data = (*cs)->Read(cid);
+    ASSERT_TRUE(data.ok()) << cid;
+    EXPECT_EQ(*data, expected) << cid;
+  }
+}
+
+TEST(ChunkCacheTest, ReadAfterOverwriteIsFresh) {
+  TestEnv env;
+  auto cs = env.Open(SmallSegments());
+  ASSERT_TRUE(cs.ok());
+  ChunkId cid = (*cs)->AllocateChunkId();
+  ASSERT_TRUE((*cs)->Write(cid, Slice("version-1"), true).ok());
+  ASSERT_TRUE((*cs)->Read(cid).ok());  // Cache v1.
+  ASSERT_TRUE((*cs)->Write(cid, Slice("version-2"), true).ok());
+  auto data = (*cs)->Read(cid);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(Slice(*data).ToString(), "version-2");
+}
+
+TEST(ChunkCacheTest, ReadAfterDeallocateIsNotFound) {
+  TestEnv env;
+  auto cs = env.Open(SmallSegments());
+  ASSERT_TRUE(cs.ok());
+  ChunkId cid = (*cs)->AllocateChunkId();
+  ASSERT_TRUE((*cs)->Write(cid, Slice("doomed"), true).ok());
+  ASSERT_TRUE((*cs)->Read(cid).ok());  // Cached.
+  ASSERT_TRUE((*cs)->Deallocate(cid, true).ok());
+  auto data = (*cs)->Read(cid);
+  EXPECT_TRUE(data.status().IsNotFound()) << data.status().ToString();
+}
+
+TEST(ChunkCacheTest, WriteThenDeallocInOneBatchNeverServesStale) {
+  TestEnv env;
+  auto cs = env.Open(SmallSegments());
+  ASSERT_TRUE(cs.ok());
+  ChunkId cid = (*cs)->AllocateChunkId();
+  ASSERT_TRUE((*cs)->Write(cid, Slice("old"), true).ok());
+  ASSERT_TRUE((*cs)->Read(cid).ok());  // Cached.
+  WriteBatch batch;
+  batch.Write(cid, Slice("new"));
+  batch.Deallocate(cid);  // Last op wins.
+  ASSERT_TRUE((*cs)->Commit(batch, true).ok());
+  EXPECT_TRUE((*cs)->Read(cid).status().IsNotFound());
+}
+
+TEST(ChunkCacheTest, CacheValidAcrossCleanRelocation) {
+  TestEnv env;
+  auto options = SmallSegments();
+  options.max_utilization = 0.95;  // Manual cleaning only.
+  auto cs = env.Open(options);
+  ASSERT_TRUE(cs.ok());
+  Random rng(12);
+  // A stable working set plus churn that fills segments with garbage.
+  std::map<ChunkId, Buffer> model;
+  for (int i = 0; i < 10; i++) {
+    ChunkId cid = (*cs)->AllocateChunkId();
+    Buffer data;
+    rng.Fill(&data, 200);
+    ASSERT_TRUE((*cs)->Write(cid, data, false).ok());
+    model[cid] = data;
+  }
+  ChunkId churn = (*cs)->AllocateChunkId();
+  for (int i = 0; i < 200; i++) {
+    Buffer data;
+    rng.Fill(&data, 400);
+    ASSERT_TRUE((*cs)->Write(churn, data, i % 20 == 0).ok());
+  }
+  // Populate the cache, then relocate the working set via idle cleaning.
+  for (const auto& [cid, expected] : model) {
+    ASSERT_TRUE((*cs)->Read(cid).ok());
+  }
+  for (int i = 0; i < 50; i++) ASSERT_TRUE((*cs)->Clean(2).ok());
+  EXPECT_GT((*cs)->Stats().cleaned_segments, 0u);
+  // Relocation moves sealed bytes verbatim — cached plaintext stays valid
+  // (hits) and correct.
+  uint64_t hits_before = (*cs)->Stats().cache_hits;
+  for (const auto& [cid, expected] : model) {
+    auto data = (*cs)->Read(cid);
+    ASSERT_TRUE(data.ok()) << cid;
+    EXPECT_EQ(*data, expected) << cid;
+  }
+  EXPECT_EQ((*cs)->Stats().cache_hits, hits_before + model.size());
+}
+
+TEST(ChunkCacheTest, SnapshotReadsBypassCache) {
+  TestEnv env;
+  auto cs = env.Open(SmallSegments());
+  ASSERT_TRUE(cs.ok());
+  ChunkId cid = (*cs)->AllocateChunkId();
+  ASSERT_TRUE((*cs)->Write(cid, Slice("snapshotted"), true).ok());
+  ASSERT_TRUE((*cs)->Read(cid).ok());  // Cache the current version.
+  auto snap = (*cs)->CreateSnapshot();
+  ASSERT_TRUE(snap.ok());
+  // Overwrite AFTER the snapshot: the cache now holds the newer version.
+  ASSERT_TRUE((*cs)->Write(cid, Slice("newer"), true).ok());
+  auto at_snap = (*cs)->ReadAtSnapshot(**snap, cid);
+  ASSERT_TRUE(at_snap.ok()) << at_snap.status().ToString();
+  EXPECT_EQ(Slice(*at_snap).ToString(), "snapshotted");
+  auto current = (*cs)->Read(cid);
+  ASSERT_TRUE(current.ok());
+  EXPECT_EQ(Slice(*current).ToString(), "newer");
+}
+
+TEST(ChunkCacheTest, DisabledCacheCountsNothing) {
+  TestEnv env;
+  auto options = SmallSegments();
+  options.cache_bytes = 0;
+  options.crypto_threads = 0;
+  auto cs = env.Open(options);
+  ASSERT_TRUE(cs.ok());
+  ChunkId cid = (*cs)->AllocateChunkId();
+  ASSERT_TRUE((*cs)->Write(cid, Slice("uncached"), true).ok());
+  for (int i = 0; i < 3; i++) {
+    auto data = (*cs)->Read(cid);
+    ASSERT_TRUE(data.ok());
+    EXPECT_EQ(Slice(*data).ToString(), "uncached");
+  }
+  EXPECT_EQ((*cs)->Stats().cache_hits, 0u);
+  EXPECT_EQ((*cs)->Stats().cache_misses, 0u);
+  EXPECT_EQ((*cs)->Stats().cache_bytes_used, 0u);
+  EXPECT_EQ((*cs)->Stats().parallel_sealed_bytes, 0u);
+}
+
+// The parallel commit pipeline must be a pure performance change: the same
+// operations against the same secrets/IV seed produce byte-identical
+// untrusted-store images with 0 and 8 crypto threads.
+TEST(ChunkPipelineTest, ParallelCommitImageBitIdenticalToSerial) {
+  auto run = [](int threads, MemUntrustedStore* store) {
+    MemSecretStore secrets;
+    TDB_CHECK(secrets.Provision(Slice("test-master-secret")).ok());
+    MemOneWayCounter counter;
+    auto options = SmallSegments();
+    options.crypto_threads = threads;
+    auto cs =
+        std::move(ChunkStore::Open(store, &secrets, &counter, options))
+            .value();
+    Random rng(13);
+    WriteBatch batch;
+    for (int i = 0; i < 64; i++) {
+      Buffer data;
+      rng.Fill(&data, 64 + i);
+      batch.Write(cs->AllocateChunkId(), data);
+    }
+    TDB_CHECK(cs->Commit(batch, true).ok());
+    TDB_CHECK(cs->Close().ok());
+  };
+  MemUntrustedStore serial_store, parallel_store;
+  run(0, &serial_store);
+  run(8, &parallel_store);
+
+  auto files = serial_store.List();
+  auto parallel_files = parallel_store.List();
+  ASSERT_EQ(files, parallel_files);
+  for (const std::string& name : files) {
+    uint64_t size = *serial_store.Size(name);
+    ASSERT_EQ(size, *parallel_store.Size(name)) << name;
+    Buffer a, b;
+    ASSERT_TRUE(serial_store.Read(name, 0, size, &a).ok());
+    ASSERT_TRUE(parallel_store.Read(name, 0, size, &b).ok());
+    EXPECT_EQ(a, b) << "file " << name << " differs";
+  }
+}
+
+TEST(ChunkPipelineTest, ParallelSealCountersAndReadback) {
+  TestEnv env;
+  auto options = SmallSegments();
+  options.crypto_threads = 8;
+  auto cs = env.Open(options);
+  ASSERT_TRUE(cs.ok());
+  Random rng(14);
+  WriteBatch batch;
+  std::map<ChunkId, Buffer> model;
+  for (int i = 0; i < 64; i++) {
+    ChunkId cid = (*cs)->AllocateChunkId();
+    Buffer data;
+    rng.Fill(&data, 100 + i);
+    batch.Write(cid, data);
+    model[cid] = data;
+  }
+  ASSERT_TRUE((*cs)->Commit(batch, true).ok());
+  EXPECT_GT((*cs)->Stats().parallel_sealed_bytes, 0u);
+  EXPECT_GE((*cs)->Stats().sealed_bytes,
+            (*cs)->Stats().parallel_sealed_bytes);
+  for (const auto& [cid, expected] : model) {
+    auto data = (*cs)->Read(cid);
+    ASSERT_TRUE(data.ok()) << cid;
+    EXPECT_EQ(*data, expected) << cid;
+  }
+  // And after a cold reopen (no cache, full validation path).
+  ASSERT_TRUE((*cs)->Close().ok());
+  auto reopened = env.Open(options);
+  ASSERT_TRUE(reopened.ok());
+  for (const auto& [cid, expected] : model) {
+    auto data = (*reopened)->Read(cid);
+    ASSERT_TRUE(data.ok()) << cid;
+    EXPECT_EQ(*data, expected) << cid;
+  }
+}
+
+TEST(ChunkPipelineTest, SmallBatchesStaySerial) {
+  TestEnv env;
+  auto options = SmallSegments();
+  options.crypto_threads = 8;
+  auto cs = env.Open(options);
+  ASSERT_TRUE(cs.ok());
+  // Below the fan-out threshold: sealed serially even with a pool.
+  ASSERT_TRUE((*cs)->Write((*cs)->AllocateChunkId(), Slice("tiny"), true).ok());
+  EXPECT_EQ((*cs)->Stats().parallel_sealed_bytes, 0u);
+  EXPECT_GT((*cs)->Stats().sealed_bytes, 0u);
 }
 
 }  // namespace

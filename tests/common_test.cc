@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/coding.h"
@@ -8,6 +11,7 @@
 #include "common/result.h"
 #include "common/slice.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 
 namespace tdb {
 namespace {
@@ -209,6 +213,72 @@ TEST(RandomTest, BernoulliExtremes) {
   for (int i = 0; i < 100; i++) {
     EXPECT_FALSE(rng.Bernoulli(0.0));
     EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(ThreadPoolTest, ResultsLandInSubmissionOrder) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4);
+  constexpr size_t kN = 200;
+  std::vector<size_t> results(kN, 0);
+  pool.ParallelFor(kN, [&](size_t i) { results[i] = i * i; });
+  for (size_t i = 0; i < kN; i++) {
+    ASSERT_EQ(results[i], i * i) << i;
+  }
+}
+
+TEST(ThreadPoolTest, ZeroAndOneThreadDegradeToInline) {
+  for (int threads : {0, 1}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(pool.thread_count(), 0);
+    const std::thread::id caller = std::this_thread::get_id();
+    std::vector<std::thread::id> ran_on(8);
+    bool submitted_ran = false;
+    pool.ParallelFor(8, [&](size_t i) {
+      ran_on[i] = std::this_thread::get_id();
+    });
+    pool.Submit([&] { submitted_ran = true; }).get();
+    EXPECT_TRUE(submitted_ran);
+    for (const std::thread::id& id : ran_on) {
+      EXPECT_EQ(id, caller);  // Inline on the calling thread, in order.
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesToCaller) {
+  for (int threads : {0, 3}) {
+    ThreadPool pool(threads);
+    EXPECT_THROW(
+        pool.ParallelFor(64,
+                         [&](size_t i) {
+                           if (i == 37) throw std::runtime_error("boom");
+                         }),
+        std::runtime_error);
+    // The pool survives a throwing batch and accepts more work.
+    std::atomic<int> done{0};
+    pool.ParallelFor(16, [&](size_t) { done++; });
+    EXPECT_EQ(done.load(), 16);
+  }
+}
+
+TEST(ThreadPoolTest, SubmitFutureRethrows) {
+  ThreadPool pool(2);
+  auto future = pool.Submit([] { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ErrorStatusPropagates) {
+  for (int threads : {0, 4}) {
+    ThreadPool pool(threads);
+    Status all_ok = pool.ParallelForStatus(
+        32, [](size_t) { return Status::OK(); });
+    EXPECT_TRUE(all_ok.ok());
+    Status failed = pool.ParallelForStatus(32, [](size_t i) {
+      if (i == 7) return Status::IOError("disk on index 7");
+      return Status::OK();
+    });
+    EXPECT_EQ(failed.code(), Status::Code::kIOError);
+    EXPECT_NE(failed.ToString().find("index 7"), std::string::npos);
   }
 }
 

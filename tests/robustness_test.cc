@@ -329,5 +329,131 @@ TEST(UtilizationKnobTest, HigherTargetYieldsDenserDatabase) {
   EXPECT_GT(tight.utilization(), loose.utilization());
 }
 
+// The validated-plaintext cache must not weaken tamper detection: once a
+// chunk has been evicted, the next read goes back to the untrusted store
+// and revalidates in full.
+TEST(ChunkCacheRobustnessTest, TamperDetectedOnColdReadAfterEviction) {
+  MemSecretStore secrets;
+  ASSERT_TRUE(secrets.Provision(Slice("s")).ok());
+  MemOneWayCounter counter;
+  MemUntrustedStore store;
+  auto options = SmallOptions();
+  options.cache_bytes = 1500;  // Room for ~2 of the 500-byte chunks.
+  auto cs = std::move(ChunkStore::Open(&store, &secrets, &counter, options))
+                .value();
+  Random rng(21);
+  Buffer victim_data;
+  rng.Fill(&victim_data, 500);
+  ChunkId victim = cs->AllocateChunkId();
+  ASSERT_TRUE(cs->Write(victim, victim_data, true).ok());
+  ASSERT_TRUE(cs->Read(victim).ok());  // Cached (write-through + hit).
+
+  // Evict the victim by reading a stream of other chunks.
+  for (int i = 0; i < 10; i++) {
+    ChunkId cid = cs->AllocateChunkId();
+    Buffer data;
+    rng.Fill(&data, 500);
+    ASSERT_TRUE(cs->Write(cid, data, false).ok());
+    ASSERT_TRUE(cs->Read(cid).ok());
+  }
+  ASSERT_GT(cs->Stats().cache_evictions, 0u);
+
+  // Corrupt the whole image. A cache hit would mask this; the cold read
+  // must revalidate against the store and report tampering.
+  for (const std::string& name : store.List()) {
+    if (name.rfind("seg-", 0) != 0) continue;
+    uint64_t size = *store.Size(name);
+    for (uint64_t off = 8; off < size; off++) {
+      ASSERT_TRUE(store.CorruptByte(name, off, 0xA5).ok());
+    }
+  }
+  auto read = cs->Read(victim);
+  ASSERT_FALSE(read.ok());
+  EXPECT_TRUE(read.status().IsTamperDetected()) << read.status().ToString();
+}
+
+// Parallel VerifyIntegrity (crypto_threads > 1) reports tampering exactly
+// like the serial scrub, including on multi-batch stores.
+TEST(ChunkCacheRobustnessTest, ParallelScrubDetectsTampering) {
+  MemSecretStore secrets;
+  ASSERT_TRUE(secrets.Provision(Slice("s")).ok());
+  MemOneWayCounter counter;
+  MemUntrustedStore store;
+  auto options = SmallOptions();
+  options.crypto_threads = 8;
+  auto cs = std::move(ChunkStore::Open(&store, &secrets, &counter, options))
+                .value();
+  Random rng(22);
+  // More chunks than one verify batch so batching boundaries are crossed.
+  const int kChunks = 300;
+  for (int i = 0; i < kChunks; i++) {
+    ChunkId cid = cs->AllocateChunkId();
+    Buffer data;
+    rng.Fill(&data, 100);
+    ASSERT_TRUE(cs->Write(cid, data, false).ok());
+  }
+  ASSERT_TRUE(cs->Checkpoint().ok());
+  uint64_t checked = 0;
+  ASSERT_TRUE(cs->VerifyIntegrity(&checked).ok());
+  EXPECT_EQ(checked, static_cast<uint64_t>(kChunks));
+
+  // Flip bytes until the scrub bites (some offsets land on dead records).
+  bool caught = false;
+  for (const std::string& name : store.List()) {
+    if (name.rfind("seg-", 0) != 0 || caught) continue;
+    uint64_t size = *store.Size(name);
+    for (uint64_t off = 16; off < size && !caught; off += 13) {
+      ASSERT_TRUE(store.CorruptByte(name, off, 0x20).ok());
+      Status scrub = cs->VerifyIntegrity(nullptr);
+      if (!scrub.ok()) {
+        EXPECT_TRUE(scrub.IsTamperDetected()) << scrub.ToString();
+        caught = true;
+      }
+      ASSERT_TRUE(store.CorruptByte(name, off, 0x20).ok());  // Undo.
+    }
+  }
+  EXPECT_TRUE(caught);
+}
+
+// Crash-recovery property with the cache and pipeline at their defaults:
+// a reopened store never serves pre-crash cached state (the cache dies
+// with the process) and the durable floor is intact.
+TEST(ChunkCacheRobustnessTest, CacheDoesNotLeakAcrossCrashRecovery) {
+  MemSecretStore secrets;
+  ASSERT_TRUE(secrets.Provision(Slice("s")).ok());
+  MemOneWayCounter counter;
+  MemUntrustedStore base;
+  FaultInjectingStore faulty(&base, 31);
+
+  ChunkId cid;
+  Buffer durable_value;
+  {
+    auto cs = std::move(ChunkStore::Open(&faulty, &secrets, &counter,
+                                         SmallOptions()))
+                  .value();
+    Random rng(31);
+    rng.Fill(&durable_value, 300);
+    cid = cs->AllocateChunkId();
+    ASSERT_TRUE(cs->Write(cid, durable_value, true).ok());
+    ASSERT_TRUE(cs->Read(cid).ok());  // Hot in the cache.
+    // A nondurable overwrite reaches the cache (it is committed state)...
+    ASSERT_TRUE(cs->Write(cid, Slice("nondurable-overwrite"), false).ok());
+    auto hot = cs->Read(cid);
+    ASSERT_TRUE(hot.ok());
+    EXPECT_EQ(Slice(*hot).ToString(), "nondurable-overwrite");
+    // ...then the process crashes before any durable commit.
+    faulty.CrashAfterWrites(0);
+    (void)cs->Write(cs->AllocateChunkId(), Slice("lost"), true).ok();
+    // The store object is abandoned (destructor checkpoint fails too).
+  }
+  faulty.Reboot();
+  auto cs = std::move(ChunkStore::Open(&faulty, &secrets, &counter,
+                                       SmallOptions()))
+                .value();
+  auto data = cs->Read(cid);
+  ASSERT_TRUE(data.ok()) << data.status().ToString();
+  EXPECT_EQ(*data, durable_value);  // Durable floor, not the cached value.
+}
+
 }  // namespace
 }  // namespace tdb::chunk

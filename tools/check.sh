@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Tier-1 verification in one command: configure a fresh out-of-tree build,
+# build everything, and run the full test suite.
+#
+#   tools/check.sh            # build into ./build-check and run ctest
+#   BUILD_DIR=out tools/check.sh
+#
+# Exits non-zero if configuration, the build, or any test fails.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${BUILD_DIR:-$repo_root/build-check}"
+
+cmake -B "$build_dir" -S "$repo_root"
+cmake --build "$build_dir" -j "$(nproc)"
+ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
