@@ -1,0 +1,445 @@
+#include "harness/chunk_driver.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "crypto/cipher_suite.h"
+#include "harness/region_map.h"
+#include "platform/fault_injection.h"
+#include "platform/mem_store.h"
+#include "platform/one_way_counter.h"
+#include "platform/secret_store.h"
+
+namespace tdb::harness {
+
+chunk::ChunkStoreOptions PresetOptions(Preset preset) {
+  chunk::ChunkStoreOptions options;
+  options.security = crypto::SecurityConfig::Modern();
+  options.map_fanout = 8;
+  options.cache_bytes = 256 * 1024;
+  options.crypto_threads = 0;  // Serial: thousands of short-lived stores.
+  if (preset == Preset::kStrict) {
+    // No maintenance commits besides the trace's own checkpoints: the set
+    // of durable boundaries is exactly what the oracle models.
+    options.segment_size = 4096;
+    options.checkpoint_interval_bytes = 1ull << 40;
+    options.max_clean_segments_per_commit = 0;
+    options.max_utilization = 0.95;
+  } else {
+    // Aggressive maintenance: crash points inside auto-checkpoint and
+    // cleaning commits.
+    options.segment_size = 2048;
+    options.checkpoint_interval_bytes = 16 * 1024;
+    options.max_clean_segments_per_commit = 2;
+    options.max_utilization = 0.6;
+  }
+  return options;
+}
+
+namespace {
+
+constexpr const char* kMasterSecret = "tdb-harness-master-secret-32byte";
+constexpr uint32_t kTearNums[] = {0, 1, 2, 3, 4};
+constexpr uint32_t kTearDen = 4;
+
+/// One fresh store environment (base memory image, optional buggy wrapper,
+/// fault injector, trusted secret + counter that survive "reboots").
+struct ChunkEnv {
+  platform::MemUntrustedStore mem;
+  platform::UntrustedStore* base = nullptr;
+  std::unique_ptr<platform::FaultInjectingStore> faulty;
+  platform::MemSecretStore secrets;
+  platform::MemOneWayCounter counter;
+
+  explicit ChunkEnv(const StoreWrap& wrap) {
+    base = wrap ? wrap(&mem) : &mem;
+    faulty = std::make_unique<platform::FaultInjectingStore>(base);
+    (void)secrets.Provision(kMasterSecret);
+  }
+};
+
+Status Fail(const ReproCase& repro, const std::string& detail) {
+  return Status::Corruption(FormatRepro(repro) + " | " + detail);
+}
+
+/// Executes the trace on an open store, mirroring every commit attempt
+/// into the oracle. Returns the first failing operation's status (a
+/// simulated crash surfaces as IOError); OK if the whole trace ran.
+Status ExecuteChunkTrace(const std::vector<TraceCommit>& trace,
+                         chunk::ChunkStore* cs, StateOracle* oracle) {
+  std::map<uint32_t, chunk::ChunkId> slot_ids;
+  for (const TraceCommit& commit : trace) {
+    chunk::WriteBatch batch;
+    oracle->BeginCommit();
+    for (const TraceOp& op : commit.ops) {
+      if (op.kind == TraceOp::Kind::kWrite) {
+        auto it = slot_ids.find(op.slot);
+        chunk::ChunkId cid;
+        if (it == slot_ids.end()) {
+          cid = cs->AllocateChunkId();
+          slot_ids[op.slot] = cid;
+        } else {
+          cid = it->second;
+        }
+        Buffer payload = SlotPayload(op.payload_seed, op.size);
+        batch.Write(cid, payload);
+        oracle->PendingWrite(cid, std::move(payload));
+      } else {
+        auto it = slot_ids.find(op.slot);
+        if (it == slot_ids.end()) continue;
+        batch.Deallocate(it->second);
+        oracle->PendingRemove(it->second);
+        slot_ids.erase(it);
+      }
+    }
+    Status status = cs->Commit(batch, commit.durable);
+    oracle->EndCommit(status.ok(), commit.durable);
+    TDB_RETURN_IF_ERROR(status);
+    if (commit.checkpoint_after) {
+      TDB_RETURN_IF_ERROR(cs->Checkpoint());
+      oracle->MarkAllDurable();
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<chunk::ChunkStore>> OpenStore(ChunkEnv* env,
+                                                     Preset preset) {
+  return chunk::ChunkStore::Open(env->faulty.get(), &env->secrets,
+                                 &env->counter, PresetOptions(preset));
+}
+
+}  // namespace
+
+Result<uint64_t> CountChunkTraceWrites(const TraceSpec& spec,
+                                       const StoreWrap& wrap) {
+  std::vector<TraceCommit> trace = GenerateTrace(spec);
+  ChunkEnv env(wrap);
+  TDB_ASSIGN_OR_RETURN(std::unique_ptr<chunk::ChunkStore> cs,
+                       OpenStore(&env, spec.preset));
+  StateOracle oracle;
+  uint64_t baseline = env.faulty->writes_seen();
+  TDB_RETURN_IF_ERROR(ExecuteChunkTrace(trace, cs.get(), &oracle));
+  return env.faulty->writes_seen() - baseline;
+}
+
+Status RunChunkCrashCase(const TraceSpec& spec, const CrashCase& crash,
+                         SweepStats* stats, const StoreWrap& wrap) {
+  ReproCase repro;
+  repro.layer = "chunk";
+  repro.kind = "crash";
+  repro.spec = spec;
+  repro.crash = crash;
+
+  std::vector<TraceCommit> trace = GenerateTrace(spec);
+  ChunkEnv env(wrap);
+  Result<std::unique_ptr<chunk::ChunkStore>> opened =
+      OpenStore(&env, spec.preset);
+  if (!opened.ok()) {
+    return Fail(repro, "initial open failed: " + opened.status().ToString());
+  }
+  std::unique_ptr<chunk::ChunkStore> cs = std::move(opened).value();
+
+  StateOracle oracle;
+  env.faulty->CrashAtWrite(crash.write_index, crash.tear_num, crash.tear_den);
+  Status run = ExecuteChunkTrace(trace, cs.get(), &oracle);
+  if (!run.ok() && !env.faulty->crashed()) {
+    return Fail(repro, "trace op failed without a crash: " + run.ToString());
+  }
+  // Drop the store object without a clean close. If the crash has not
+  // fired yet (write_index beyond the trace), it tears the destructor's
+  // best-effort checkpoint instead.
+  cs.reset();
+
+  env.faulty->Reboot();
+  if (crash.recovery_crash >= 0) {
+    env.faulty->CrashAtWrite(static_cast<uint64_t>(crash.recovery_crash), 1,
+                             2);
+  }
+  opened = OpenStore(&env, spec.preset);
+  if (!opened.ok()) {
+    if (!env.faulty->crashed()) {
+      return Fail(repro, "recovery failed on a legitimate crash image: " +
+                             opened.status().ToString());
+    }
+    env.faulty->Reboot();
+    opened = OpenStore(&env, spec.preset);
+    if (!opened.ok()) {
+      return Fail(repro, "recovery failed after recovery-time crash: " +
+                             opened.status().ToString());
+    }
+  } else {
+    env.faulty->Reboot();  // Disarm a recovery crash that never fired.
+  }
+  cs = std::move(opened).value();
+
+  StateOracle::State recovered;
+  for (uint64_t id : oracle.ids()) {
+    Result<Buffer> read = cs->Read(id);
+    if (read.ok()) {
+      recovered[id] = std::move(read).value();
+    } else if (!read.status().IsNotFound()) {
+      return Fail(repro, "post-recovery read of chunk " + std::to_string(id) +
+                             " failed: " + read.status().ToString());
+    }
+  }
+  Result<size_t> matched = oracle.MatchRecovered(recovered);
+  if (!matched.ok()) return Fail(repro, matched.status().message());
+
+  uint64_t checked = 0;
+  Status verify = cs->VerifyIntegrity(&checked);
+  if (!verify.ok()) {
+    return Fail(repro, "post-recovery VerifyIntegrity: " + verify.ToString());
+  }
+
+  // The recovered store must remain fully writable.
+  chunk::ChunkId probe = cs->AllocateChunkId();
+  Status write = cs->Write(probe, Slice("post-recovery-probe"), true);
+  if (!write.ok()) {
+    return Fail(repro, "post-recovery durable write: " + write.ToString());
+  }
+  Result<Buffer> readback = cs->Read(probe);
+  if (!readback.ok() ||
+      Slice(readback.value()) != Slice("post-recovery-probe")) {
+    return Fail(repro, "post-recovery probe readback mismatch");
+  }
+  Status close = cs->Close();
+  if (!close.ok()) {
+    return Fail(repro, "post-recovery close: " + close.ToString());
+  }
+  if (stats != nullptr) stats->cases++;
+  return Status::OK();
+}
+
+Status ChunkCrashSweep(const TraceSpec& spec, int shard, int num_shards,
+                       SweepStats* stats, int64_t recovery_crash,
+                       const StoreWrap& wrap) {
+  TDB_ASSIGN_OR_RETURN(uint64_t writes, CountChunkTraceWrites(spec, wrap));
+  if (stats != nullptr) {
+    stats->write_points = writes;
+    stats->tear_buckets = std::size(kTearNums);
+  }
+  uint64_t case_idx = 0;
+  for (uint64_t point = 0; point < writes; point++) {
+    for (uint32_t tear : kTearNums) {
+      uint64_t idx = case_idx++;
+      if (num_shards > 1 &&
+          static_cast<int>(idx % static_cast<uint64_t>(num_shards)) != shard) {
+        continue;
+      }
+      CrashCase crash;
+      crash.write_index = point;
+      crash.tear_num = tear;
+      crash.tear_den = kTearDen;
+      crash.recovery_crash = recovery_crash;
+      TDB_RETURN_IF_ERROR(RunChunkCrashCase(spec, crash, stats, wrap));
+    }
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// Crash-consistent image of a completed trace plus what recovery of it
+/// must reproduce.
+struct TamperContext {
+  platform::MemUntrustedStore::Image image;
+  uint64_t counter_value = 0;
+  StateOracle oracle;
+};
+
+Status BuildTamperContext(const TraceSpec& spec, TamperContext* ctx) {
+  std::vector<TraceCommit> trace = GenerateTrace(spec);
+  ChunkEnv env(nullptr);
+  TDB_ASSIGN_OR_RETURN(std::unique_ptr<chunk::ChunkStore> cs,
+                       OpenStore(&env, spec.preset));
+  TDB_RETURN_IF_ERROR(ExecuteChunkTrace(trace, cs.get(), &ctx->oracle));
+  // Snapshot BEFORE close so the image keeps a residual log; the attacker
+  // grabs the media while the machine is off, mid-lifetime.
+  ctx->image = env.mem.SnapshotImage();
+  TDB_ASSIGN_OR_RETURN(ctx->counter_value, env.counter.Read());
+  return Status::OK();
+}
+
+/// Opens an image and reads back every oracle id. Returns true if the
+/// store flagged tampering anywhere (open, read, or integrity scrub);
+/// false if everything validated — in which case, when a baseline is
+/// given, the recovered values must equal it exactly (else this is a
+/// silent acceptance and an error is returned).
+Result<bool> EvaluateImage(const TraceSpec& spec,
+                           const platform::MemUntrustedStore::Image& image,
+                           uint64_t counter_value,
+                           const std::set<uint64_t>& ids,
+                           const StateOracle::State* baseline,
+                           StateOracle::State* out_values) {
+  platform::MemUntrustedStore mem;
+  mem.RestoreImage(image);
+  platform::MemSecretStore secrets;
+  (void)secrets.Provision(kMasterSecret);
+  platform::MemOneWayCounter counter;
+  while (counter.Read().value() < counter_value) {
+    (void)counter.Increment();
+  }
+
+  Result<std::unique_ptr<chunk::ChunkStore>> opened = chunk::ChunkStore::Open(
+      &mem, &secrets, &counter, PresetOptions(spec.preset));
+  if (!opened.ok()) {
+    const Status& status = opened.status();
+    if (status.IsTamperDetected() || status.IsReplayDetected() ||
+        status.IsCorruption()) {
+      return true;
+    }
+    return Status::Corruption("open failed with unexpected status: " +
+                              status.ToString());
+  }
+  std::unique_ptr<chunk::ChunkStore> cs = std::move(opened).value();
+
+  bool detected = false;
+  StateOracle::State values;
+  for (uint64_t id : ids) {
+    Result<Buffer> read = cs->Read(id);
+    if (read.ok()) {
+      values[id] = std::move(read).value();
+    } else if (read.status().IsTamperDetected() ||
+               read.status().IsCorruption()) {
+      detected = true;
+    } else if (!read.status().IsNotFound()) {
+      return Status::Corruption("read of chunk " + std::to_string(id) +
+                                " failed with unexpected status: " +
+                                read.status().ToString());
+    }
+  }
+  uint64_t checked = 0;
+  Status verify = cs->VerifyIntegrity(&checked);
+  if (!verify.ok()) {
+    if (verify.IsTamperDetected() || verify.IsCorruption()) {
+      detected = true;
+    } else {
+      return Status::Corruption("VerifyIntegrity unexpected status: " +
+                                verify.ToString());
+    }
+  }
+  if (!detected && baseline != nullptr && values != *baseline) {
+    return Status::Corruption(
+        "SILENT ACCEPTANCE: store validated but recovered values differ "
+        "from the untampered baseline");
+  }
+  if (out_values != nullptr) *out_values = std::move(values);
+  return detected;
+}
+
+/// First / middle / last byte of a region, deduplicated.
+std::vector<uint64_t> SiteOffsets(uint64_t length) {
+  std::vector<uint64_t> offsets{0};
+  if (length > 2) offsets.push_back(length / 2);
+  if (length > 1) offsets.push_back(length - 1);
+  return offsets;
+}
+
+constexpr uint8_t kTamperMask = 0x40;
+
+Status TamperBaseline(const TraceSpec& spec, const TamperContext& ctx,
+                      StateOracle::State* baseline) {
+  Result<bool> flagged = EvaluateImage(spec, ctx.image, ctx.counter_value,
+                                       ctx.oracle.ids(), nullptr, baseline);
+  if (!flagged.ok()) {
+    return Status::Corruption("untampered baseline reopen failed: " +
+                              flagged.status().ToString());
+  }
+  if (flagged.value()) {
+    return Status::Corruption(
+        "untampered baseline reopen flagged tampering on a clean image");
+  }
+  // The baseline itself must satisfy the durable-commit invariant.
+  Result<size_t> matched = ctx.oracle.MatchRecovered(*baseline);
+  if (!matched.ok()) {
+    return Status::Corruption("untampered baseline violates the oracle: " +
+                              matched.status().message());
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status RunChunkTamperCase(const TraceSpec& spec, const std::string& file,
+                          uint64_t offset, uint8_t mask) {
+  ReproCase repro;
+  repro.layer = "chunk";
+  repro.kind = "tamper";
+  repro.spec = spec;
+  repro.tamper_file = file;
+  repro.tamper_offset = offset;
+  repro.tamper_mask = mask;
+
+  TamperContext ctx;
+  Status built = BuildTamperContext(spec, &ctx);
+  if (!built.ok()) return Fail(repro, built.ToString());
+  StateOracle::State baseline;
+  Status base = TamperBaseline(spec, ctx, &baseline);
+  if (!base.ok()) return Fail(repro, base.ToString());
+
+  auto it = ctx.image.find(file);
+  if (it == ctx.image.end() || offset >= it->second.size()) {
+    return Fail(repro, "tamper site outside the image");
+  }
+  platform::MemUntrustedStore::Image tampered = ctx.image;
+  tampered[file][offset] ^= mask;
+  Result<bool> detected = EvaluateImage(spec, tampered, ctx.counter_value,
+                                        ctx.oracle.ids(), &baseline, nullptr);
+  if (!detected.ok()) return Fail(repro, detected.status().message());
+  return Status::OK();
+}
+
+Status ChunkTamperSweep(const TraceSpec& spec, int shard, int num_shards,
+                        SweepStats* stats) {
+  TamperContext ctx;
+  TDB_RETURN_IF_ERROR(BuildTamperContext(spec, &ctx));
+  StateOracle::State baseline;
+  TDB_RETURN_IF_ERROR(TamperBaseline(spec, ctx, &baseline));
+
+  std::vector<TamperRegion> regions = ClassifyImage(ctx.image);
+  uint64_t case_idx = 0;
+  for (const TamperRegion& region : regions) {
+    for (uint64_t rel : SiteOffsets(region.length)) {
+      // Full-campaign coverage counters (identical across shards).
+      if (stats != nullptr) {
+        stats->tamper_sites++;
+        stats->sites_per_class[static_cast<int>(region.cls)]++;
+      }
+      uint64_t idx = case_idx++;
+      if (num_shards > 1 &&
+          static_cast<int>(idx % static_cast<uint64_t>(num_shards)) != shard) {
+        continue;
+      }
+      uint64_t offset = region.offset + rel;
+      ReproCase repro;
+      repro.layer = "chunk";
+      repro.kind = "tamper";
+      repro.spec = spec;
+      repro.tamper_file = region.file;
+      repro.tamper_offset = offset;
+      repro.tamper_mask = kTamperMask;
+
+      platform::MemUntrustedStore::Image tampered = ctx.image;
+      tampered[region.file][offset] ^= kTamperMask;
+      Result<bool> detected =
+          EvaluateImage(spec, tampered, ctx.counter_value, ctx.oracle.ids(),
+                        &baseline, nullptr);
+      if (!detected.ok()) return Fail(repro, detected.status().message());
+      if (stats != nullptr) {
+        stats->cases++;
+        if (detected.value()) {
+          stats->detected++;
+        } else {
+          stats->masked++;
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace tdb::harness

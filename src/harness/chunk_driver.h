@@ -1,0 +1,61 @@
+#ifndef TDB_HARNESS_CHUNK_DRIVER_H_
+#define TDB_HARNESS_CHUNK_DRIVER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "chunk/chunk_store.h"
+#include "common/result.h"
+#include "harness/oracle.h"
+#include "harness/trace.h"
+
+namespace tdb::harness {
+
+/// Store options for a preset (see Preset). Every knob a repro line does
+/// not carry comes from here, so repros replay bit-exactly.
+chunk::ChunkStoreOptions PresetOptions(Preset preset);
+
+/// Dry-runs the trace (no crash) and returns the number of base-store
+/// writes it performs — the N that an exhaustive crash sweep enumerates as
+/// write indices 0..N-1.
+Result<uint64_t> CountChunkTraceWrites(const TraceSpec& spec,
+                                       const StoreWrap& wrap = nullptr);
+
+/// Runs one crash case end to end: executes the trace against a
+/// fault-injecting store armed at `crash`, reboots, recovers, and checks
+/// the durable-commit invariant against the oracle (see StateOracle). Also
+/// verifies integrity and that the store accepts a durable write after
+/// recovery. A failure Status message begins with the case's repro line.
+Status RunChunkCrashCase(const TraceSpec& spec, const CrashCase& crash,
+                         SweepStats* stats = nullptr,
+                         const StoreWrap& wrap = nullptr);
+
+/// Exhaustive campaign: every write index 0..N-1 of the trace x every
+/// torn-write fraction bucket {0,1,2,3,4}/4 (no sampling). `shard` of
+/// `num_shards` runs every case with index % num_shards == shard, so ctest
+/// can parallelize while the union still covers every case. If
+/// `recovery_crash` >= 0, every case additionally crashes at that write
+/// index during recovery (double-crash coverage).
+Status ChunkCrashSweep(const TraceSpec& spec, int shard, int num_shards,
+                       SweepStats* stats = nullptr,
+                       int64_t recovery_crash = -1,
+                       const StoreWrap& wrap = nullptr);
+
+/// Runs one tamper case: executes the trace cleanly, XORs `mask` into one
+/// byte of the resulting image, reopens, and asserts the mutation is
+/// either fully masked (every recovered value identical to the untampered
+/// baseline) or reported (TamperDetected / ReplayDetected / Corruption) —
+/// never silently accepted.
+Status RunChunkTamperCase(const TraceSpec& spec, const std::string& file,
+                          uint64_t offset, uint8_t mask);
+
+/// Exhaustive tamper campaign: classifies every byte of the image into the
+/// four structural region classes (anchor slots, log structure, chunk
+/// payloads, location map) and corrupts the first/middle/last byte of
+/// every region instance, sharded like ChunkCrashSweep.
+Status ChunkTamperSweep(const TraceSpec& spec, int shard, int num_shards,
+                        SweepStats* stats = nullptr);
+
+}  // namespace tdb::harness
+
+#endif  // TDB_HARNESS_CHUNK_DRIVER_H_

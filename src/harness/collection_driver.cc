@@ -1,0 +1,263 @@
+#include "harness/collection_driver.h"
+
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "collection/collection.h"
+#include "collection/indexer.h"
+#include "collection/key.h"
+#include "crypto/cipher_suite.h"
+#include "harness/chunk_driver.h"
+#include "harness/object_driver.h"
+#include "harness/oracle.h"
+#include "platform/fault_injection.h"
+#include "platform/mem_store.h"
+#include "platform/one_way_counter.h"
+#include "platform/secret_store.h"
+
+namespace tdb::harness {
+
+namespace {
+
+constexpr const char* kMasterSecret = "tdb-harness-master-secret-32byte";
+constexpr const char* kCollectionName = "harness";
+constexpr const char* kIndexName = "by-key";
+constexpr uint32_t kTearNums[] = {0, 2, 4};  // Coarser: cases are heavier.
+constexpr uint32_t kTearDen = 4;
+
+struct CollectionEnv {
+  platform::MemUntrustedStore mem;
+  std::unique_ptr<platform::FaultInjectingStore> faulty;
+  platform::MemSecretStore secrets;
+  platform::MemOneWayCounter counter;
+
+  CollectionEnv() {
+    faulty = std::make_unique<platform::FaultInjectingStore>(&mem);
+    (void)secrets.Provision(kMasterSecret);
+  }
+};
+
+Status Fail(const ReproCase& repro, const std::string& detail) {
+  return Status::Corruption(FormatRepro(repro) + " | " + detail);
+}
+
+std::shared_ptr<collection::GenericIndexer> MakeKeyIndexer() {
+  return std::make_shared<
+      collection::Indexer<HarnessBlob, collection::IntKey>>(
+      kIndexName, collection::Uniqueness::kUnique,
+      collection::IndexKind::kBTree,
+      [](const HarnessBlob& blob) {
+        return collection::IntKey(static_cast<int64_t>(blob.key()));
+      },
+      collection::KeyMutability::kImmutable);
+}
+
+struct CollectionStack {
+  std::unique_ptr<chunk::ChunkStore> chunks;
+  std::unique_ptr<object::ObjectStore> objects;
+  std::unique_ptr<collection::CollectionStore> collections;
+  std::shared_ptr<collection::GenericIndexer> indexer;
+};
+
+/// Opens the full stack; `create` additionally creates the collection (a
+/// durable setup commit that runs before the crash schedule is armed).
+Result<CollectionStack> OpenCollectionStack(CollectionEnv* env, Preset preset,
+                                            bool create) {
+  CollectionStack stack;
+  TDB_ASSIGN_OR_RETURN(
+      stack.chunks,
+      chunk::ChunkStore::Open(env->faulty.get(), &env->secrets, &env->counter,
+                              PresetOptions(preset)));
+  TDB_ASSIGN_OR_RETURN(stack.objects,
+                       object::ObjectStore::Open(stack.chunks.get()));
+  TDB_RETURN_IF_ERROR(RegisterHarnessClasses(stack.objects.get()));
+  TDB_ASSIGN_OR_RETURN(stack.collections,
+                       collection::CollectionStore::Open(stack.objects.get()));
+  stack.indexer = MakeKeyIndexer();
+  TDB_RETURN_IF_ERROR(
+      stack.collections->RegisterIndexer(kCollectionName, stack.indexer));
+  if (create) {
+    collection::CTransaction ct(stack.collections.get());
+    Result<object::WritableRef<collection::Collection>> coll =
+        ct.CreateCollection(kCollectionName, stack.indexer);
+    if (!coll.ok()) return coll.status();
+    TDB_RETURN_IF_ERROR(ct.Commit(true));
+  }
+  return stack;
+}
+
+/// One trace commit group = one CTransaction. The oracle is keyed by slot.
+/// Ops on a slot inserted earlier in the same commit group are skipped on
+/// both sides: collection iterators are insensitive, so an in-transaction
+/// insert is not visible to a later query in the same transaction.
+Status ExecuteCollectionTrace(const std::vector<TraceCommit>& trace,
+                              CollectionStack* stack, StateOracle* oracle) {
+  for (const TraceCommit& commit : trace) {
+    collection::CTransaction ct(stack->collections.get());
+    oracle->BeginCommit();
+    Result<object::WritableRef<collection::Collection>> coll =
+        ct.WriteCollection(kCollectionName);
+    if (!coll.ok()) {
+      oracle->EndCommit(false, commit.durable);
+      return coll.status();
+    }
+    std::set<uint32_t> fresh;  // Slots inserted by this commit group.
+    for (const TraceOp& op : commit.ops) {
+      if (fresh.count(op.slot) > 0) continue;
+      collection::IntKey key(static_cast<int64_t>(op.slot));
+      Result<std::unique_ptr<collection::Iterator>> query =
+          coll.value()->Query(&ct, *stack->indexer, key);
+      if (!query.ok()) {
+        oracle->EndCommit(false, commit.durable);
+        return query.status();
+      }
+      std::unique_ptr<collection::Iterator> it = std::move(query).value();
+      Status op_status;
+      if (op.kind == TraceOp::Kind::kWrite) {
+        Buffer payload = SlotPayload(op.payload_seed, op.size);
+        if (it->end()) {
+          Result<object::ObjectId> inserted = coll.value()->Insert(
+              &ct, std::make_unique<HarnessBlob>(op.slot, payload));
+          op_status = inserted.ok() ? Status::OK() : inserted.status();
+        } else {
+          Result<object::WritableRef<HarnessBlob>> ref =
+              it->Write<HarnessBlob>();
+          if (ref.ok()) ref.value()->set_bytes(payload);
+          op_status = ref.ok() ? Status::OK() : ref.status();
+        }
+        if (op_status.ok()) oracle->PendingWrite(op.slot, std::move(payload));
+      } else {
+        if (!it->end()) op_status = it->RemoveCurrent();
+        if (op_status.ok()) oracle->PendingRemove(op.slot);
+      }
+      Status closed = it->Close();
+      if (op_status.ok() && !closed.ok()) op_status = closed;
+      if (!op_status.ok()) {
+        oracle->EndCommit(false, commit.durable);
+        return op_status;
+      }
+    }
+    Status status = ct.Commit(commit.durable);
+    oracle->EndCommit(status.ok(), commit.durable);
+    TDB_RETURN_IF_ERROR(status);
+  }
+  return Status::OK();
+}
+
+/// Scans the collection and returns slot -> payload.
+Status ScanCollection(CollectionStack* stack, StateOracle::State* out) {
+  collection::CTransaction ct(stack->collections.get());
+  Result<object::ReadonlyRef<collection::Collection>> coll =
+      ct.ReadCollection(kCollectionName);
+  if (!coll.ok()) return coll.status();
+  TDB_ASSIGN_OR_RETURN(std::unique_ptr<collection::Iterator> it,
+                       coll.value()->Query(&ct, *stack->indexer));
+  for (; !it->end(); it->Next()) {
+    Result<object::ReadonlyRef<HarnessBlob>> ref = it->Read<HarnessBlob>();
+    if (!ref.ok()) return ref.status();
+    uint64_t slot = ref.value()->key();
+    if (out->count(slot) > 0) {
+      return Status::Corruption("duplicate key " + std::to_string(slot) +
+                                " in recovered collection scan");
+    }
+    (*out)[slot] = ref.value()->bytes();
+  }
+  TDB_RETURN_IF_ERROR(it->Close());
+  return ct.Abort();
+}
+
+}  // namespace
+
+Result<uint64_t> CountCollectionTraceWrites(const TraceSpec& spec) {
+  std::vector<TraceCommit> trace = GenerateTrace(spec);
+  CollectionEnv env;
+  TDB_ASSIGN_OR_RETURN(CollectionStack stack,
+                       OpenCollectionStack(&env, spec.preset, true));
+  StateOracle oracle;
+  uint64_t baseline = env.faulty->writes_seen();
+  TDB_RETURN_IF_ERROR(ExecuteCollectionTrace(trace, &stack, &oracle));
+  return env.faulty->writes_seen() - baseline;
+}
+
+Status RunCollectionCrashCase(const TraceSpec& spec, const CrashCase& crash,
+                              SweepStats* stats) {
+  ReproCase repro;
+  repro.layer = "collection";
+  repro.kind = "crash";
+  repro.spec = spec;
+  repro.crash = crash;
+
+  std::vector<TraceCommit> trace = GenerateTrace(spec);
+  CollectionEnv env;
+  Result<CollectionStack> opened = OpenCollectionStack(&env, spec.preset, true);
+  if (!opened.ok()) {
+    return Fail(repro, "initial open failed: " + opened.status().ToString());
+  }
+  CollectionStack stack = std::move(opened).value();
+
+  StateOracle oracle;
+  env.faulty->CrashAtWrite(crash.write_index, crash.tear_num, crash.tear_den);
+  Status run = ExecuteCollectionTrace(trace, &stack, &oracle);
+  if (!run.ok() && !env.faulty->crashed()) {
+    return Fail(repro, "trace op failed without a crash: " + run.ToString());
+  }
+  stack.collections.reset();
+  stack.objects.reset();
+  stack.chunks.reset();
+
+  env.faulty->Reboot();
+  opened = OpenCollectionStack(&env, spec.preset, false);
+  if (!opened.ok()) {
+    if (!env.faulty->crashed()) {
+      return Fail(repro, "recovery failed on a legitimate crash image: " +
+                             opened.status().ToString());
+    }
+    env.faulty->Reboot();
+    opened = OpenCollectionStack(&env, spec.preset, false);
+    if (!opened.ok()) {
+      return Fail(repro, "recovery failed after recovery-time crash: " +
+                             opened.status().ToString());
+    }
+  }
+  stack = std::move(opened).value();
+
+  StateOracle::State recovered;
+  Status scanned = ScanCollection(&stack, &recovered);
+  if (!scanned.ok()) {
+    return Fail(repro, "post-recovery scan: " + scanned.ToString());
+  }
+  Result<size_t> matched = oracle.MatchRecovered(recovered);
+  if (!matched.ok()) return Fail(repro, matched.status().message());
+
+  if (stats != nullptr) stats->cases++;
+  return Status::OK();
+}
+
+Status CollectionCrashSweep(const TraceSpec& spec, int shard, int num_shards,
+                            SweepStats* stats) {
+  TDB_ASSIGN_OR_RETURN(uint64_t writes, CountCollectionTraceWrites(spec));
+  if (stats != nullptr) {
+    stats->write_points = writes;
+    stats->tear_buckets = std::size(kTearNums);
+  }
+  uint64_t case_idx = 0;
+  for (uint64_t point = 0; point < writes; point++) {
+    for (uint32_t tear : kTearNums) {
+      uint64_t idx = case_idx++;
+      if (num_shards > 1 &&
+          static_cast<int>(idx % static_cast<uint64_t>(num_shards)) != shard) {
+        continue;
+      }
+      CrashCase crash;
+      crash.write_index = point;
+      crash.tear_num = tear;
+      crash.tear_den = kTearDen;
+      TDB_RETURN_IF_ERROR(RunCollectionCrashCase(spec, crash, stats));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace tdb::harness

@@ -1,0 +1,25 @@
+#ifndef TDB_HARNESS_COLLECTION_DRIVER_H_
+#define TDB_HARNESS_COLLECTION_DRIVER_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "harness/trace.h"
+
+namespace tdb::harness {
+
+/// Collection-layer (full stack: collection -> object -> chunk -> fault
+/// store) analogues of the chunk driver. The trace's commit groups become
+/// CTransactions over one int-keyed B-tree collection of HarnessBlobs
+/// (key = slot): insert / iterator-update / iterator-remove. Recovery is
+/// checked by reopening the whole stack and scanning the collection
+/// against the oracle's boundary states.
+Result<uint64_t> CountCollectionTraceWrites(const TraceSpec& spec);
+Status RunCollectionCrashCase(const TraceSpec& spec, const CrashCase& crash,
+                              SweepStats* stats = nullptr);
+Status CollectionCrashSweep(const TraceSpec& spec, int shard, int num_shards,
+                            SweepStats* stats = nullptr);
+
+}  // namespace tdb::harness
+
+#endif  // TDB_HARNESS_COLLECTION_DRIVER_H_

@@ -1,0 +1,255 @@
+#include "harness/object_driver.h"
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "crypto/cipher_suite.h"
+#include "harness/chunk_driver.h"
+#include "platform/fault_injection.h"
+#include "platform/mem_store.h"
+#include "platform/one_way_counter.h"
+#include "platform/secret_store.h"
+
+namespace tdb::harness {
+
+void HarnessBlob::Pickle(object::Pickler* pickler) const {
+  pickler->PutUint64(key_);
+  pickler->PutBytes(bytes_);
+}
+
+Status HarnessBlob::UnpickleFrom(object::Unpickler* unpickler) {
+  TDB_RETURN_IF_ERROR(unpickler->GetUint64(&key_));
+  return unpickler->GetBytes(&bytes_);
+}
+
+Status RegisterHarnessClasses(object::ObjectStore* os) {
+  return os->registry().Register<HarnessBlob>(HarnessBlob::kClassId);
+}
+
+Buffer BlobImage(uint64_t key, const Buffer& bytes) {
+  Buffer image;
+  image.reserve(8 + bytes.size());
+  for (int i = 0; i < 8; i++) {
+    image.push_back(static_cast<uint8_t>(key >> (8 * i)));
+  }
+  image.insert(image.end(), bytes.begin(), bytes.end());
+  return image;
+}
+
+namespace {
+
+constexpr const char* kMasterSecret = "tdb-harness-master-secret-32byte";
+constexpr uint32_t kTearNums[] = {0, 1, 2, 3, 4};
+constexpr uint32_t kTearDen = 4;
+
+struct ObjectEnv {
+  platform::MemUntrustedStore mem;
+  std::unique_ptr<platform::FaultInjectingStore> faulty;
+  platform::MemSecretStore secrets;
+  platform::MemOneWayCounter counter;
+
+  ObjectEnv() {
+    faulty = std::make_unique<platform::FaultInjectingStore>(&mem);
+    (void)secrets.Provision(kMasterSecret);
+  }
+};
+
+Status Fail(const ReproCase& repro, const std::string& detail) {
+  return Status::Corruption(FormatRepro(repro) + " | " + detail);
+}
+
+struct ObjectStack {
+  std::unique_ptr<chunk::ChunkStore> chunks;
+  std::unique_ptr<object::ObjectStore> objects;  // Destroyed first.
+};
+
+Result<ObjectStack> OpenObjectStack(ObjectEnv* env, Preset preset) {
+  ObjectStack stack;
+  TDB_ASSIGN_OR_RETURN(
+      stack.chunks,
+      chunk::ChunkStore::Open(env->faulty.get(), &env->secrets, &env->counter,
+                              PresetOptions(preset)));
+  TDB_ASSIGN_OR_RETURN(stack.objects,
+                       object::ObjectStore::Open(stack.chunks.get()));
+  TDB_RETURN_IF_ERROR(RegisterHarnessClasses(stack.objects.get()));
+  return stack;
+}
+
+/// One trace commit group = one object-store transaction.
+Status ExecuteObjectTrace(const std::vector<TraceCommit>& trace,
+                          object::ObjectStore* os, StateOracle* oracle) {
+  std::map<uint32_t, object::ObjectId> slot_oids;
+  for (const TraceCommit& commit : trace) {
+    object::Transaction txn(os);
+    oracle->BeginCommit();
+    for (const TraceOp& op : commit.ops) {
+      if (op.kind == TraceOp::Kind::kWrite) {
+        Buffer payload = SlotPayload(op.payload_seed, op.size);
+        auto it = slot_oids.find(op.slot);
+        if (it == slot_oids.end()) {
+          Result<object::ObjectId> inserted = txn.Insert(
+              std::make_unique<HarnessBlob>(op.slot, payload));
+          if (!inserted.ok()) {
+            oracle->EndCommit(false, commit.durable);
+            return inserted.status();
+          }
+          slot_oids[op.slot] = inserted.value();
+          oracle->PendingWrite(inserted.value(), BlobImage(op.slot, payload));
+        } else {
+          Result<object::WritableRef<HarnessBlob>> ref =
+              txn.OpenWritable<HarnessBlob>(it->second);
+          if (!ref.ok()) {
+            oracle->EndCommit(false, commit.durable);
+            return ref.status();
+          }
+          ref.value()->set_bytes(payload);
+          oracle->PendingWrite(it->second, BlobImage(op.slot, payload));
+        }
+      } else {
+        auto it = slot_oids.find(op.slot);
+        if (it == slot_oids.end()) continue;
+        Status removed = txn.Remove(it->second);
+        if (!removed.ok()) {
+          oracle->EndCommit(false, commit.durable);
+          return removed;
+        }
+        oracle->PendingRemove(it->second);
+        slot_oids.erase(it);
+      }
+    }
+    Status status = txn.Commit(commit.durable);
+    oracle->EndCommit(status.ok(), commit.durable);
+    TDB_RETURN_IF_ERROR(status);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<uint64_t> CountObjectTraceWrites(const TraceSpec& spec) {
+  std::vector<TraceCommit> trace = GenerateTrace(spec);
+  ObjectEnv env;
+  TDB_ASSIGN_OR_RETURN(ObjectStack stack, OpenObjectStack(&env, spec.preset));
+  StateOracle oracle;
+  uint64_t baseline = env.faulty->writes_seen();
+  TDB_RETURN_IF_ERROR(ExecuteObjectTrace(trace, stack.objects.get(), &oracle));
+  return env.faulty->writes_seen() - baseline;
+}
+
+Status RunObjectCrashCase(const TraceSpec& spec, const CrashCase& crash,
+                          SweepStats* stats) {
+  ReproCase repro;
+  repro.layer = "object";
+  repro.kind = "crash";
+  repro.spec = spec;
+  repro.crash = crash;
+
+  std::vector<TraceCommit> trace = GenerateTrace(spec);
+  ObjectEnv env;
+  Result<ObjectStack> opened = OpenObjectStack(&env, spec.preset);
+  if (!opened.ok()) {
+    return Fail(repro, "initial open failed: " + opened.status().ToString());
+  }
+  ObjectStack stack = std::move(opened).value();
+
+  StateOracle oracle;
+  env.faulty->CrashAtWrite(crash.write_index, crash.tear_num, crash.tear_den);
+  Status run = ExecuteObjectTrace(trace, stack.objects.get(), &oracle);
+  if (!run.ok() && !env.faulty->crashed()) {
+    return Fail(repro, "trace op failed without a crash: " + run.ToString());
+  }
+  stack.objects.reset();
+  stack.chunks.reset();
+
+  env.faulty->Reboot();
+  if (crash.recovery_crash >= 0) {
+    env.faulty->CrashAtWrite(static_cast<uint64_t>(crash.recovery_crash), 1,
+                             2);
+  }
+  opened = OpenObjectStack(&env, spec.preset);
+  if (!opened.ok()) {
+    if (!env.faulty->crashed()) {
+      return Fail(repro, "recovery failed on a legitimate crash image: " +
+                             opened.status().ToString());
+    }
+    env.faulty->Reboot();
+    opened = OpenObjectStack(&env, spec.preset);
+    if (!opened.ok()) {
+      return Fail(repro, "recovery failed after recovery-time crash: " +
+                             opened.status().ToString());
+    }
+  } else {
+    env.faulty->Reboot();
+  }
+  stack = std::move(opened).value();
+
+  StateOracle::State recovered;
+  {
+    object::Transaction txn(stack.objects.get());
+    for (uint64_t oid : oracle.ids()) {
+      Result<object::ReadonlyRef<HarnessBlob>> ref =
+          txn.OpenReadonly<HarnessBlob>(oid);
+      if (ref.ok()) {
+        recovered[oid] =
+            BlobImage(ref.value()->key(), ref.value()->bytes());
+      } else if (!ref.status().IsNotFound()) {
+        return Fail(repro, "post-recovery read of object " +
+                               std::to_string(oid) +
+                               " failed: " + ref.status().ToString());
+      }
+    }
+    Status aborted = txn.Abort();
+    if (!aborted.ok()) {
+      return Fail(repro, "post-recovery read txn abort: " +
+                             aborted.ToString());
+    }
+  }
+  Result<size_t> matched = oracle.MatchRecovered(recovered);
+  if (!matched.ok()) return Fail(repro, matched.status().message());
+
+  // The recovered store must accept a durable transaction.
+  {
+    object::Transaction txn(stack.objects.get());
+    Result<object::ObjectId> probe = txn.Insert(std::make_unique<HarnessBlob>(
+        0xF00Du, Buffer{0xAA, 0xBB, 0xCC}));
+    if (!probe.ok()) {
+      return Fail(repro,
+                  "post-recovery insert: " + probe.status().ToString());
+    }
+    Status committed = txn.Commit(true);
+    if (!committed.ok()) {
+      return Fail(repro,
+                  "post-recovery durable commit: " + committed.ToString());
+    }
+  }
+  if (stats != nullptr) stats->cases++;
+  return Status::OK();
+}
+
+Status ObjectCrashSweep(const TraceSpec& spec, int shard, int num_shards,
+                        SweepStats* stats) {
+  TDB_ASSIGN_OR_RETURN(uint64_t writes, CountObjectTraceWrites(spec));
+  if (stats != nullptr) {
+    stats->write_points = writes;
+    stats->tear_buckets = std::size(kTearNums);
+  }
+  uint64_t case_idx = 0;
+  for (uint64_t point = 0; point < writes; point++) {
+    for (uint32_t tear : kTearNums) {
+      uint64_t idx = case_idx++;
+      if (num_shards > 1 &&
+          static_cast<int>(idx % static_cast<uint64_t>(num_shards)) != shard) {
+        continue;
+      }
+      CrashCase crash;
+      crash.write_index = point;
+      crash.tear_num = tear;
+      crash.tear_den = kTearDen;
+      TDB_RETURN_IF_ERROR(RunObjectCrashCase(spec, crash, stats));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace tdb::harness

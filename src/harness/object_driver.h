@@ -1,0 +1,57 @@
+#ifndef TDB_HARNESS_OBJECT_DRIVER_H_
+#define TDB_HARNESS_OBJECT_DRIVER_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "harness/oracle.h"
+#include "harness/trace.h"
+#include "object/object.h"
+#include "object/object_store.h"
+
+namespace tdb::harness {
+
+/// The harness's persistent test object: an immutable logical key (the
+/// trace slot that created it) plus a mutable payload.
+class HarnessBlob final : public object::Object {
+ public:
+  static constexpr object::ClassId kClassId = 0x48424C42;  // "HBLB"
+
+  HarnessBlob() = default;
+  HarnessBlob(uint64_t key, Buffer bytes)
+      : key_(key), bytes_(std::move(bytes)) {}
+
+  object::ClassId class_id() const override { return kClassId; }
+  void Pickle(object::Pickler* pickler) const override;
+  Status UnpickleFrom(object::Unpickler* unpickler) override;
+  size_t ApproxSize() const override { return 48 + bytes_.size(); }
+
+  uint64_t key() const { return key_; }
+  const Buffer& bytes() const { return bytes_; }
+  void set_bytes(Buffer bytes) { bytes_ = std::move(bytes); }
+
+ private:
+  uint64_t key_ = 0;
+  Buffer bytes_;
+};
+
+/// Registers HarnessBlob with the store's class registry (idempotent-safe
+/// only per fresh store; call once after ObjectStore::Open).
+Status RegisterHarnessClasses(object::ObjectStore* os);
+
+/// The oracle value of a blob: key and payload folded into one buffer, so
+/// a key corruption is as detectable as a payload corruption.
+Buffer BlobImage(uint64_t key, const Buffer& bytes);
+
+/// Object-layer analogues of the chunk driver entry points. The trace's
+/// commit groups become object-store transactions (insert / open-writable
+/// update / remove); checkpoint flags are ignored at this layer.
+Result<uint64_t> CountObjectTraceWrites(const TraceSpec& spec);
+Status RunObjectCrashCase(const TraceSpec& spec, const CrashCase& crash,
+                          SweepStats* stats = nullptr);
+Status ObjectCrashSweep(const TraceSpec& spec, int shard, int num_shards,
+                        SweepStats* stats = nullptr);
+
+}  // namespace tdb::harness
+
+#endif  // TDB_HARNESS_OBJECT_DRIVER_H_

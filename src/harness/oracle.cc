@@ -1,0 +1,71 @@
+#include "harness/oracle.h"
+
+#include <sstream>
+
+namespace tdb::harness {
+
+void StateOracle::BeginCommit() { pending_ = states_.back(); }
+
+void StateOracle::PendingWrite(uint64_t id, Buffer payload) {
+  pending_[id] = std::move(payload);
+  ids_.insert(id);
+}
+
+void StateOracle::PendingRemove(uint64_t id) {
+  pending_.erase(id);
+  ids_.insert(id);
+}
+
+void StateOracle::EndCommit(bool acked, bool durable) {
+  states_.push_back(std::move(pending_));
+  pending_.clear();
+  if (acked && durable) floor_ = states_.size() - 1;
+}
+
+void StateOracle::MarkAllDurable() { floor_ = states_.size() - 1; }
+
+namespace {
+
+// First differing id between two states, for failure diagnostics.
+std::string DescribeDiff(const StateOracle::State& recovered,
+                         const StateOracle::State& expected) {
+  std::ostringstream out;
+  for (const auto& [id, payload] : expected) {
+    auto it = recovered.find(id);
+    if (it == recovered.end()) {
+      out << "id " << id << ": expected " << payload.size()
+          << " bytes, recovered NotFound";
+      return out.str();
+    }
+    if (it->second != payload) {
+      out << "id " << id << ": " << payload.size()
+          << "-byte payload differs (recovered " << it->second.size()
+          << " bytes)";
+      return out.str();
+    }
+  }
+  for (const auto& [id, payload] : recovered) {
+    if (expected.count(id) == 0) {
+      out << "id " << id << ": expected NotFound, recovered "
+          << payload.size() << " bytes";
+      return out.str();
+    }
+  }
+  return "states equal";
+}
+
+}  // namespace
+
+Result<size_t> StateOracle::MatchRecovered(const State& recovered) const {
+  for (size_t b = floor_; b < states_.size(); b++) {
+    if (states_[b] == recovered) return b;
+  }
+  std::ostringstream msg;
+  msg << "recovered state matches no committed boundary in [" << floor_
+      << ", " << states_.size() - 1 << "]; vs floor boundary " << floor_
+      << ": " << DescribeDiff(recovered, states_[floor_])
+      << "; vs last boundary: " << DescribeDiff(recovered, states_.back());
+  return Status::Corruption(msg.str());
+}
+
+}  // namespace tdb::harness

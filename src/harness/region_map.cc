@@ -1,0 +1,77 @@
+#include "harness/region_map.h"
+
+#include "chunk/log_format.h"
+#include "chunk/types.h"
+
+namespace tdb::harness {
+
+const char* RegionClassName(RegionClass cls) {
+  switch (cls) {
+    case RegionClass::kAnchorSlot:
+      return "anchor-slot";
+    case RegionClass::kLogStructure:
+      return "log-structure";
+    case RegionClass::kChunkPayload:
+      return "chunk-payload";
+    case RegionClass::kLocationMap:
+      return "location-map";
+  }
+  return "unknown";
+}
+
+namespace {
+
+bool HasPrefix(const std::string& name, const char* prefix) {
+  return name.rfind(prefix, 0) == 0;
+}
+
+void ClassifySegment(const std::string& name, const Buffer& bytes,
+                     std::vector<TamperRegion>* out) {
+  uint64_t pos = 0;
+  uint64_t size = bytes.size();
+  uint64_t header = std::min<uint64_t>(chunk::kSegmentHeaderSize, size);
+  if (header > 0) {
+    out->push_back({name, 0, header, RegionClass::kLogStructure});
+    pos = header;
+  }
+  while (pos < size) {
+    Slice rest(bytes.data() + pos, size - pos);
+    chunk::RecordView view;
+    if (!chunk::ParseRecord(rest, &view).ok()) {
+      // Unreachable tail (torn or trailing garbage): structural bytes.
+      out->push_back({name, pos, size - pos, RegionClass::kLogStructure});
+      return;
+    }
+    out->push_back(
+        {name, pos, chunk::kRecordHeaderSize, RegionClass::kLogStructure});
+    if (view.payload.size() > 0) {
+      RegionClass cls = RegionClass::kLogStructure;  // Commit manifests.
+      if (view.type == chunk::RecordType::kData) {
+        cls = RegionClass::kChunkPayload;
+      } else if (view.type == chunk::RecordType::kMapNode) {
+        cls = RegionClass::kLocationMap;
+      }
+      out->push_back(
+          {name, pos + chunk::kRecordHeaderSize, view.payload.size(), cls});
+    }
+    pos += view.record_size;
+  }
+}
+
+}  // namespace
+
+std::vector<TamperRegion> ClassifyImage(
+    const platform::MemUntrustedStore::Image& image) {
+  std::vector<TamperRegion> regions;
+  for (const auto& [name, bytes] : image) {
+    if (bytes.empty()) continue;
+    if (HasPrefix(name, "anchor-")) {
+      regions.push_back({name, 0, bytes.size(), RegionClass::kAnchorSlot});
+    } else if (HasPrefix(name, "seg-")) {
+      ClassifySegment(name, bytes, &regions);
+    }
+  }
+  return regions;
+}
+
+}  // namespace tdb::harness

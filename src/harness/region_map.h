@@ -1,0 +1,41 @@
+#ifndef TDB_HARNESS_REGION_MAP_H_
+#define TDB_HARNESS_REGION_MAP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "platform/mem_store.h"
+
+namespace tdb::harness {
+
+/// The four structural region classes of an on-store database image; the
+/// tamper sweep corrupts representatives of every instance of each class.
+enum class RegionClass : uint8_t {
+  kAnchorSlot = 0,    // anchor-0 / anchor-1 slot files (the trust root).
+  kLogStructure = 1,  // Segment headers, record headers, commit manifests.
+  kChunkPayload = 2,  // Sealed data-record payloads.
+  kLocationMap = 3,   // Sealed map-node record payloads (the Merkle tree).
+};
+
+inline constexpr int kRegionClasses = 4;
+
+const char* RegionClassName(RegionClass cls);
+
+/// One contiguous byte range of a store file with a single classification.
+struct TamperRegion {
+  std::string file;
+  uint64_t offset = 0;
+  uint64_t length = 0;
+  RegionClass cls = RegionClass::kLogStructure;
+};
+
+/// Walks a crash-consistent store image and classifies every byte of the
+/// anchor slots and segment files by parsing the log structure. Bytes the
+/// parse cannot reach (e.g. a torn tail) are classified kLogStructure.
+std::vector<TamperRegion> ClassifyImage(
+    const platform::MemUntrustedStore::Image& image);
+
+}  // namespace tdb::harness
+
+#endif  // TDB_HARNESS_REGION_MAP_H_

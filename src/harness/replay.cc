@@ -1,0 +1,30 @@
+#include "harness/replay.h"
+
+#include "common/result.h"
+#include "harness/chunk_driver.h"
+#include "harness/collection_driver.h"
+#include "harness/object_driver.h"
+#include "harness/trace.h"
+
+namespace tdb::harness {
+
+Status ReplayRepro(const std::string& line) {
+  TDB_ASSIGN_OR_RETURN(ReproCase repro, ParseRepro(line));
+  if (repro.kind == "tamper") {
+    if (repro.layer != "chunk") {
+      return Status::InvalidArgument("tamper repros are chunk-layer only");
+    }
+    return RunChunkTamperCase(repro.spec, repro.tamper_file,
+                              repro.tamper_offset,
+                              static_cast<uint8_t>(repro.tamper_mask));
+  }
+  if (repro.layer == "chunk") {
+    return RunChunkCrashCase(repro.spec, repro.crash);
+  }
+  if (repro.layer == "object") {
+    return RunObjectCrashCase(repro.spec, repro.crash);
+  }
+  return RunCollectionCrashCase(repro.spec, repro.crash);
+}
+
+}  // namespace tdb::harness

@@ -1,0 +1,17 @@
+#ifndef TDB_HARNESS_REPLAY_H_
+#define TDB_HARNESS_REPLAY_H_
+
+#include <string>
+
+#include "common/status.h"
+
+namespace tdb::harness {
+
+/// Replays a single-line repro printed by a failing campaign case. The
+/// returned status is the case verdict: OK means the case now passes,
+/// anything else reproduces (and re-describes) the original failure.
+Status ReplayRepro(const std::string& line);
+
+}  // namespace tdb::harness
+
+#endif  // TDB_HARNESS_REPLAY_H_

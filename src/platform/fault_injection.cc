@@ -8,9 +8,17 @@ Status FaultInjectingStore::Write(const std::string& name, uint64_t offset,
   if (armed_ && !crash_on_sync_) {
     if (writes_until_crash_ == 0) {
       crashed_ = true;
-      // Torn write: apply a pseudo-random prefix of the final write, which
-      // models a sector-aligned partial flush.
-      size_t torn = static_cast<size_t>(rng_.Uniform(data.size() + 1));
+      // Torn write: the disk persists only a prefix of the final write, and
+      // since sectors are committed atomically in order, the surviving
+      // prefix always ends on a sector boundary (or covers everything).
+      uint64_t requested =
+          deterministic_tear_
+              ? static_cast<uint64_t>(data.size()) * tear_num_ / tear_den_
+              : rng_.Uniform(data.size() + 1);
+      size_t torn = static_cast<size_t>(
+          SectorAtomicTornLength(offset, data.size(), requested,
+                                 deterministic_tear_ ? sector_bytes_
+                                                     : kDefaultSectorBytes));
       if (torn > 0) {
         Status s = base_->Write(name, offset, Slice(data.data(), torn));
         (void)s;  // The caller sees the crash either way.
@@ -19,6 +27,7 @@ Status FaultInjectingStore::Write(const std::string& name, uint64_t offset,
     }
     writes_until_crash_--;
   }
+  writes_seen_++;
   return base_->Write(name, offset, data);
 }
 

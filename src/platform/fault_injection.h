@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "common/random.h"
+#include "platform/sim_disk.h"
 #include "platform/untrusted_store.h"
 
 namespace tdb::platform {
@@ -23,12 +24,36 @@ class FaultInjectingStore final : public UntrustedStore {
 
   /// Arms the crash: it fires on the (count+1)-th Write() from now.
   /// A torn fraction of that final write is applied (possibly none, possibly
-  /// all of it — chosen pseudo-randomly).
+  /// all of it — chosen pseudo-randomly, rounded down to a sector boundary).
   void CrashAfterWrites(uint64_t count) {
     writes_until_crash_ = count;
     armed_ = true;
     crashed_ = false;
+    deterministic_tear_ = false;
   }
+
+  /// Deterministic schedule for exhaustive sweeps: the crash fires on the
+  /// (index+1)-th Write() from now, and the torn prefix of that write is
+  /// `tear_num/tear_den` of its length, rounded down so the persisted
+  /// prefix ends on a sector boundary (see SectorAtomicTornLength).
+  /// tear_num >= tear_den persists the whole write (the crash then hits
+  /// after the write reached the platter but before the caller learned so).
+  void CrashAtWrite(uint64_t index, uint32_t tear_num, uint32_t tear_den,
+                    uint32_t sector_bytes = kDefaultSectorBytes) {
+    writes_until_crash_ = index;
+    armed_ = true;
+    crashed_ = false;
+    crash_on_sync_ = false;
+    deterministic_tear_ = true;
+    tear_num_ = tear_num;
+    tear_den_ = tear_den == 0 ? 1 : tear_den;
+    sector_bytes_ = sector_bytes;
+  }
+
+  /// Total Write() calls passed through to the base store (the crashing
+  /// torn write is not counted). Dry-running a workload unarmed yields the
+  /// write count N that an exhaustive sweep enumerates as 0..N-1.
+  uint64_t writes_seen() const { return writes_seen_; }
 
   /// Arms the crash to fire on the next Sync() instead of a write.
   void CrashOnNextSync() {
@@ -86,7 +111,12 @@ class FaultInjectingStore final : public UntrustedStore {
   bool armed_ = false;
   bool crashed_ = false;
   bool crash_on_sync_ = false;
+  bool deterministic_tear_ = false;
+  uint32_t tear_num_ = 0;
+  uint32_t tear_den_ = 1;
+  uint32_t sector_bytes_ = kDefaultSectorBytes;
   uint64_t writes_until_crash_ = 0;
+  uint64_t writes_seen_ = 0;
 };
 
 }  // namespace tdb::platform

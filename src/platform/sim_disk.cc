@@ -4,6 +4,16 @@
 
 namespace tdb::platform {
 
+uint64_t SectorAtomicTornLength(uint64_t offset, uint64_t write_len,
+                                uint64_t requested, uint32_t sector_bytes) {
+  if (requested >= write_len) return write_len;
+  if (sector_bytes == 0) return requested;
+  // The persisted prefix ends at the highest absolute sector boundary not
+  // past offset+requested; anything short of a full sector is lost.
+  uint64_t boundary = (offset + requested) / sector_bytes * sector_bytes;
+  return boundary <= offset ? 0 : boundary - offset;
+}
+
 Result<uint64_t> StoreBackedCounter::Read() const {
   if (!store_->Exists(file_)) return static_cast<uint64_t>(0);
   Buffer bytes;

@@ -1,6 +1,7 @@
 #ifndef TDB_PLATFORM_SIM_DISK_H_
 #define TDB_PLATFORM_SIM_DISK_H_
 
+#include <cstdint>
 #include <string>
 
 #include "platform/one_way_counter.h"
@@ -16,11 +17,27 @@ namespace tdb::platform {
 /// Reads are free: both the paper's systems and ours run with warm OS/file
 /// caches, and the paper identifies writes as the bottleneck ("the primary
 /// performance bottleneck then becomes writes", §3.2.1).
+/// Disk sector size assumed by the crash model: the hardware commits whole
+/// sectors atomically and in order, so a power failure can only tear an
+/// in-flight write at a sector boundary.
+inline constexpr uint32_t kDefaultSectorBytes = 512;
+
 struct DiskModel {
   double reposition_ms = 1.0;   // Short seek between nearby files/extents.
   double rotational_ms = 4.2;   // Average rotational latency (7200 rpm).
   double bandwidth_mb_s = 20.0; // Media transfer rate.
+  uint32_t sector_bytes = kDefaultSectorBytes;  // Atomic-write unit.
 };
+
+/// Length of the prefix of a write at [offset, offset+write_len) that
+/// survives a crash when the disk had persisted `requested` bytes of it so
+/// far. The disk commits whole sectors in order, so the surviving prefix
+/// must end on an absolute sector boundary unless the whole write landed:
+/// the requested length is rounded *down* so the tear never splits a
+/// sector. Returns a value in [0, write_len].
+uint64_t SectorAtomicTornLength(uint64_t offset, uint64_t write_len,
+                                uint64_t requested,
+                                uint32_t sector_bytes = kDefaultSectorBytes);
 
 /// Wraps any UntrustedStore and accumulates simulated I/O time in a
 /// virtual clock instead of sleeping. Benchmarks add the virtual time to

@@ -187,21 +187,37 @@ TEST(FaultInjectionTest, CrashAfterNWrites) {
 }
 
 TEST(FaultInjectionTest, TornWriteAppliesOnlyPrefix) {
-  // With many trials, some final writes must be partially applied.
+  // Tearing is sector-atomic: the surviving prefix of the crashing write
+  // always ends on a sector boundary (or covers the whole write). With
+  // many trials over a multi-sector write, all outcomes show up.
   bool saw_partial = false, saw_none = false;
+  Buffer data(2048, 0x5A);  // Four 512-byte sectors.
   for (uint64_t seed = 0; seed < 64 && !(saw_partial && saw_none); seed++) {
+    MemUntrustedStore base;
+    FaultInjectingStore store(&base, seed);
+    ASSERT_TRUE(store.Create("f", false).ok());
+    store.CrashAfterWrites(0);
+    EXPECT_FALSE(store.Write("f", 0, data).ok());
+    uint64_t size = *base.Size("f");
+    EXPECT_LE(size, 2048u);
+    EXPECT_EQ(size % 512, 0u);  // Sector-aligned prefix, never mid-sector.
+    if (size > 0 && size < 2048) saw_partial = true;
+    if (size == 0) saw_none = true;
+  }
+  EXPECT_TRUE(saw_partial);
+  EXPECT_TRUE(saw_none);
+
+  // A sub-sector write can never be partially applied: it either fully
+  // lands or is lost entirely.
+  for (uint64_t seed = 0; seed < 16; seed++) {
     MemUntrustedStore base;
     FaultInjectingStore store(&base, seed);
     ASSERT_TRUE(store.Create("f", false).ok());
     store.CrashAfterWrites(0);
     EXPECT_FALSE(store.Write("f", 0, Slice("0123456789")).ok());
     uint64_t size = *base.Size("f");
-    EXPECT_LE(size, 10u);
-    if (size > 0 && size < 10) saw_partial = true;
-    if (size == 0) saw_none = true;
+    EXPECT_TRUE(size == 0 || size == 10) << size;
   }
-  EXPECT_TRUE(saw_partial);
-  EXPECT_TRUE(saw_none);
 }
 
 TEST(FaultInjectionTest, CrashOnSync) {

@@ -9,6 +9,8 @@
 #include "chunk/anchor.h"
 #include "chunk/chunk_store.h"
 #include "common/random.h"
+#include "harness/chunk_driver.h"
+#include "harness/trace.h"
 #include "platform/fault_injection.h"
 #include "platform/mem_store.h"
 #include "platform/one_way_counter.h"
@@ -30,70 +32,53 @@ ChunkStoreOptions SmallOptions() {
   return options;
 }
 
-// Crash repeatedly — including during recovery itself — and verify the
-// durable floor survives every round.
-class RepeatedCrashTest : public ::testing::TestWithParam<uint64_t> {};
+// Exhaustive replacement for the old hand-counted crash loops (a fixed
+// seed list with `CrashAfterWrites(rng.Uniform(40) + 1)`): the harness
+// sweep crashes at EVERY base-store write index of a multi-commit trace,
+// at every sector-aligned torn-write fraction, and checks the durable
+// floor against its oracle after each recovery. Sharded two ways so each
+// ctest entry stays short.
+class RepeatedCrashTest : public ::testing::TestWithParam<int> {};
 
-TEST_P(RepeatedCrashTest, SurvivesCrashLoops) {
-  const uint64_t seed = GetParam();
-  Random rng(seed);
-  MemSecretStore secrets;
-  ASSERT_TRUE(secrets.Provision(Slice("s")).ok());
-  MemOneWayCounter counter;
-  MemUntrustedStore base;
-  FaultInjectingStore faulty(&base, seed);
-
-  std::map<ChunkId, Buffer> durable_model;
-
-  for (int round = 0; round < 6; round++) {
-    faulty.Reboot();
-    // Arm a crash that may fire during recovery or during the workload.
-    faulty.CrashAfterWrites(rng.Uniform(40) + 1);
-    auto cs_or = ChunkStore::Open(&faulty, &secrets, &counter,
-                                  SmallOptions());
-    if (!cs_or.ok()) {
-      // Crash fired during recovery: the store must still be recoverable
-      // next round; only I/O failures are acceptable here.
-      ASSERT_TRUE(cs_or.status().ToString().find("crash") !=
-                  std::string::npos)
-          << cs_or.status().ToString();
-      continue;
-    }
-    auto& cs = *cs_or;
-    // Everything durable so far must read back.
-    for (const auto& [cid, expected] : durable_model) {
-      auto data = cs->Read(cid);
-      ASSERT_TRUE(data.ok())
-          << "round " << round << " cid " << cid << ": "
-          << data.status().ToString();
-      ASSERT_EQ(*data, expected) << "round " << round << " cid " << cid;
-    }
-    // More durable writes until the crash fires.
-    for (int i = 0; i < 30; i++) {
-      ChunkId cid = cs->AllocateChunkId();
-      Buffer data;
-      rng.Fill(&data, rng.Uniform(200) + 1);
-      if (!cs->Write(cid, data, true).ok()) break;
-      durable_model[cid] = data;
-      if (faulty.crashed()) break;
-    }
-  }
-  // Final clean recovery.
-  faulty.Reboot();
-  auto cs = ChunkStore::Open(&faulty, &secrets, &counter, SmallOptions());
-  ASSERT_TRUE(cs.ok()) << cs.status().ToString();
-  for (const auto& [cid, expected] : durable_model) {
-    auto data = (*cs)->Read(cid);
-    ASSERT_TRUE(data.ok()) << cid;
-    EXPECT_EQ(*data, expected) << cid;
-  }
-  uint64_t checked = 0;
-  EXPECT_TRUE((*cs)->VerifyIntegrity(&checked).ok());
-  EXPECT_GE(checked, durable_model.size());
+TEST_P(RepeatedCrashTest, SurvivesEveryCrashPoint) {
+  constexpr int kShards = 2;
+  harness::TraceSpec spec;
+  spec.seed = 101;
+  spec.commits = 8;
+  spec.slots = 8;
+  spec.preset = harness::Preset::kStrict;
+  harness::SweepStats stats;
+  Status status = harness::ChunkCrashSweep(spec, GetParam(), kShards, &stats);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_GT(stats.cases, 0u);
+  // This shard ran exactly its residue class of the full campaign.
+  uint64_t total = stats.write_points * stats.tear_buckets;
+  uint64_t shard = static_cast<uint64_t>(GetParam());
+  EXPECT_EQ(stats.cases, total / kShards + (total % kShards > shard ? 1 : 0));
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, RepeatedCrashTest,
-                         ::testing::Range<uint64_t>(100, 112));
+INSTANTIATE_TEST_SUITE_P(Shards, RepeatedCrashTest, ::testing::Range(0, 2));
+
+// Crashes during recovery itself: every trace crash point is rerun with a
+// second crash armed at recovery write index GetParam(); the store must
+// come back on the third boot with the durable floor intact.
+class RecoveryCrashTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RecoveryCrashTest, SurvivesCrashDuringRecovery) {
+  harness::TraceSpec spec;
+  spec.seed = 103;
+  spec.commits = 6;
+  spec.slots = 8;
+  spec.preset = harness::Preset::kStrict;
+  harness::SweepStats stats;
+  Status status = harness::ChunkCrashSweep(spec, 0, 1, &stats,
+                                           /*recovery_crash=*/GetParam());
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(stats.cases, stats.write_points * stats.tear_buckets);
+}
+
+INSTANTIATE_TEST_SUITE_P(RecoveryWriteIndex, RecoveryCrashTest,
+                         ::testing::Range(0, 4));
 
 TEST(SnapshotGrowthTest, DiffAcrossMapTreeGrowth) {
   // Base snapshot while the map is a single leaf (fanout 8, < 8 chunks);

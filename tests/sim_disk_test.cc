@@ -2,10 +2,93 @@
 
 #include <gtest/gtest.h>
 
+#include "platform/fault_injection.h"
 #include "platform/mem_store.h"
 
 namespace tdb::platform {
 namespace {
+
+// Pins the sector-atomic torn-write model: a crashed write persists a
+// prefix that always ends on an absolute sector boundary (sectors commit
+// atomically, in order), or the whole write if it was fully requested.
+TEST(SectorTornWriteTest, TornLengthEndsOnSectorBoundary) {
+  // Requested >= write length: the whole write survives.
+  EXPECT_EQ(SectorAtomicTornLength(0, 100, 100, 512), 100u);
+  EXPECT_EQ(SectorAtomicTornLength(0, 100, 1000, 512), 100u);
+  // Write starts at a sector boundary: prefix rounds down to the boundary.
+  EXPECT_EQ(SectorAtomicTornLength(0, 2000, 1000, 512), 512u);
+  EXPECT_EQ(SectorAtomicTornLength(1024, 2000, 1000, 512), 512u);  // ->1536.
+  // Under one sector from the start: nothing survives.
+  EXPECT_EQ(SectorAtomicTornLength(0, 2000, 511, 512), 0u);
+  EXPECT_EQ(SectorAtomicTornLength(0, 100, 50, 512), 0u);
+  // Unaligned write offset: the boundary is ABSOLUTE (offset + torn ends
+  // at a multiple of the sector size), not relative to the write start.
+  EXPECT_EQ(SectorAtomicTornLength(100, 2000, 1000, 512), 924u);  // ->1024.
+  EXPECT_EQ(SectorAtomicTornLength(100, 2000, 412, 512), 412u);   // ->512.
+  EXPECT_EQ(SectorAtomicTornLength(100, 2000, 411, 512), 0u);     // <512.
+  // Exactly reaching a boundary keeps everything up to it.
+  EXPECT_EQ(SectorAtomicTornLength(512, 1024, 512, 512), 512u);
+  // Degenerate sector size: byte-granular tearing.
+  EXPECT_EQ(SectorAtomicTornLength(7, 100, 33, 0), 33u);
+  // Zero requested never persists anything.
+  EXPECT_EQ(SectorAtomicTornLength(0, 100, 0, 512), 0u);
+  EXPECT_EQ(SectorAtomicTornLength(512, 100, 0, 512), 0u);
+}
+
+TEST(SectorTornWriteTest, DeterministicCrashScheduleTearsAtSector) {
+  // CrashAtWrite(index, num, den): the index-th write after arming crashes
+  // and persists the sector-aligned prefix of num/den of its bytes.
+  MemUntrustedStore mem;
+  FaultInjectingStore faulty(&mem);
+  ASSERT_TRUE(faulty.Create("f", false).ok());
+
+  Buffer data(2048, 0xAA);
+  faulty.CrashAtWrite(2, 1, 2);  // Third write crashes, half requested.
+  ASSERT_TRUE(faulty.Write("f", 0, data).ok());
+  EXPECT_EQ(faulty.writes_seen(), 1u);
+  ASSERT_TRUE(faulty.Write("f", 2048, data).ok());
+  Status crashed = faulty.Write("f", 4096, data);
+  EXPECT_FALSE(crashed.ok());
+  EXPECT_TRUE(faulty.crashed());
+  // 1024 of 2048 requested, already sector aligned: file ends at 5120.
+  EXPECT_EQ(*mem.Size("f"), 4096u + 1024u);
+
+  // The same schedule replays identically on a fresh store (determinism).
+  MemUntrustedStore mem2;
+  FaultInjectingStore faulty2(&mem2);
+  ASSERT_TRUE(faulty2.Create("f", false).ok());
+  faulty2.CrashAtWrite(2, 1, 2);
+  ASSERT_TRUE(faulty2.Write("f", 0, data).ok());
+  ASSERT_TRUE(faulty2.Write("f", 2048, data).ok());
+  EXPECT_FALSE(faulty2.Write("f", 4096, data).ok());
+  EXPECT_EQ(*mem2.Size("f"), *mem.Size("f"));
+
+  // Tear fraction 0: the crashing write persists nothing.
+  MemUntrustedStore mem3;
+  FaultInjectingStore faulty3(&mem3);
+  ASSERT_TRUE(faulty3.Create("f", false).ok());
+  faulty3.CrashAtWrite(0, 0, 4);
+  EXPECT_FALSE(faulty3.Write("f", 0, data).ok());
+  EXPECT_EQ(*mem3.Size("f"), 0u);
+
+  // Tear fraction 4/4: the full write lands before the crash surfaces.
+  MemUntrustedStore mem4;
+  FaultInjectingStore faulty4(&mem4);
+  ASSERT_TRUE(faulty4.Create("f", false).ok());
+  faulty4.CrashAtWrite(0, 4, 4);
+  EXPECT_FALSE(faulty4.Write("f", 0, data).ok());
+  EXPECT_EQ(*mem4.Size("f"), 2048u);
+
+  // An unaligned crash write keeps the absolute-sector-boundary prefix:
+  // offset 100 + requested 1024/2 = 612 rounds down to boundary 512.
+  MemUntrustedStore mem5;
+  FaultInjectingStore faulty5(&mem5);
+  ASSERT_TRUE(faulty5.Create("f", false).ok());
+  Buffer unaligned(1024, 0xBB);
+  faulty5.CrashAtWrite(0, 1, 2);
+  EXPECT_FALSE(faulty5.Write("f", 100, unaligned).ok());
+  EXPECT_EQ(*mem5.Size("f"), 512u);
+}
 
 TEST(SimDiskTest, PassesThroughData) {
   MemUntrustedStore mem;

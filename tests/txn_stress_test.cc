@@ -1,0 +1,267 @@
+// Multi-threaded two-phase-locking stress test over the object store,
+// with the PR-1 chunk-layer validated-plaintext cache and the parallel
+// commit crypto pipeline both enabled. Threads run transfer transactions
+// between shared accounts, acquiring locks in RANDOM order so deadlocks
+// occur and are broken by lock timeouts (§4.1); aborted transfers retry.
+// The invariant is conservation: the sum of balances never changes. The
+// test must also be clean under ThreadSanitizer (tools/check.sh --tsan).
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "chunk/chunk_store.h"
+#include "common/random.h"
+#include "crypto/cipher_suite.h"
+#include "object/object_store.h"
+#include "platform/mem_store.h"
+#include "platform/one_way_counter.h"
+#include "platform/secret_store.h"
+
+namespace tdb::object {
+namespace {
+
+class Account final : public Object {
+ public:
+  static constexpr ClassId kClassId = 0x41434354;  // "ACCT"
+
+  Account() = default;
+  explicit Account(uint64_t balance) : balance_(balance) {}
+
+  ClassId class_id() const override { return kClassId; }
+  void Pickle(Pickler* pickler) const override {
+    pickler->PutUint64(balance_);
+  }
+  Status UnpickleFrom(Unpickler* unpickler) override {
+    return unpickler->GetUint64(&balance_);
+  }
+  size_t ApproxSize() const override { return 32; }
+
+  uint64_t balance() const { return balance_; }
+  void set_balance(uint64_t balance) { balance_ = balance; }
+
+ private:
+  uint64_t balance_ = 0;
+};
+
+constexpr int kAccounts = 8;
+constexpr uint64_t kInitialBalance = 1000;
+constexpr int kThreads = 4;
+constexpr int kTransfersPerThread = 40;
+constexpr int kMaxAttemptsPerTransfer = 200;
+
+struct Stack {
+  platform::MemUntrustedStore mem;
+  platform::MemSecretStore secrets;
+  platform::MemOneWayCounter counter;
+  std::unique_ptr<chunk::ChunkStore> chunks;
+  std::unique_ptr<ObjectStore> objects;
+};
+
+void OpenStack(Stack* stack) {
+  ASSERT_TRUE(stack->secrets.Provision(Slice("stress-secret")).ok());
+  chunk::ChunkStoreOptions chunk_options;
+  chunk_options.security = crypto::SecurityConfig::Modern();
+  chunk_options.segment_size = 8 * 1024;
+  chunk_options.map_fanout = 8;
+  chunk_options.cache_bytes = 256 * 1024;  // PR-1 validated-plaintext cache.
+  chunk_options.crypto_threads = 4;        // PR-1 commit crypto pipeline.
+  auto chunks = chunk::ChunkStore::Open(&stack->mem, &stack->secrets,
+                                        &stack->counter, chunk_options);
+  ASSERT_TRUE(chunks.ok()) << chunks.status().ToString();
+  stack->chunks = std::move(chunks).value();
+
+  ObjectStoreOptions object_options;
+  object_options.cache_capacity_bytes = 4 * 1024;  // Force cache misses.
+  object_options.lock_timeout = std::chrono::milliseconds(25);
+  auto objects = ObjectStore::Open(stack->chunks.get(), object_options);
+  ASSERT_TRUE(objects.ok()) << objects.status().ToString();
+  stack->objects = std::move(objects).value();
+  ASSERT_TRUE(stack->objects->registry().Register<Account>(
+      Account::kClassId).ok());
+}
+
+TEST(TxnStressTest, ConcurrentTransfersConserveTotal) {
+  Stack stack;
+  OpenStack(&stack);
+  if (HasFatalFailure()) return;
+
+  std::vector<ObjectId> accounts;
+  {
+    Transaction txn(stack.objects.get());
+    for (int i = 0; i < kAccounts; i++) {
+      auto oid = txn.Insert(std::make_unique<Account>(kInitialBalance));
+      ASSERT_TRUE(oid.ok()) << oid.status().ToString();
+      accounts.push_back(oid.value());
+    }
+    ASSERT_TRUE(txn.Commit(true).ok());
+  }
+
+  std::atomic<uint64_t> committed{0};
+  std::atomic<uint64_t> lock_timeouts{0};
+  std::atomic<uint64_t> audits{0};
+  std::atomic<bool> failed{false};
+
+  auto worker = [&](int thread_idx) {
+    Random rng(1000 + static_cast<uint64_t>(thread_idx));
+    for (int t = 0; t < kTransfersPerThread && !failed.load(); t++) {
+      // Every few transfers, audit: a read-only transaction must always
+      // see a conserved total (2PL isolation).
+      if (t % 8 == 7) {
+        for (int attempt = 0;; attempt++) {
+          Transaction txn(stack.objects.get());
+          uint64_t sum = 0;
+          bool retry = false;
+          for (ObjectId oid : accounts) {
+            auto ref = txn.OpenReadonly<Account>(oid);
+            if (!ref.ok()) {
+              if (ref.status().IsLockTimeout() &&
+                  attempt < kMaxAttemptsPerTransfer) {
+                lock_timeouts++;
+                retry = true;
+              } else {
+                failed = true;
+              }
+              break;
+            }
+            sum += ref.value()->balance();
+          }
+          (void)txn.Abort();
+          if (failed.load()) return;
+          if (!retry) {
+            if (sum != kAccounts * kInitialBalance) failed = true;
+            audits++;
+            break;
+          }
+        }
+        continue;
+      }
+
+      // Transfer: two distinct accounts locked in random order.
+      uint32_t a = static_cast<uint32_t>(rng.Uniform(kAccounts));
+      uint32_t b = static_cast<uint32_t>(rng.Uniform(kAccounts - 1));
+      if (b >= a) b++;
+      uint64_t amount = rng.Uniform(50) + 1;
+      bool durable = rng.Bernoulli(0.1);
+
+      for (int attempt = 0;; attempt++) {
+        Transaction txn(stack.objects.get());
+        auto src = txn.OpenWritable<Account>(accounts[a]);
+        auto dst = src.ok() ? txn.OpenWritable<Account>(accounts[b])
+                            : Result<WritableRef<Account>>(src.status());
+        if (!src.ok() || !dst.ok()) {
+          Status status = src.ok() ? dst.status() : src.status();
+          (void)txn.Abort();
+          if (status.IsLockTimeout() && attempt < kMaxAttemptsPerTransfer) {
+            lock_timeouts++;
+            continue;  // Deadlock broken by timeout: retry.
+          }
+          failed = true;
+          return;
+        }
+        uint64_t moved = std::min(amount, src.value()->balance());
+        src.value()->set_balance(src.value()->balance() - moved);
+        dst.value()->set_balance(dst.value()->balance() + moved);
+        Status status = txn.Commit(durable);
+        if (status.ok()) {
+          committed++;
+          break;
+        }
+        if (status.IsLockTimeout() && attempt < kMaxAttemptsPerTransfer) {
+          lock_timeouts++;
+          continue;
+        }
+        failed = true;
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; i++) threads.emplace_back(worker, i);
+  for (std::thread& thread : threads) thread.join();
+
+  ASSERT_FALSE(failed.load()) << "a transaction failed non-retryably "
+                              << "(committed=" << committed.load()
+                              << " timeouts=" << lock_timeouts.load() << ")";
+  EXPECT_GT(committed.load(), 0u);
+  EXPECT_GT(audits.load(), 0u);
+
+  // Conservation after all threads are done.
+  {
+    Transaction txn(stack.objects.get());
+    uint64_t sum = 0;
+    for (ObjectId oid : accounts) {
+      auto ref = txn.OpenReadonly<Account>(oid);
+      ASSERT_TRUE(ref.ok()) << ref.status().ToString();
+      sum += ref.value()->balance();
+    }
+    ASSERT_TRUE(txn.Abort().ok());
+    EXPECT_EQ(sum, kAccounts * kInitialBalance);
+  }
+
+  // The underlying chunk store (cache + pipeline) is still fully intact.
+  uint64_t checked = 0;
+  EXPECT_TRUE(stack.chunks->VerifyIntegrity(&checked).ok());
+  EXPECT_GE(checked, static_cast<uint64_t>(kAccounts));
+}
+
+// Same workload shape with locking disabled and a single thread: §4.2.3's
+// "switch off locking" mode must still commit and conserve the total.
+TEST(TxnStressTest, LockingDisabledSingleThreaded) {
+  Stack stack;
+  ASSERT_TRUE(stack.secrets.Provision(Slice("stress-secret")).ok());
+  chunk::ChunkStoreOptions chunk_options;
+  chunk_options.security = crypto::SecurityConfig::Modern();
+  chunk_options.segment_size = 8 * 1024;
+  chunk_options.cache_bytes = 64 * 1024;
+  auto chunks = chunk::ChunkStore::Open(&stack.mem, &stack.secrets,
+                                        &stack.counter, chunk_options);
+  ASSERT_TRUE(chunks.ok());
+  stack.chunks = std::move(chunks).value();
+  ObjectStoreOptions object_options;
+  object_options.locking_enabled = false;
+  auto objects = ObjectStore::Open(stack.chunks.get(), object_options);
+  ASSERT_TRUE(objects.ok());
+  stack.objects = std::move(objects).value();
+  ASSERT_TRUE(stack.objects->registry().Register<Account>(
+      Account::kClassId).ok());
+
+  std::vector<ObjectId> accounts;
+  {
+    Transaction txn(stack.objects.get());
+    for (int i = 0; i < kAccounts; i++) {
+      accounts.push_back(
+          txn.Insert(std::make_unique<Account>(kInitialBalance)).value());
+    }
+    ASSERT_TRUE(txn.Commit(true).ok());
+  }
+  Random rng(77);
+  for (int t = 0; t < 100; t++) {
+    uint32_t a = static_cast<uint32_t>(rng.Uniform(kAccounts));
+    uint32_t b = static_cast<uint32_t>(rng.Uniform(kAccounts - 1));
+    if (b >= a) b++;
+    Transaction txn(stack.objects.get());
+    auto src = txn.OpenWritable<Account>(accounts[a]);
+    auto dst = txn.OpenWritable<Account>(accounts[b]);
+    ASSERT_TRUE(src.ok() && dst.ok());
+    uint64_t moved = std::min<uint64_t>(rng.Uniform(50) + 1,
+                                        src.value()->balance());
+    src.value()->set_balance(src.value()->balance() - moved);
+    dst.value()->set_balance(dst.value()->balance() + moved);
+    ASSERT_TRUE(txn.Commit(t % 10 == 0).ok());
+  }
+  Transaction txn(stack.objects.get());
+  uint64_t sum = 0;
+  for (ObjectId oid : accounts) {
+    sum += txn.OpenReadonly<Account>(oid).value()->balance();
+  }
+  EXPECT_EQ(sum, kAccounts * kInitialBalance);
+}
+
+}  // namespace
+}  // namespace tdb::object

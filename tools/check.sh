@@ -4,13 +4,44 @@
 #
 #   tools/check.sh            # build into ./build-check and run ctest
 #   BUILD_DIR=out tools/check.sh
+#   tools/check.sh --asan     # AddressSanitizer build, harness smoke suite
+#   tools/check.sh --tsan     # ThreadSanitizer build, harness smoke suite
+#
+# The sanitizer modes configure a separate build directory with
+# -DTDB_SANITIZE=<address|thread> and run a smoke subset (the differential
+# harness, the lock/transaction stress tests, and the platform fault
+# model) rather than the full suite, so they stay fast enough to run on
+# every change.
 #
 # Exits non-zero if configuration, the build, or any test fails.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
-build_dir="${BUILD_DIR:-$repo_root/build-check}"
 
-cmake -B "$build_dir" -S "$repo_root"
-cmake --build "$build_dir" -j "$(nproc)"
-ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
+sanitize=""
+suffix=""
+case "${1:-}" in
+  --asan) sanitize="address" ; suffix="-asan" ;;
+  --tsan) sanitize="thread"  ; suffix="-tsan" ;;
+  "") ;;
+  *) echo "usage: tools/check.sh [--asan|--tsan]" >&2; exit 2 ;;
+esac
+
+build_dir="${BUILD_DIR:-$repo_root/build-check$suffix}"
+
+if [[ -n "$sanitize" ]]; then
+  cmake -B "$build_dir" -S "$repo_root" -DTDB_SANITIZE="$sanitize"
+  # Smoke subset: the harness sweeps (crash + tamper + self-test), the
+  # multi-threaded 2PL stress (the TSan target), the lock manager, and
+  # the torn-write fault model.
+  smoke_targets=(harness_test txn_stress_test lock_manager_test sim_disk_test)
+  cmake --build "$build_dir" -j "$(nproc)" --target "${smoke_targets[@]}"
+  for t in "${smoke_targets[@]}"; do
+    echo "== $t ($sanitize sanitizer) =="
+    "$build_dir/tests/$t" --gtest_brief=1
+  done
+else
+  cmake -B "$build_dir" -S "$repo_root"
+  cmake --build "$build_dir" -j "$(nproc)"
+  ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
+fi
