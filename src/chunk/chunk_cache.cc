@@ -2,18 +2,21 @@
 
 namespace tdb::chunk {
 
-const Buffer* ChunkCache::Get(ChunkId cid) {
+bool ChunkCache::Get(ChunkId cid, Buffer* out) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(cid);
-  if (it == entries_.end()) return nullptr;
+  if (it == entries_.end()) return false;
   lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
-  return &it->second.data;
+  *out = it->second.data;
+  return true;
 }
 
 void ChunkCache::Put(ChunkId cid, Slice data) {
   if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
   // Replace-or-erase: a stale entry under this id must never survive, even
   // when the new payload itself is too large to cache.
-  Erase(cid);
+  EraseLocked(cid);
   Buffer payload = data.ToBuffer();
   const size_t charge = Charge(payload);
   if (charge > capacity_) return;
@@ -24,6 +27,11 @@ void ChunkCache::Put(ChunkId cid, Slice data) {
 }
 
 void ChunkCache::Erase(ChunkId cid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  EraseLocked(cid);
+}
+
+void ChunkCache::EraseLocked(ChunkId cid) {
   auto it = entries_.find(cid);
   if (it == entries_.end()) return;
   size_ -= Charge(it->second.data);
@@ -32,6 +40,7 @@ void ChunkCache::Erase(ChunkId cid) {
 }
 
 void ChunkCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   entries_.clear();
   lru_.clear();
   size_ = 0;

@@ -2,6 +2,7 @@
 #define TDB_CHUNK_CHUNK_CACHE_H_
 
 #include <list>
+#include <mutex>
 #include <unordered_map>
 
 #include "chunk/types.h"
@@ -24,7 +25,10 @@ namespace tdb::chunk {
 /// see older versions). Cleaner relocation moves sealed bytes verbatim —
 /// same id, same plaintext — so cached entries stay valid across Clean.
 ///
-/// Not thread-safe; like the rest of ChunkStore, callers serialize access.
+/// Thread-safe behind an internal mutex that is never held across I/O, so
+/// cache-hit reads never queue behind an in-flight commit sync (the
+/// group-commit read-path requirement). The mutex only covers the map/LRU
+/// manipulation and the payload copy-out.
 class ChunkCache {
  public:
   /// `capacity_bytes` = 0 disables the cache (all ops become no-ops).
@@ -32,9 +36,12 @@ class ChunkCache {
 
   bool enabled() const { return capacity_ > 0; }
 
-  /// Returns the cached payload and refreshes its LRU position, or nullptr
-  /// on miss. The pointer is valid only until the next mutating call.
-  const Buffer* Get(ChunkId cid);
+  /// On a hit, copies the cached payload into `*out`, refreshes the LRU
+  /// position and returns true; returns false on a miss. The copy-out
+  /// (instead of a pointer into the cache) is what makes concurrent
+  /// readers safe against eviction/replacement, and costs nothing extra:
+  /// the chunk store returned payloads by value already.
+  bool Get(ChunkId cid, Buffer* out);
 
   /// Inserts or replaces the entry for `cid`, evicting LRU entries to fit.
   /// Payloads that alone exceed the budget are not cached (but still
@@ -47,9 +54,18 @@ class ChunkCache {
   /// Drops everything.
   void Clear();
 
-  size_t size_bytes() const { return size_; }
-  size_t entry_count() const { return entries_.size(); }
-  uint64_t evictions() const { return evictions_; }
+  size_t size_bytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return size_;
+  }
+  size_t entry_count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+  }
+  uint64_t evictions() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return evictions_;
+  }
 
  private:
   // Per-entry bookkeeping overhead charged against the budget, so millions
@@ -64,8 +80,10 @@ class ChunkCache {
   size_t Charge(const Buffer& data) const {
     return data.size() + kEntryOverhead;
   }
-  void EvictToFit(size_t incoming_charge);
+  void EvictToFit(size_t incoming_charge);  // Requires mu_.
+  void EraseLocked(ChunkId cid);            // Requires mu_.
 
+  mutable std::mutex mu_;
   std::unordered_map<ChunkId, Entry> entries_;
   std::list<ChunkId> lru_;  // Front = most recently used.
   size_t capacity_;

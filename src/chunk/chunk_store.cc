@@ -1,7 +1,9 @@
 #include "chunk/chunk_store.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -65,15 +67,26 @@ ChunkStore::ChunkStore(platform::UntrustedStore* store,
 
 ThreadPool* ChunkStore::CryptoPool() {
   if (options_.crypto_threads <= 1) return nullptr;
-  if (crypto_pool_ == nullptr) {
+  std::call_once(crypto_pool_once_, [this] {
     crypto_pool_ = std::make_unique<ThreadPool>(options_.crypto_threads);
-  }
+  });
   return crypto_pool_.get();
 }
 
-void ChunkStore::SyncCacheStats() {
-  stats_.cache_evictions = cache_.evictions();
-  stats_.cache_bytes_used = cache_.size_bytes();
+void ChunkStore::AtomicMax(std::atomic<uint64_t>& counter, uint64_t value) {
+  uint64_t cur = counter.load();
+  while (cur < value && !counter.compare_exchange_weak(cur, value)) {
+  }
+}
+
+Buffer ChunkStore::SealSerialIv(Slice plain) {
+  std::lock_guard<std::mutex> lock(iv_mu_);
+  return suite_.Seal(plain);
+}
+
+Buffer ChunkStore::NextIvSerial() {
+  std::lock_guard<std::mutex> lock(iv_mu_);
+  return suite_.NextIv();
 }
 
 size_t ChunkStore::entry_hash_size() const {
@@ -91,7 +104,7 @@ crypto::Digest ChunkStore::EntryHash(Slice sealed) const {
 }
 
 ChunkStore::~ChunkStore() {
-  if (open_) Close().ok();
+  if (open_.load()) Close().ok();
 }
 
 Result<std::unique_ptr<ChunkStore>> ChunkStore::Open(
@@ -128,11 +141,12 @@ Result<std::unique_ptr<ChunkStore>> ChunkStore::Open(
   } else {
     return anchor.status();
   }
-  cs->open_ = true;
+  cs->open_.store(true);
   return cs;
 }
 
 Status ChunkStore::Bootstrap() {
+  std::unique_lock<std::mutex> lock(mu_);
   if (suite_.enabled()) {
     TDB_ASSIGN_OR_RETURN(counter_value_, counter_->Read());
   }
@@ -141,6 +155,7 @@ Status ChunkStore::Bootstrap() {
 }
 
 Status ChunkStore::Recover() {
+  std::unique_lock<std::mutex> lock(mu_);
   TDB_ASSIGN_OR_RETURN(AnchorState anchor, anchor_mgr_.Load());
 
   // Freshness floor: the hardware counter can never be behind the anchor.
@@ -154,7 +169,7 @@ Status ChunkStore::Recover() {
     counter_value_ = cv;
   }
 
-  next_chunk_id_ = anchor.next_chunk_id;
+  next_chunk_id_.store(anchor.next_chunk_id);
   seq_ = anchor.seq;
   has_root_ = anchor.has_root;
   root_loc_ = anchor.root_loc;
@@ -288,7 +303,10 @@ Status ChunkStore::Recover() {
     }
     // It may lag by exactly one: crash after the log sync but before the
     // increment. Resynchronize; anything further is impossible for an
-    // attacker without forging the MACed commit chain.
+    // attacker without forging the MACed commit chain. (A failed group
+    // flush re-seals the same counter target under the next seq, so
+    // consecutive durable manifests may carry EQUAL counter values — the
+    // hardware still never trails the last sealed value by two or more.)
     if (counter_value_ + 1 == last_counter) {
       TDB_ASSIGN_OR_RETURN(counter_value_, counter_->Increment());
     }
@@ -312,12 +330,12 @@ Status ChunkStore::Recover() {
       entry.loc = w.loc;
       entry.hash = w.hash;
       TDB_RETURN_IF_ERROR(map_.Put(w.cid, entry, loader).status());
-      next_chunk_id_ = std::max(next_chunk_id_, w.cid + 1);
+      AtomicMax(next_chunk_id_, w.cid + 1);
     }
     for (ChunkId cid : c.manifest.deallocs) {
       TDB_RETURN_IF_ERROR(map_.Remove(cid, loader).status());
     }
-    next_chunk_id_ = std::max(next_chunk_id_, c.manifest.next_chunk_id);
+    AtomicMax(next_chunk_id_, c.manifest.next_chunk_id);
     seq_ = c.manifest.seq;
     chain_mac_ = c.mac;
     tail_segment = c.end_segment;
@@ -354,18 +372,18 @@ Status ChunkStore::Recover() {
 
 Status ChunkStore::RebuildAccounting() {
   segments_.clear();
-  stats_.live_bytes = 0;
-  stats_.total_bytes = 0;
-  stats_.live_chunks = 0;
+  stats_.live_bytes.store(0);
+  stats_.total_bytes.store(0);
+  stats_.live_chunks.store(0);
   for (const std::string& name : store_->List()) {
     uint32_t id;
     if (!ParseSegmentName(name, &id)) continue;
     TDB_ASSIGN_OR_RETURN(uint64_t size, store_->Size(name));
     segments_[id].total = size;
-    stats_.total_bytes += size;
+    stats_.total_bytes.fetch_add(size);
   }
   if (!has_root_) {
-    stats_.segments = segments_.size();
+    stats_.segments.store(segments_.size());
     return Status::OK();
   }
   NodeLoader loader = MakeLoader();
@@ -380,11 +398,11 @@ Status ChunkStore::RebuildAccounting() {
             if (!entry.present) continue;
             AccountLive(entry.loc.segment,
                         kRecordHeaderSize + entry.loc.length);
-            stats_.live_chunks++;
+            stats_.live_chunks.fetch_add(1);
           }
         }
       }));
-  stats_.segments = segments_.size();
+  stats_.segments.store(segments_.size());
   return Status::OK();
 }
 
@@ -403,7 +421,7 @@ Status ChunkStore::OpenFreshSegment() {
   cur_offset_ = 0;
   tail_buf_ = EncodeSegmentHeader(cur_segment_);
   segments_[cur_segment_] = SegInfo{};
-  stats_.segments = segments_.size();
+  stats_.segments.store(segments_.size());
   return Status::OK();
 }
 
@@ -423,13 +441,13 @@ Result<Location> ChunkStore::Append(RecordType type, Slice payload) {
   AppendRecord(&tail_buf_, type, payload);
   switch (type) {
     case RecordType::kData:
-      stats_.data_bytes += record_size;
+      stats_.data_bytes.fetch_add(record_size);
       break;
     case RecordType::kMapNode:
-      stats_.map_bytes += record_size;
+      stats_.map_bytes.fetch_add(record_size);
       break;
     case RecordType::kCommit:
-      stats_.commit_bytes += record_size;
+      stats_.commit_bytes.fetch_add(record_size);
       break;
   }
   return loc;
@@ -440,8 +458,8 @@ Status ChunkStore::FlushTail() {
   const std::string name = SegmentName(cur_segment_);
   TDB_RETURN_IF_ERROR(store_->Write(name, cur_offset_, tail_buf_));
   segments_[cur_segment_].total += tail_buf_.size();
-  stats_.total_bytes += tail_buf_.size();
-  stats_.bytes_appended += tail_buf_.size();
+  stats_.total_bytes.fetch_add(tail_buf_.size());
+  stats_.bytes_appended.fetch_add(tail_buf_.size());
   cur_offset_ += tail_buf_.size();
   residual_bytes_ += tail_buf_.size();
   dirty_files_.insert(name);
@@ -449,11 +467,12 @@ Status ChunkStore::FlushTail() {
   return Status::OK();
 }
 
-Status ChunkStore::SyncDirtyFiles() {
+Status ChunkStore::SyncDirtyFilesLocked() {
   for (const std::string& name : dirty_files_) {
     TDB_RETURN_IF_ERROR(store_->Sync(name));
   }
   dirty_files_.clear();
+  stats_.log_syncs.fetch_add(1);
   return Status::OK();
 }
 
@@ -462,13 +481,26 @@ Status ChunkStore::SyncDirtyFiles() {
 
 Result<Buffer> ChunkStore::FetchRawRecord(const Location& loc,
                                           RecordType expected) {
+  const size_t record_size = kRecordHeaderSize + loc.length;
   Buffer bytes;
-  Status read = store_->Read(SegmentName(loc.segment), loc.offset,
-                             kRecordHeaderSize + loc.length, &bytes);
-  if (!read.ok()) {
-    return read.IsNotFound() || read.IsCorruption()
-               ? Status::TamperDetected("record missing: " + read.ToString())
-               : read;
+  if (loc.segment == cur_segment_ && loc.offset >= cur_offset_) {
+    // The record sits in the unflushed tail buffer — a buffered group
+    // commit read back before any flush. Records never straddle a flush
+    // boundary (FlushTail writes the whole buffer), so the bytes are
+    // either fully here or fully in the store.
+    const uint64_t start = loc.offset - cur_offset_;
+    if (start + record_size > tail_buf_.size()) {
+      return Status::TamperDetected("record does not match location map");
+    }
+    bytes = Slice(tail_buf_.data() + start, record_size).ToBuffer();
+  } else {
+    Status read = store_->Read(SegmentName(loc.segment), loc.offset,
+                               record_size, &bytes);
+    if (!read.ok()) {
+      return read.IsNotFound() || read.IsCorruption()
+                 ? Status::TamperDetected("record missing: " + read.ToString())
+                 : read;
+    }
   }
   RecordView view;
   Status parsed = ParseRecord(bytes, &view);
@@ -551,14 +583,18 @@ Result<std::shared_ptr<MapNode>> ChunkStore::LoadRoot(
 // Public operations
 
 Result<Buffer> ChunkStore::Read(ChunkId cid) {
-  if (!open_) return Status::InvalidArgument("chunk store not open");
+  if (!open_.load()) return Status::InvalidArgument("chunk store not open");
   // Cache entries hold already-validated plaintext of the chunk's last
   // committed state, so a hit skips the map walk, untrusted-store I/O,
-  // hash check, and decryption entirely.
-  if (const Buffer* hit = cache_.Get(cid)) {
-    stats_.cache_hits++;
-    return *hit;
+  // hash check, and decryption entirely — AND takes only the cache's own
+  // lock, never the commit mutex, so hot reads proceed while a commit
+  // (or group sync) is in flight.
+  Buffer hit;
+  if (cache_.Get(cid, &hit)) {
+    stats_.cache_hits.fetch_add(1);
+    return hit;
   }
+  std::lock_guard<std::mutex> lock(mu_);
   NodeLoader loader = MakeLoader();
   TDB_ASSIGN_OR_RETURN(std::optional<MapEntry> entry, map_.Get(cid, loader));
   if (!entry.has_value()) {
@@ -566,9 +602,8 @@ Result<Buffer> ChunkStore::Read(ChunkId cid) {
   }
   TDB_ASSIGN_OR_RETURN(Buffer plain, ReadDataAt(*entry));
   if (cache_.enabled()) {
-    stats_.cache_misses++;
+    stats_.cache_misses.fetch_add(1);
     cache_.Put(cid, plain);
-    SyncCacheStats();
   }
   return plain;
 }
@@ -586,7 +621,14 @@ Status ChunkStore::Deallocate(ChunkId cid, bool durable) {
 }
 
 Status ChunkStore::Commit(const WriteBatch& batch, bool durable) {
-  if (!open_) return Status::InvalidArgument("chunk store not open");
+  TDB_ASSIGN_OR_RETURN(CommitHandle handle, CommitBuffered(batch, durable));
+  return WaitDurable(handle);
+}
+
+// ---------------------------------------------------------------------------
+// Commit machinery
+
+Status ChunkStore::PrepareBatch(const WriteBatch& batch, PreparedBatch* out) {
   // Normalize: the last operation on a chunk id wins.
   std::unordered_map<ChunkId, const WriteBatch::Op*> last;
   std::vector<ChunkId> order;
@@ -594,96 +636,187 @@ Status ChunkStore::Commit(const WriteBatch& batch, bool durable) {
     if (op.cid == kInvalidChunkId) {
       return Status::InvalidArgument("invalid chunk id 0");
     }
-    if (last.insert({op.cid, &op}).second) {
+    auto [it, inserted] = last.insert({op.cid, &op});
+    if (inserted) {
       order.push_back(op.cid);
     } else {
-      last[op.cid] = &op;
+      it->second = &op;
     }
   }
   std::vector<const WriteBatch::Op*> write_ops;
-  std::vector<ChunkId> deallocs;
   for (ChunkId cid : order) {
     const WriteBatch::Op* op = last[cid];
     if (op->is_write) {
       write_ops.push_back(op);
-      stats_.sealed_bytes += op->data.size();
+      stats_.sealed_bytes.fetch_add(op->data.size());
     } else {
-      deallocs.push_back(cid);
+      out->deallocs.push_back(cid);
     }
   }
+  out->touched = std::move(order);
 
-  // Seal + hash the staged writes. Each write is independent, so with a
-  // pool available the CPU-bound crypto fans out: IVs are drawn serially
-  // in batch order (keeping the sealed bytes bit-identical to the serial
-  // path), then encryption and hashing run across the workers.
-  std::vector<StagedWrite> writes(write_ops.size());
+  // Seal + hash the staged writes — on the committer's own thread, outside
+  // the commit mutex, so concurrent committers overlap their crypto. Each
+  // write is independent; with a pool available and enough writes the
+  // CPU-bound work additionally fans out across the workers. IVs are drawn
+  // serially (the cipher suite's DRBG is the only serialized step), which
+  // keeps single-threaded sealing bit-identical to the serial path.
+  out->writes.resize(write_ops.size());
+  out->plains.resize(write_ops.size());
+  for (size_t i = 0; i < write_ops.size(); i++) {
+    out->plains[i] = &write_ops[i]->data;
+  }
   ThreadPool* pool = CryptoPool();
   if (pool != nullptr && suite_.enabled() &&
       write_ops.size() >= kParallelSealMinWrites) {
     std::vector<Buffer> ivs(write_ops.size());
-    for (size_t i = 0; i < write_ops.size(); i++) ivs[i] = suite_.NextIv();
+    for (size_t i = 0; i < write_ops.size(); i++) ivs[i] = NextIvSerial();
     pool->ParallelFor(write_ops.size(), [&](size_t i) {
-      writes[i].cid = write_ops[i]->cid;
-      writes[i].sealed = suite_.SealWithIv(write_ops[i]->data, ivs[i]);
-      writes[i].hash = EntryHash(writes[i].sealed);
+      out->writes[i].cid = write_ops[i]->cid;
+      out->writes[i].sealed = suite_.SealWithIv(write_ops[i]->data, ivs[i]);
+      out->writes[i].hash = EntryHash(out->writes[i].sealed);
     });
     for (const WriteBatch::Op* op : write_ops) {
-      stats_.parallel_sealed_bytes += op->data.size();
+      stats_.parallel_sealed_bytes.fetch_add(op->data.size());
     }
   } else {
     for (size_t i = 0; i < write_ops.size(); i++) {
-      writes[i].cid = write_ops[i]->cid;
-      writes[i].sealed = suite_.Seal(write_ops[i]->data);
-      writes[i].hash = EntryHash(writes[i].sealed);
+      out->writes[i].cid = write_ops[i]->cid;
+      out->writes[i].sealed = SealSerialIv(write_ops[i]->data);
+      out->writes[i].hash = EntryHash(out->writes[i].sealed);
     }
   }
-
-  Status committed = CommitInternal(writes, deallocs,
-                                    durable ? kCommitDurable : 0, nullptr);
-  if (cache_.enabled()) {
-    if (committed.ok()) {
-      // Write-through: the batch's plaintext is the chunks' new committed
-      // state, already in trusted memory — cache it without revalidation.
-      for (const WriteBatch::Op* op : write_ops) {
-        cache_.Put(op->cid, op->data);
-      }
-      for (ChunkId cid : deallocs) cache_.Erase(cid);
-    } else {
-      // A failed commit may have partially applied the in-memory map;
-      // drop every touched id so no stale plaintext can be served.
-      for (ChunkId cid : order) cache_.Erase(cid);
-    }
-    SyncCacheStats();
-  }
-  TDB_RETURN_IF_ERROR(committed);
-  TDB_RETURN_IF_ERROR(MaybeCheckpoint());
-  return MaybeClean();
+  return Status::OK();
 }
 
-Status ChunkStore::CommitInternal(const std::vector<StagedWrite>& writes,
-                                  const std::vector<ChunkId>& deallocs,
-                                  uint8_t flags,
-                                  const NodeWriteResult* new_root) {
+Status ChunkStore::BufferBatchLocked(const PreparedBatch& prep) {
+  // Applied-op journal for rollback: a failed batch must leave the open
+  // group exactly as it found it so groupmates are not poisoned.
+  struct AppliedOp {
+    bool was_write;
+    ChunkId cid;
+    std::optional<MapEntry> old_entry;
+  };
+  const size_t ops_start = group_ops_.size();
+  std::vector<AppliedOp> applied;
+  applied.reserve(prep.writes.size() + prep.deallocs.size());
+  NodeLoader loader = MakeLoader();
+  Status failed = Status::OK();
+
+  for (const StagedWrite& w : prep.writes) {
+    auto loc = Append(RecordType::kData, w.sealed);
+    if (!loc.ok()) {
+      failed = loc.status();
+      break;
+    }
+    MapEntry entry;
+    entry.present = true;
+    entry.loc = *loc;
+    entry.hash = w.hash;
+    auto old = map_.Put(w.cid, entry, loader);
+    if (!old.ok()) {
+      failed = old.status();
+      break;
+    }
+    group_ops_.push_back(PendingOp{true, w.cid, *loc, w.hash});
+    applied.push_back(AppliedOp{true, w.cid, *old});
+    AtomicMax(next_chunk_id_, w.cid + 1);
+    AccountLive(loc->segment, kRecordHeaderSize + loc->length);
+    if (old->has_value()) {
+      AccountLive((*old)->loc.segment,
+                  -static_cast<int64_t>(kRecordHeaderSize +
+                                        (*old)->loc.length));
+    } else {
+      stats_.live_chunks.fetch_add(1);
+    }
+  }
+  if (failed.ok()) {
+    for (ChunkId cid : prep.deallocs) {
+      auto old = map_.Remove(cid, loader);
+      if (!old.ok()) {
+        failed = old.status();
+        break;
+      }
+      group_ops_.push_back(PendingOp{false, cid, Location(), crypto::Digest()});
+      applied.push_back(AppliedOp{false, cid, *old});
+      if (old->has_value()) {
+        AccountLive((*old)->loc.segment,
+                    -static_cast<int64_t>(kRecordHeaderSize +
+                                          (*old)->loc.length));
+        stats_.live_chunks.fetch_sub(1);
+      }
+    }
+  }
+  if (failed.ok()) return Status::OK();
+
+  // Roll back this batch's partial application (reverse order). The data
+  // records it appended stay in the log as dead bytes — they are never
+  // referenced by a manifest. Rollback map I/O errors are best-effort: the
+  // original failure is what the caller must handle either way.
+  for (size_t i = applied.size(); i-- > 0;) {
+    const AppliedOp& a = applied[i];
+    const PendingOp& p = group_ops_[ops_start + i];
+    if (a.was_write) {
+      AccountLive(p.loc.segment,
+                  -static_cast<int64_t>(kRecordHeaderSize + p.loc.length));
+      if (a.old_entry.has_value()) {
+        map_.Put(a.cid, *a.old_entry, loader).status().ok();
+        AccountLive(a.old_entry->loc.segment,
+                    kRecordHeaderSize + a.old_entry->loc.length);
+      } else {
+        map_.Remove(a.cid, loader).status().ok();
+        stats_.live_chunks.fetch_sub(1);
+      }
+    } else if (a.old_entry.has_value()) {
+      map_.Put(a.cid, *a.old_entry, loader).status().ok();
+      AccountLive(a.old_entry->loc.segment,
+                  kRecordHeaderSize + a.old_entry->loc.length);
+      stats_.live_chunks.fetch_add(1);
+    }
+  }
+  group_ops_.resize(ops_start);
+  return failed;
+}
+
+Result<ChunkStore::SealResult> ChunkStore::SealGroupLocked(
+    uint8_t flags, const NodeWriteResult* new_root) {
   const bool durable = flags & kCommitDurable;
   CommitManifest manifest;
   manifest.seq = seq_ + 1;
   manifest.flags = flags;
   // A durable commit seals the counter value it is ABOUT to establish; the
-  // hardware counter is bumped only after the log write succeeds, so
+  // hardware counter is bumped only after the log write + sync succeed, so
   // failed commit attempts never advance it. Recovery compares the last
   // durable commit's sealed value with the hardware counter to detect
   // replayed or truncated logs (§3).
   const bool bump_counter = durable && suite_.enabled();
   manifest.counter = counter_value_ + (bump_counter ? 1 : 0);
   manifest.prev_mac = chain_mac_;
-  manifest.deallocs = deallocs;
 
-  for (const StagedWrite& w : writes) {
-    TDB_ASSIGN_OR_RETURN(Location loc, Append(RecordType::kData, w.sealed));
-    manifest.writes.push_back(ManifestWrite{w.cid, loc, w.hash});
-    next_chunk_id_ = std::max(next_chunk_id_, w.cid + 1);
+  // Merge the buffered group into ONE manifest: the last operation on a
+  // chunk id wins across ALL buffered batches, so a write followed by a
+  // groupmate's deallocate (or overwrite) cannot resurrect at recovery.
+  {
+    std::unordered_map<ChunkId, size_t> last;
+    std::vector<ChunkId> order;
+    for (size_t i = 0; i < group_ops_.size(); i++) {
+      auto [it, inserted] = last.insert({group_ops_[i].cid, i});
+      if (inserted) {
+        order.push_back(group_ops_[i].cid);
+      } else {
+        it->second = i;
+      }
+    }
+    for (ChunkId cid : order) {
+      const PendingOp& op = group_ops_[last[cid]];
+      if (op.is_write) {
+        manifest.writes.push_back(ManifestWrite{op.cid, op.loc, op.hash});
+      } else {
+        manifest.deallocs.push_back(op.cid);
+      }
+    }
   }
-  manifest.next_chunk_id = next_chunk_id_;
+  manifest.next_chunk_id = next_chunk_id_.load();
   if (new_root != nullptr) {
     manifest.has_root = true;
     manifest.root_loc = new_root->loc;
@@ -692,81 +825,290 @@ Status ChunkStore::CommitInternal(const std::vector<StagedWrite>& writes,
 
   Buffer encoded =
       EncodeManifest(manifest, suite_.hash_size(), entry_hash_size());
-  Buffer sealed_manifest = suite_.Seal(encoded);
+  Buffer sealed_manifest = SealSerialIv(encoded);
   crypto::Digest mac = suite_.Mac(sealed_manifest);
   Buffer commit_payload = sealed_manifest;
   PutDigest(&commit_payload, mac);
   TDB_RETURN_IF_ERROR(Append(RecordType::kCommit, commit_payload).status());
   TDB_RETURN_IF_ERROR(FlushTail());
 
-  if (durable) {
-    TDB_RETURN_IF_ERROR(SyncDirtyFiles());
-    if (bump_counter) {
-      TDB_ASSIGN_OR_RETURN(uint64_t cv, counter_->Increment());
-      TDB_CHECK(cv >= manifest.counter,
-                "one-way counter regressed during commit");
-      counter_value_ = manifest.counter;
-    }
-  }
-
-  // Apply to the in-memory map and space accounting.
-  NodeLoader loader = MakeLoader();
-  for (const ManifestWrite& w : manifest.writes) {
-    MapEntry entry;
-    entry.present = true;
-    entry.loc = w.loc;
-    entry.hash = w.hash;
-    TDB_ASSIGN_OR_RETURN(std::optional<MapEntry> old,
-                         map_.Put(w.cid, entry, loader));
-    AccountLive(w.loc.segment, kRecordHeaderSize + w.loc.length);
-    if (old.has_value()) {
-      AccountLive(old->loc.segment,
-                  -static_cast<int64_t>(kRecordHeaderSize + old->loc.length));
-    } else {
-      stats_.live_chunks++;
-    }
-  }
-  for (ChunkId cid : manifest.deallocs) {
-    TDB_ASSIGN_OR_RETURN(std::optional<MapEntry> old,
-                         map_.Remove(cid, loader));
-    if (old.has_value()) {
-      AccountLive(old->loc.segment,
-                  -static_cast<int64_t>(kRecordHeaderSize + old->loc.length));
-      stats_.live_chunks--;
-    }
-  }
-
   seq_ = manifest.seq;
   chain_mac_ = mac;
-  stats_.commits++;
+  stats_.commits.fetch_add(1);
+  group_ops_.clear();
 
-  if (new_root != nullptr) {
-    has_root_ = true;
-    root_loc_ = new_root->loc;
-    root_hash_ = new_root->hash;
-    ckpt_mac_ = mac;
-    scan_segment_ = cur_segment_;
-    scan_offset_ = static_cast<uint32_t>(cur_offset_);
-    residual_bytes_ = 0;
-  }
-  if (new_root != nullptr) {
-    // The anchor is rewritten only at checkpoints; between checkpoints the
-    // commit records themselves carry the authenticated counter, so a
-    // durable commit costs exactly one sequential log write (+ sync).
-    TDB_RETURN_IF_ERROR(WriteAnchor());
-  }
-  if (durable) {
-    stats_.durable_commits++;
-    TDB_RETURN_IF_ERROR(FreePendingSegments());
+  SealResult res;
+  res.counter_target = manifest.counter;
+  res.bump_counter = bump_counter;
+  res.mac = mac;
+  return res;
+}
+
+Status ChunkStore::FinishDurableLocked(const SealResult& seal) {
+  TDB_RETURN_IF_ERROR(SyncDirtyFilesLocked());
+  if (seal.bump_counter) {
+    TDB_ASSIGN_OR_RETURN(uint64_t cv, counter_->Increment());
+    stats_.counter_bumps.fetch_add(1);
+    TDB_CHECK(cv >= seal.counter_target,
+              "one-way counter regressed during commit");
+    counter_value_ = seal.counter_target;
   }
   return Status::OK();
+}
+
+void ChunkStore::CompleteTicketsLocked(
+    std::vector<std::shared_ptr<internal::CommitTicket>>* tickets,
+    const Status& status) {
+  for (auto& ticket : *tickets) {
+    ticket->result = status;
+    ticket->done = true;
+  }
+  tickets->clear();
+  group_cv_.notify_all();
+}
+
+void ChunkStore::AwaitGroupIdleLocked(std::unique_lock<std::mutex>& lock) {
+  while (group_flushing_) group_cv_.wait(lock);
+}
+
+Status ChunkStore::CommitGroupDurableLocked(uint8_t flags,
+                                            const NodeWriteResult* new_root) {
+  std::vector<std::shared_ptr<internal::CommitTicket>> tickets =
+      std::move(group_tickets_);
+  group_tickets_.clear();
+
+  Status result = Status::OK();
+  auto seal = SealGroupLocked(flags, new_root);
+  if (!seal.ok()) {
+    result = seal.status();
+  } else {
+    result = FinishDurableLocked(*seal);
+    if (result.ok() && new_root != nullptr) {
+      has_root_ = true;
+      root_loc_ = new_root->loc;
+      root_hash_ = new_root->hash;
+      ckpt_mac_ = seal->mac;
+      scan_segment_ = cur_segment_;
+      scan_offset_ = static_cast<uint32_t>(cur_offset_);
+      residual_bytes_ = 0;
+      // The anchor is rewritten only at checkpoints; between checkpoints
+      // the commit records themselves carry the authenticated counter, so
+      // a durable commit costs exactly one sequential log write (+ sync).
+      result = WriteAnchor();
+    }
+    if (result.ok()) {
+      // One ack for this (internal or serialized) commit plus one for
+      // every absorbed group committer.
+      stats_.durable_commits.fetch_add(1 + tickets.size());
+      if (!tickets.empty()) {
+        stats_.commit_groups.fetch_add(1);
+        stats_.grouped_commits.fetch_add(tickets.size());
+        AtomicMax(stats_.max_commits_per_group, tickets.size());
+      }
+      result = FreePendingSegments();
+    }
+  }
+  CompleteTicketsLocked(&tickets, result);
+  return result;
+}
+
+Status ChunkStore::LeadGroupFlushLocked(std::unique_lock<std::mutex>& lock) {
+  // Leader election happened in WaitDurable: group_flushing_ was false and
+  // we hold mu_. Claim leadership first, then optionally sit in the
+  // accumulation window so concurrent committers can buffer into this
+  // group before it seals; tickets are only moved out afterwards, so a
+  // commit that lands during the window rides this flush.
+  group_flushing_ = true;
+  if (options_.group_commit_window_us > 0) {
+    const uint32_t target = options_.group_commit_target_commits;
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::microseconds(options_.group_commit_window_us);
+    // CommitBuffered notifies group_cv_ on each enqueue while a leader is
+    // waiting, so the early-seal target is checked promptly; otherwise the
+    // wait simply expires at the deadline.
+    while (!(target > 0 && group_tickets_.size() >= target) &&
+           std::chrono::steady_clock::now() < deadline) {
+      group_cv_.wait_until(lock, deadline);
+    }
+  }
+  std::vector<std::shared_ptr<internal::CommitTicket>> tickets =
+      std::move(group_tickets_);
+  group_tickets_.clear();
+
+  auto seal = SealGroupLocked(kCommitDurable, nullptr);
+  if (!seal.ok()) {
+    group_flushing_ = false;
+    CompleteTicketsLocked(&tickets, seal.status());
+    return seal.status();
+  }
+  // Snapshot the dirty-file set under the lock, then run the expensive
+  // Sync + counter bump OUTSIDE it: followers keep sealing and buffering
+  // (and cache-miss readers keep reading) while the flush I/O is in
+  // flight. Only one flush runs at a time (group_flushing_), and locked
+  // durable paths await idleness, so the counter bump cannot interleave.
+  std::set<std::string> to_sync = std::move(dirty_files_);
+  dirty_files_.clear();
+  lock.unlock();
+
+  Status result = Status::OK();
+  for (const std::string& name : to_sync) {
+    Status s = store_->Sync(name);
+    if (!s.ok()) {
+      result = s;
+      break;
+    }
+  }
+  if (result.ok()) stats_.log_syncs.fetch_add(1);
+  if (result.ok() && seal->bump_counter) {
+    auto cv = counter_->Increment();
+    if (cv.ok()) {
+      stats_.counter_bumps.fetch_add(1);
+      TDB_CHECK(*cv >= seal->counter_target,
+                "one-way counter regressed during commit");
+    } else {
+      result = cv.status();
+    }
+  }
+
+  lock.lock();
+  if (!result.ok()) {
+    // Failed flush: files stay dirty for the next attempt, the counter
+    // target is re-sealed by the next group (counter_value_ unchanged),
+    // and the WHOLE group fails — durability is never acked without a
+    // covering sync + bump.
+    dirty_files_.insert(to_sync.begin(), to_sync.end());
+  } else {
+    if (seal->bump_counter) counter_value_ = seal->counter_target;
+    const uint64_t n = tickets.size();
+    stats_.durable_commits.fetch_add(n);
+    stats_.grouped_commits.fetch_add(n);
+    stats_.commit_groups.fetch_add(1);
+    AtomicMax(stats_.max_commits_per_group, n);
+    result = FreePendingSegments();
+  }
+  group_flushing_ = false;
+  CompleteTicketsLocked(&tickets, result);
+  return result;
+}
+
+Result<CommitHandle> ChunkStore::CommitBuffered(const WriteBatch& batch,
+                                                bool durable) {
+  if (!open_.load()) return Status::InvalidArgument("chunk store not open");
+  PreparedBatch prep;
+  TDB_RETURN_IF_ERROR(PrepareBatch(batch, &prep));
+
+  CommitHandle handle;
+  handle.ticket_ = std::make_shared<internal::CommitTicket>();
+
+  std::unique_lock<std::mutex> lock(mu_);
+  Status buffered = BufferBatchLocked(prep);
+  if (!buffered.ok()) {
+    // The failed batch was rolled back, but drop its ids from the cache
+    // anyway so no stale plaintext can outlive a partial rollback.
+    for (ChunkId cid : prep.touched) cache_.Erase(cid);
+    return buffered;
+  }
+  // Write-through: the batch's plaintext is the chunks' new committed
+  // state, already in trusted memory — cache it without revalidation.
+  if (cache_.enabled()) {
+    for (size_t i = 0; i < prep.writes.size(); i++) {
+      cache_.Put(prep.writes[i].cid, *prep.plains[i]);
+    }
+    for (ChunkId cid : prep.deallocs) cache_.Erase(cid);
+  }
+
+  if (options_.group_commit) {
+    if (durable) {
+      // Join the open group; WaitDurable elects the leader that flushes it.
+      group_tickets_.push_back(handle.ticket_);
+      // A leader may be sitting in its accumulation window — wake it so
+      // the early-seal target is re-checked with this ticket counted.
+      if (group_flushing_) group_cv_.notify_all();
+    } else {
+      // Applied and buffered; durability rides on the next group flush.
+      // (A crash before that flush discards it — exactly the paper's
+      // nondurable-commit contract, §3.1.)
+      handle.ticket_->done = true;
+    }
+    return handle;
+  }
+
+  // Serialized mode (group_commit off): seal this batch's own manifest
+  // immediately — byte-identical log output to the pre-group-commit store.
+  Status result;
+  if (durable) {
+    AwaitGroupIdleLocked(lock);  // No-op in this mode; defensive.
+    result = CommitGroupDurableLocked(kCommitDurable, nullptr);
+  } else {
+    result = SealGroupLocked(durable ? kCommitDurable : 0, nullptr).status();
+  }
+  if (!result.ok()) {
+    for (ChunkId cid : prep.touched) cache_.Erase(cid);
+    return result;
+  }
+  handle.ticket_->done = true;
+  return handle;
+}
+
+Status ChunkStore::WaitDurable(CommitHandle& handle) {
+  if (!handle.valid()) {
+    return Status::InvalidArgument("invalid commit handle");
+  }
+  std::shared_ptr<internal::CommitTicket> ticket = handle.ticket_;
+  Status result;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!ticket->done) {
+      if (!group_flushing_) {
+        // First pending waiter becomes the leader and flushes the whole
+        // group (its own ticket included).
+        LeadGroupFlushLocked(lock);
+      } else {
+        group_cv_.wait(lock);
+      }
+    }
+    result = ticket->result;
+  }
+  if (!result.ok()) return result;
+  // Deferred maintenance (auto-checkpoint, cleaning) runs after the ack,
+  // outside any caller-held locks — e.g. the object store has already
+  // released its transaction locks by now.
+  return RunMaintenance();
+}
+
+Status ChunkStore::RunMaintenance() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!open_.load() || in_maintenance_) return Status::OK();
+  // Bail before serializing against the group when nothing is owed: a
+  // committer that just got acked may be the very one the next leader's
+  // accumulation window is waiting for, and queueing it behind the window
+  // here would starve group formation.
+  if (!MaintenanceDueLocked()) return Status::OK();
+  AwaitGroupIdleLocked(lock);
+  TDB_RETURN_IF_ERROR(MaybeCheckpointLocked());
+  return MaybeCleanLocked();
+}
+
+bool ChunkStore::MaintenanceDueLocked() {
+  if (residual_bytes_ >= options_.checkpoint_interval_bytes) return true;
+  if (ActiveSnapshots() > 0 || options_.max_clean_segments_per_commit <= 0) {
+    return false;
+  }
+  // Same utilization trigger as MaybeCleanLocked (which re-checks after
+  // the group goes idle; this is only an early out).
+  const uint64_t target = std::max<uint64_t>(
+      static_cast<uint64_t>(stats_.live_bytes.load() /
+                            options_.max_utilization),
+      2 * static_cast<uint64_t>(options_.segment_size));
+  return stats_.total_bytes.load() > target + options_.segment_size;
 }
 
 Status ChunkStore::WriteAnchor() {
   AnchorState state;
   state.counter = counter_value_;
   state.seq = seq_;
-  state.next_chunk_id = next_chunk_id_;
+  state.next_chunk_id = next_chunk_id_.load();
   state.has_root = has_root_;
   state.root_loc = root_loc_;
   state.root_hash = root_hash_;
@@ -777,13 +1119,15 @@ Status ChunkStore::WriteAnchor() {
 }
 
 Status ChunkStore::Checkpoint() {
-  if (!open_) return Status::InvalidArgument("chunk store not open");
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!open_.load()) return Status::InvalidArgument("chunk store not open");
+  AwaitGroupIdleLocked(lock);
   return CheckpointLocked();
 }
 
 Status ChunkStore::CheckpointLocked() {
   NodeWriter writer = [this](Slice bytes) -> Result<NodeWriteResult> {
-    Buffer sealed = suite_.Seal(bytes);
+    Buffer sealed = SealSerialIv(bytes);
     TDB_ASSIGN_OR_RETURN(Location loc, Append(RecordType::kMapNode, sealed));
     NodeWriteResult res;
     res.loc = loc;
@@ -797,21 +1141,53 @@ Status ChunkStore::CheckpointLocked() {
   };
   TDB_ASSIGN_OR_RETURN(NodeWriteResult root,
                        map_.WriteDirty(writer, obsolete));
-  TDB_RETURN_IF_ERROR(CommitInternal({}, {},
-                                     kCommitDurable | kCommitCheckpoint,
-                                     &root));
-  stats_.checkpoints++;
+  // The checkpoint's manifest absorbs any buffered group commits (their
+  // ops merge into it) and completes their pending durability tickets.
+  TDB_RETURN_IF_ERROR(
+      CommitGroupDurableLocked(kCommitDurable | kCommitCheckpoint, &root));
+  stats_.checkpoints.fetch_add(1);
   return Status::OK();
 }
 
-Status ChunkStore::MaybeCheckpoint() {
+Status ChunkStore::MaybeCheckpointLocked() {
   if (residual_bytes_ < options_.checkpoint_interval_bytes) {
     return Status::OK();
   }
   return CheckpointLocked();
 }
 
+ChunkStoreStats ChunkStore::Stats() const {
+  ChunkStoreStats s;
+  s.live_bytes = stats_.live_bytes.load();
+  s.total_bytes = stats_.total_bytes.load();
+  s.segments = stats_.segments.load();
+  s.live_chunks = stats_.live_chunks.load();
+  s.commits = stats_.commits.load();
+  s.durable_commits = stats_.durable_commits.load();
+  s.checkpoints = stats_.checkpoints.load();
+  s.cleaned_segments = stats_.cleaned_segments.load();
+  s.relocated_records = stats_.relocated_records.load();
+  s.relocated_bytes = stats_.relocated_bytes.load();
+  s.bytes_appended = stats_.bytes_appended.load();
+  s.data_bytes = stats_.data_bytes.load();
+  s.map_bytes = stats_.map_bytes.load();
+  s.commit_bytes = stats_.commit_bytes.load();
+  s.cache_hits = stats_.cache_hits.load();
+  s.cache_misses = stats_.cache_misses.load();
+  s.cache_evictions = cache_.evictions();
+  s.cache_bytes_used = cache_.size_bytes();
+  s.sealed_bytes = stats_.sealed_bytes.load();
+  s.parallel_sealed_bytes = stats_.parallel_sealed_bytes.load();
+  s.commit_groups = stats_.commit_groups.load();
+  s.grouped_commits = stats_.grouped_commits.load();
+  s.max_commits_per_group = stats_.max_commits_per_group.load();
+  s.log_syncs = stats_.log_syncs.load();
+  s.counter_bumps = stats_.counter_bumps.load();
+  return s;
+}
+
 void ChunkStore::DumpSegmentCensus() const {
+  std::lock_guard<std::mutex> lock(mu_);
   uint64_t n_resid = 0, resid_total = 0, resid_live = 0;
   uint64_t n_map = 0, map_total = 0, map_live = 0;
   uint64_t n_dense = 0, dense_total = 0, dense_live = 0;
@@ -842,9 +1218,11 @@ void ChunkStore::DumpSegmentCensus() const {
 }
 
 Status ChunkStore::Close() {
-  if (!open_) return Status::OK();
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!open_.load()) return Status::OK();
+  AwaitGroupIdleLocked(lock);
   Status s = CheckpointLocked();
-  open_ = false;
+  open_.store(false);
   return s;
 }
 
@@ -858,8 +1236,9 @@ void ChunkStore::AccountLive(uint32_t segment, int64_t delta, bool is_map) {
     info.live_map =
         static_cast<uint64_t>(static_cast<int64_t>(info.live_map) + delta);
   }
-  stats_.live_bytes =
-      static_cast<uint64_t>(static_cast<int64_t>(stats_.live_bytes) + delta);
+  // Two's-complement wraparound makes fetch_add with a negative delta
+  // correct for unsigned atomics.
+  stats_.live_bytes.fetch_add(static_cast<uint64_t>(delta));
 }
 
 size_t ChunkStore::ActiveSnapshots() {
@@ -898,7 +1277,7 @@ std::vector<uint32_t> ChunkStore::CleanCandidates(uint64_t target,
   }
   std::sort(candidates.begin(), candidates.end());
   std::vector<uint32_t> victims;
-  uint64_t projected = stats_.total_bytes;
+  uint64_t projected = stats_.total_bytes.load();
   for (const auto& [live, id] : candidates) {
     if (static_cast<int>(victims.size()) >= max_segments) break;
     if (target != 0 && projected <= target) break;
@@ -980,15 +1359,16 @@ Result<bool> ChunkStore::DirtyMapNodesIn(const std::set<uint32_t>& victims) {
   return mark(map_.root());
 }
 
-Status ChunkStore::MaybeClean() {
+Status ChunkStore::MaybeCleanLocked() {
   if (in_maintenance_ || ActiveSnapshots() > 0 ||
       options_.max_clean_segments_per_commit <= 0) {
     return Status::OK();
   }
   const uint64_t target = std::max<uint64_t>(
-      static_cast<uint64_t>(stats_.live_bytes / options_.max_utilization),
+      static_cast<uint64_t>(stats_.live_bytes.load() /
+                            options_.max_utilization),
       2 * static_cast<uint64_t>(options_.segment_size));
-  if (stats_.total_bytes <= target + options_.segment_size) {
+  if (stats_.total_bytes.load() <= target + options_.segment_size) {
     return Status::OK();
   }
   std::vector<uint32_t> victims =
@@ -1005,10 +1385,12 @@ Status ChunkStore::MaybeClean() {
 }
 
 Status ChunkStore::Clean(int max_segments) {
-  if (!open_) return Status::InvalidArgument("chunk store not open");
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!open_.load()) return Status::InvalidArgument("chunk store not open");
   if (in_maintenance_ || ActiveSnapshots() > 0 || max_segments <= 0) {
     return Status::OK();
   }
+  AwaitGroupIdleLocked(lock);
   std::vector<uint32_t> victims = CleanCandidates(0, max_segments);
   if (victims.empty()) {
     in_maintenance_ = true;
@@ -1027,7 +1409,7 @@ Status ChunkStore::CleanSegments(const std::vector<uint32_t>& victims) {
   NodeLoader loader = MakeLoader();
 
   // Relocate live data records out of the victims (sealed bytes move
-  // verbatim; hashes are unchanged).
+  // verbatim; hashes are unchanged, so cached plaintext stays valid).
   std::vector<std::pair<ChunkId, MapEntry>> to_move;
   Status walk = map_.ForEach(
       map_.root(), loader,
@@ -1042,39 +1424,39 @@ Status ChunkStore::CleanSegments(const std::vector<uint32_t>& victims) {
     return walk;
   }
   Status status = Status::OK();
-  if (!to_move.empty()) {
-    std::vector<StagedWrite> relocations;
-    relocations.reserve(to_move.size());
-    for (const auto& [cid, entry] : to_move) {
-      auto raw = ReadRawRecord(entry.loc, RecordType::kData, entry.hash);
-      if (!raw.ok()) {
-        status = raw.status();
-        break;
-      }
-      StagedWrite staged;
-      staged.cid = cid;
-      staged.sealed = std::move(raw).value();
-      staged.hash = entry.hash;
-      relocations.push_back(std::move(staged));
-      stats_.relocated_records++;
-      stats_.relocated_bytes += entry.loc.length;
+  PreparedBatch relocations;
+  for (const auto& [cid, entry] : to_move) {
+    auto raw = ReadRawRecord(entry.loc, RecordType::kData, entry.hash);
+    if (!raw.ok()) {
+      status = raw.status();
+      break;
     }
-    if (status.ok()) {
-      // The relocation commit is durable so the victims become
-      // reclaimable right away (the §3.2.2 rule) without forcing a map
-      // checkpoint — victims never contain live map nodes.
-      status = CommitInternal(relocations, {},
-                              kCommitClean | kCommitDurable, nullptr);
-    }
-  } else {
-    // Victims hold no live data at all; a durable no-op commit satisfies
-    // the reclamation rule.
-    status = CommitInternal({}, {}, kCommitClean | kCommitDurable, nullptr);
+    StagedWrite staged;
+    staged.cid = cid;
+    staged.sealed = std::move(raw).value();
+    staged.hash = entry.hash;
+    relocations.writes.push_back(std::move(staged));
+    stats_.relocated_records.fetch_add(1);
+    stats_.relocated_bytes.fetch_add(entry.loc.length);
+  }
+  if (status.ok() && !relocations.writes.empty()) {
+    // Buffer the relocations into the open group: victim segments are all
+    // behind the scan position, so a chunk rewritten by a buffered commit
+    // can never also be a relocation candidate (its entry already points
+    // at the tail region).
+    status = BufferBatchLocked(relocations);
+  }
+  if (status.ok()) {
+    // The relocation commit is durable so the victims become reclaimable
+    // right away (the §3.2.2 rule) without forcing a map checkpoint —
+    // victims never contain live map nodes. It merges with (and acks) any
+    // buffered group commits.
+    status = CommitGroupDurableLocked(kCommitClean | kCommitDurable, nullptr);
   }
   if (status.ok()) {
     for (uint32_t id : victims) pending_free_.push_back(id);
     status = FreePendingSegments();
-    stats_.cleaned_segments += victims.size();
+    stats_.cleaned_segments.fetch_add(victims.size());
   }
   in_maintenance_ = false;
   return status;
@@ -1091,16 +1473,17 @@ Status ChunkStore::FreePendingSegments() {
       continue;
     }
     TDB_RETURN_IF_ERROR(store_->Remove(SegmentName(id)));
-    stats_.total_bytes -= it->second.total;
+    stats_.total_bytes.fetch_sub(it->second.total);
     segments_.erase(it);
   }
   pending_free_ = std::move(keep);
-  stats_.segments = segments_.size();
+  stats_.segments.store(segments_.size());
   return Status::OK();
 }
 
 Status ChunkStore::VerifyIntegrity(uint64_t* chunks_checked) {
-  if (!open_) return Status::InvalidArgument("chunk store not open");
+  if (!open_.load()) return Status::InvalidArgument("chunk store not open");
+  std::lock_guard<std::mutex> lock(mu_);
   uint64_t checked = 0;
   NodeLoader loader = MakeLoader();
   ThreadPool* pool = CryptoPool();
@@ -1177,9 +1560,12 @@ Status ChunkStore::VerifyIntegrity(uint64_t* chunks_checked) {
 // Snapshots
 
 Result<std::shared_ptr<Snapshot>> ChunkStore::CreateSnapshot() {
-  if (!open_) return Status::InvalidArgument("chunk store not open");
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!open_.load()) return Status::InvalidArgument("chunk store not open");
+  AwaitGroupIdleLocked(lock);
   // Checkpoint first so the snapshot tree is fully persisted (cheap
-  // incremental diffs need the hashes) and the root is anchored.
+  // incremental diffs need the hashes) and the root is anchored. This
+  // also absorbs and acks any buffered group commits.
   TDB_RETURN_IF_ERROR(CheckpointLocked());
   auto snap = std::make_shared<Snapshot>();
   snap->root_ = map_.root();
@@ -1189,7 +1575,8 @@ Result<std::shared_ptr<Snapshot>> ChunkStore::CreateSnapshot() {
 }
 
 Result<Buffer> ChunkStore::ReadAtSnapshot(const Snapshot& snap, ChunkId cid) {
-  if (!open_) return Status::InvalidArgument("chunk store not open");
+  if (!open_.load()) return Status::InvalidArgument("chunk store not open");
+  std::lock_guard<std::mutex> lock(mu_);
   NodeLoader loader = MakeLoader();
   TDB_ASSIGN_OR_RETURN(std::optional<MapEntry> entry,
                        map_.GetAt(snap.root_, cid, loader));
@@ -1202,14 +1589,16 @@ Result<Buffer> ChunkStore::ReadAtSnapshot(const Snapshot& snap, ChunkId cid) {
 Status ChunkStore::ForEachChunkAt(
     const Snapshot& snap,
     const std::function<Status(ChunkId, const MapEntry&)>& fn) {
-  if (!open_) return Status::InvalidArgument("chunk store not open");
+  if (!open_.load()) return Status::InvalidArgument("chunk store not open");
+  std::lock_guard<std::mutex> lock(mu_);
   return map_.ForEach(snap.root_, MakeLoader(), fn);
 }
 
 Status ChunkStore::DiffSnapshots(
     const Snapshot& base, const Snapshot& delta,
     const std::function<Status(ChunkId, DiffKind, const MapEntry&)>& fn) {
-  if (!open_) return Status::InvalidArgument("chunk store not open");
+  if (!open_.load()) return Status::InvalidArgument("chunk store not open");
+  std::lock_guard<std::mutex> lock(mu_);
   return map_.Diff(base.root_, delta.root_, MakeLoader(), fn);
 }
 

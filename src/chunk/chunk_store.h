@@ -1,8 +1,11 @@
 #ifndef TDB_CHUNK_CHUNK_STORE_H_
 #define TDB_CHUNK_CHUNK_STORE_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
@@ -68,16 +71,53 @@ struct ChunkStoreOptions {
   /// Sealed output is bit-identical regardless of thread count: IVs are
   /// drawn serially in submission order, then encryption fans out.
   int crypto_threads = 4;
+
+  /// Group commit (§5/§7 cost model: the per-commit Sync and one-way
+  /// counter bump bound durable-commit throughput). When true, commits are
+  /// buffered into an open group: nondurable commits append their data
+  /// records and apply to the in-memory map without writing a commit
+  /// record; the next durable commit (or checkpoint/clean) seals the whole
+  /// group under ONE merged manifest — one log write, one MAC, one chain
+  /// link — and a leader performs ONE Sync and ONE counter bump for every
+  /// durable committer waiting on the group. Concurrent durable committers
+  /// therefore amortize the sync + counter cost; each still gets its own
+  /// per-batch Status and is acked only after the covering sync + bump
+  /// (paper §4.1 semantics). When false (default), every commit seals its
+  /// own manifest and durable commits sync individually — the serialized
+  /// pre-group behavior, byte-identical on disk.
+  bool group_commit = false;
+
+  /// Leader accumulation window, microseconds (group_commit only). A
+  /// durable committer that elects itself group leader first waits up to
+  /// this long — releasing the store mutex — so concurrent committers can
+  /// buffer into its group before it seals. This is the classic
+  /// group-commit delay (cf. MySQL binlog_group_commit_sync_delay,
+  /// PostgreSQL commit_delay): without it, on a fast device each flush
+  /// finishes before the next committer arrives, every commit leads a
+  /// solo group, and nothing is amortized. 0 (default) seals immediately.
+  /// Single-committer latency grows by up to the window when nonzero, so
+  /// pair it with group_commit_target_commits sized to the expected
+  /// concurrency.
+  uint32_t group_commit_window_us = 0;
+
+  /// Seal early once this many commits (the leader's own included) have
+  /// buffered into the group, without waiting out the rest of the window
+  /// (cf. MySQL binlog_group_commit_sync_no_delay_count). 0 means always
+  /// wait the full window. Ignored when group_commit_window_us is 0.
+  uint32_t group_commit_target_commits = 0;
 };
 
 /// Counters exposed for tests, benchmarks, and the utilization experiment.
+/// Returned by value from ChunkStore::Stats() as a coherent-enough
+/// snapshot of the store's internal atomic counters (individual fields are
+/// exact; cross-field invariants may be mid-update under concurrency).
 struct ChunkStoreStats {
   uint64_t live_bytes = 0;      // Bytes of live records (data + map).
   uint64_t total_bytes = 0;     // Bytes across all segment files.
   uint64_t segments = 0;
   uint64_t live_chunks = 0;
-  uint64_t commits = 0;
-  uint64_t durable_commits = 0;
+  uint64_t commits = 0;         // Sealed commit manifests (log truth).
+  uint64_t durable_commits = 0; // Acked durable commits (incl. internal).
   uint64_t checkpoints = 0;
   uint64_t cleaned_segments = 0;
   uint64_t relocated_records = 0;
@@ -95,9 +135,32 @@ struct ChunkStoreStats {
   // Commit-path crypto pipeline.
   uint64_t sealed_bytes = 0;           // Plaintext bytes sealed by commits.
   uint64_t parallel_sealed_bytes = 0;  // Subset sealed via the worker pool.
+  // Group commit (only moves when options.group_commit is true, except
+  // log_syncs / counter_bumps which count in both modes).
+  uint64_t commit_groups = 0;          // Durable group flushes led.
+  uint64_t grouped_commits = 0;        // Durable commits that shared a flush.
+  uint64_t max_commits_per_group = 0;  // Largest single group flush.
+  uint64_t log_syncs = 0;              // Sync rounds issued to the store.
+  uint64_t counter_bumps = 0;          // One-way counter increments.
+
   double utilization() const {
     return total_bytes == 0 ? 0.0
                             : static_cast<double>(live_bytes) / total_bytes;
+  }
+  /// Mean durable commits acked per sync round (1.0 without grouping).
+  double commits_per_sync() const {
+    return log_syncs == 0
+               ? 0.0
+               : static_cast<double>(durable_commits) / log_syncs;
+  }
+  /// Syncs (and, with security enabled, counter bumps) amortized away
+  /// relative to the one-sync-per-durable-commit baseline.
+  uint64_t syncs_saved() const {
+    return durable_commits > log_syncs ? durable_commits - log_syncs : 0;
+  }
+  uint64_t counter_bumps_saved() const {
+    return durable_commits > counter_bumps ? durable_commits - counter_bumps
+                                           : 0;
   }
 };
 
@@ -121,6 +184,32 @@ class WriteBatch {
     Buffer data;
   };
   std::vector<Op> ops_;
+};
+
+namespace internal {
+
+/// Completion state of one buffered durable commit; the "per-group future"
+/// a committer blocks on. Guarded by the owning store's commit mutex.
+struct CommitTicket {
+  bool done = false;
+  Status result;
+};
+
+}  // namespace internal
+
+/// Handle returned by ChunkStore::CommitBuffered. For a durable commit in
+/// group mode it is the pending durability future; otherwise it is already
+/// complete. Pass to ChunkStore::WaitDurable to obtain the final Status
+/// (and run deferred maintenance). Movable and copyable; all copies share
+/// the same completion state.
+class CommitHandle {
+ public:
+  CommitHandle() = default;
+  bool valid() const { return ticket_ != nullptr; }
+
+ private:
+  friend class ChunkStore;
+  std::shared_ptr<internal::CommitTicket> ticket_;
 };
 
 /// An immutable view of the database at a durable point in time, produced
@@ -150,10 +239,17 @@ class Snapshot {
 ///    crashes; nondurable commits never survive a crash unless followed by
 ///    a durable commit.
 ///
-/// Not thread-safe: callers (the object store) serialize access. The store
-/// does use an internal worker pool (options.crypto_threads) to fan
-/// independent sealing/validation work across cores, but all of its public
-/// entry points remain single-caller.
+/// Thread-safe: a single commit mutex guards all mutable state, with two
+/// deliberate carve-outs for concurrency:
+///  - cache-hit Reads take only the chunk cache's internal lock (never the
+///    commit mutex), so hot reads never queue behind an in-flight commit
+///    or group sync;
+///  - in group-commit mode the leader's Sync + counter bump run OUTSIDE
+///    the commit mutex, so followers keep buffering (and readers keep
+///    reading) while the flush is in flight.
+/// Batch sealing (the crypto pipeline) also runs outside the commit mutex
+/// on the committer's own thread; the cipher suite's IV generator is the
+/// only serialized crypto step.
 class ChunkStore {
  public:
   static Result<std::unique_ptr<ChunkStore>> Open(
@@ -165,7 +261,7 @@ class ChunkStore {
   ChunkStore& operator=(const ChunkStore&) = delete;
 
   /// Returns a fresh, unallocated chunk id (§3.1 allocateChunkId).
-  ChunkId AllocateChunkId() { return next_chunk_id_++; }
+  ChunkId AllocateChunkId() { return next_chunk_id_.fetch_add(1); }
 
   /// Returns the last committed state of `cid`; NotFound if never written
   /// or deallocated; TamperDetected if validation fails.
@@ -173,14 +269,34 @@ class ChunkStore {
 
   /// Atomically applies `batch`. If `durable`, the commit (and every
   /// earlier nondurable commit) survives crashes once this returns OK.
+  /// Equivalent to CommitBuffered + WaitDurable.
   Status Commit(const WriteBatch& batch, bool durable);
+
+  /// Two-stage commit. Stage 1: validates, seals, and buffers `batch` —
+  /// once this returns OK the batch is in the log buffer and applied to
+  /// the in-memory map, so its serialization order is fixed and callers
+  /// (e.g. the object store) may release transaction locks early. Errors
+  /// here are per-batch: a failed batch never poisons other buffered
+  /// commits. Stage 2 (WaitDurable): for a durable commit, blocks until a
+  /// group flush covering the batch completes — the first waiter becomes
+  /// the leader and performs the merged manifest write + one Sync + one
+  /// counter bump for the whole group — and returns the durability
+  /// verdict; durability is acked ONLY here, after sync + bump (§4.1).
+  /// WaitDurable also runs deferred checkpoint/cleaning maintenance, so it
+  /// should be called exactly once per successful CommitBuffered.
+  /// With group_commit off, CommitBuffered performs the full serialized
+  /// commit and the returned handle is already complete.
+  Result<CommitHandle> CommitBuffered(const WriteBatch& batch, bool durable);
+  Status WaitDurable(CommitHandle& handle);
 
   /// Single-chunk conveniences.
   Status Write(ChunkId cid, Slice data, bool durable);
   Status Deallocate(ChunkId cid, bool durable);
 
   /// Writes dirty location-map nodes and the anchor (durable). Normally
-  /// automatic; exposed for idle-time maintenance.
+  /// automatic; exposed for idle-time maintenance. In group mode the
+  /// checkpoint's manifest absorbs all buffered commits and completes any
+  /// pending durability tickets.
   Status Checkpoint();
 
   /// Idle-time cleaning: reclaims up to `max_segments` low-utilization
@@ -207,12 +323,13 @@ class ChunkStore {
       const Snapshot& base, const Snapshot& delta,
       const std::function<Status(ChunkId, DiffKind, const MapEntry&)>& fn);
 
-  /// Operation counters, including cache hit/miss/eviction and sealed-byte
-  /// breakdowns for the commit pipeline.
-  const ChunkStoreStats& Stats() const { return stats_; }
-  const ChunkStoreStats& stats() const { return stats_; }  // Legacy alias.
+  /// Operation counters, including cache and group-commit metrics.
+  /// Returns a snapshot by value; safe to call concurrently with readers
+  /// and committers.
+  ChunkStoreStats Stats() const;
+  ChunkStoreStats stats() const { return Stats(); }  // Legacy alias.
   const ChunkStoreOptions& options() const { return options_; }
-  uint64_t next_chunk_id() const { return next_chunk_id_; }
+  uint64_t next_chunk_id() const { return next_chunk_id_.load(); }
 
   /// Flushes a final checkpoint. The destructor calls this best-effort.
   Status Close();
@@ -230,28 +347,58 @@ class ChunkStore {
                             // until a checkpoint relocates those nodes.
   };
 
+  /// Internal counters: atomics so Stats() and the lock-free read path
+  /// never race committers. Mirrors ChunkStoreStats field for field.
+  struct AtomicStats {
+    std::atomic<uint64_t> live_bytes{0};
+    std::atomic<uint64_t> total_bytes{0};
+    std::atomic<uint64_t> segments{0};
+    std::atomic<uint64_t> live_chunks{0};
+    std::atomic<uint64_t> commits{0};
+    std::atomic<uint64_t> durable_commits{0};
+    std::atomic<uint64_t> checkpoints{0};
+    std::atomic<uint64_t> cleaned_segments{0};
+    std::atomic<uint64_t> relocated_records{0};
+    std::atomic<uint64_t> relocated_bytes{0};
+    std::atomic<uint64_t> bytes_appended{0};
+    std::atomic<uint64_t> data_bytes{0};
+    std::atomic<uint64_t> map_bytes{0};
+    std::atomic<uint64_t> commit_bytes{0};
+    std::atomic<uint64_t> cache_hits{0};
+    std::atomic<uint64_t> cache_misses{0};
+    std::atomic<uint64_t> sealed_bytes{0};
+    std::atomic<uint64_t> parallel_sealed_bytes{0};
+    std::atomic<uint64_t> commit_groups{0};
+    std::atomic<uint64_t> grouped_commits{0};
+    std::atomic<uint64_t> max_commits_per_group{0};
+    std::atomic<uint64_t> log_syncs{0};
+    std::atomic<uint64_t> counter_bumps{0};
+  };
+
   ChunkStore(platform::UntrustedStore* store,
              platform::OneWayCounter* counter,
              const ChunkStoreOptions& options, crypto::CipherSuite suite);
 
-  // --- open/recovery ---
+  // --- open/recovery (single-threaded: before the store is published) ---
   Status Bootstrap();            // Fresh store: first segment + checkpoint.
   Status Recover();              // Anchor + residual log replay.
   Status RebuildAccounting();    // Full map walk -> per-segment live bytes.
 
-  // --- log tail ---
+  // --- log tail (all require mu_) ---
   static std::string SegmentName(uint32_t id);
   Status OpenFreshSegment();     // Rolls the tail to a new segment file.
   // Appends a record to the tail (rolling segments as needed); returns its
   // location.
   Result<Location> Append(RecordType type, Slice payload);
   Status FlushTail();
-  Status SyncDirtyFiles();
+  Status SyncDirtyFilesLocked();
 
-  // --- records ---
+  // --- records (require mu_: may read the unflushed tail buffer) ---
   // I/O + structural checks only: reads the record at `loc`, verifying
   // type and payload length against the location map but NOT the hash —
   // callers validate (possibly on another thread) before trusting it.
+  // Records still sitting in the tail buffer (buffered group commits) are
+  // served from memory.
   Result<Buffer> FetchRawRecord(const Location& loc, RecordType expected);
   Result<Buffer> ReadRawRecord(const Location& loc, RecordType expected,
                                const crypto::Digest& expected_hash);
@@ -269,15 +416,77 @@ class ChunkStore {
     Buffer sealed;
     crypto::Digest hash;
   };
-  Status CommitInternal(const std::vector<StagedWrite>& writes,
-                        const std::vector<ChunkId>& deallocs, uint8_t flags,
-                        const NodeWriteResult* new_root);
+  // A batch after normalization + sealing, ready to buffer. `plains`
+  // points into the caller's WriteBatch (valid for the CommitBuffered
+  // call) and feeds the cache write-through.
+  struct PreparedBatch {
+    std::vector<StagedWrite> writes;
+    std::vector<const Buffer*> plains;  // Parallel to writes.
+    std::vector<ChunkId> deallocs;
+    std::vector<ChunkId> touched;       // All ids, in first-seen order.
+  };
+  // One buffered-but-unsealed operation of the open commit group.
+  struct PendingOp {
+    bool is_write;
+    ChunkId cid;
+    Location loc;         // is_write only.
+    crypto::Digest hash;  // is_write only.
+  };
+  struct SealResult {
+    uint64_t counter_target = 0;  // Sealed counter value (durable only).
+    bool bump_counter = false;
+    crypto::Digest mac;
+  };
+
+  // Normalize + seal OUTSIDE mu_ (crypto pipeline; only the IV draw is
+  // serialized). Per-batch: a failure here touches no shared state.
+  Status PrepareBatch(const WriteBatch& batch, PreparedBatch* out);
+  // Requires mu_. Appends the batch's data records, applies them to the
+  // map/accounting/cache and extends the open group. On failure the
+  // batch's partial application is rolled back so groupmates are unharmed.
+  Status BufferBatchLocked(const PreparedBatch& prep);
+  // Requires mu_. Seals every buffered op (plus `new_root`, if any) into
+  // ONE merged manifest: one log write, one MAC, one chain link, one
+  // counter target. With an empty group this still writes a manifest (an
+  // empty durable commit is a pure sync point, as before group commit).
+  Result<SealResult> SealGroupLocked(uint8_t flags,
+                                     const NodeWriteResult* new_root);
+  // Requires mu_. Sync + counter bump, fully under the lock (checkpoints,
+  // cleaning, and the serialized non-group path).
+  Status FinishDurableLocked(const SealResult& seal);
+  // Requires mu_, group idle. The locked durable-seal path: seals the open
+  // group under one merged manifest (+ optional new map root), syncs and
+  // bumps under the lock, writes the anchor for checkpoints, and completes
+  // any absorbed durability tickets.
+  Status CommitGroupDurableLocked(uint8_t flags,
+                                  const NodeWriteResult* new_root);
+  // Requires mu_ (released during the flush I/O). The group-leader flush:
+  // seals the open group, then syncs + bumps OUTSIDE mu_ so new commits
+  // keep buffering, then completes every waiting ticket.
+  Status LeadGroupFlushLocked(std::unique_lock<std::mutex>& lock);
+  // Requires mu_. Blocks until no leader flush is in flight; durable-seal
+  // paths that run under the lock (checkpoint, cleaning) must wait so two
+  // flushes never interleave their counter bumps.
+  void AwaitGroupIdleLocked(std::unique_lock<std::mutex>& lock);
+  // Requires mu_. Completes `tickets` with `status` and wakes waiters.
+  void CompleteTicketsLocked(
+      std::vector<std::shared_ptr<internal::CommitTicket>>* tickets,
+      const Status& status);
+  // Takes mu_: deferred auto-checkpoint + cleaning after a commit.
+  Status RunMaintenance();
+
+  // Cheap precheck mirroring MaybeCheckpointLocked/MaybeCleanLocked
+  // trigger conditions, so RunMaintenance can bail before serializing
+  // against an in-flight group flush (or its accumulation window) when no
+  // maintenance is owed.
+  bool MaintenanceDueLocked();
+
   Status WriteAnchor();
   Status CheckpointLocked();
-  Status MaybeCheckpoint();
+  Status MaybeCheckpointLocked();
 
-  // --- cleaning ---
-  Status MaybeClean();
+  // --- cleaning (require mu_) ---
+  Status MaybeCleanLocked();
   // Lowest-live data-only segments behind the scan position; stops when
   // projected size reaches `target` (0 = no target) or `max_segments`.
   std::vector<uint32_t> CleanCandidates(uint64_t target, int max_segments);
@@ -297,11 +506,16 @@ class ChunkStore {
   crypto::Digest EntryHash(Slice sealed) const;
   size_t entry_hash_size() const;
 
-  // Worker pool for the commit/verify crypto pipeline; created lazily on
-  // first use, nullptr when options_.crypto_threads <= 1.
+  // Seals with a serially-drawn IV; the only mutating cipher-suite calls,
+  // serialized by iv_mu_ so concurrent committers can seal in parallel.
+  Buffer SealSerialIv(Slice plain);
+  Buffer NextIvSerial();
+
+  // Worker pool for the commit/verify crypto pipeline; created on first
+  // use (thread-safely), nullptr when options_.crypto_threads <= 1.
   ThreadPool* CryptoPool();
-  // Mirrors cache occupancy/eviction counters into stats_.
-  void SyncCacheStats();
+  // Mirrors cache occupancy/eviction counters into Stats() output.
+  static void AtomicMax(std::atomic<uint64_t>& counter, uint64_t value);
 
   platform::UntrustedStore* store_;
   platform::OneWayCounter* counter_;
@@ -310,8 +524,11 @@ class ChunkStore {
   AnchorManager anchor_mgr_;
   LocationMap map_;
 
-  bool open_ = false;
-  uint64_t next_chunk_id_ = 1;
+  std::atomic<bool> open_{false};
+  std::atomic<uint64_t> next_chunk_id_{1};
+
+  // --- All state below requires mu_ unless noted. ---
+  mutable std::mutex mu_;  // The commit mutex.
   uint64_t seq_ = 0;
   uint64_t counter_value_ = 0;  // Cached one-way counter value.
   crypto::Digest chain_mac_;  // MAC of the most recent commit record.
@@ -336,12 +553,23 @@ class ChunkStore {
   std::vector<std::weak_ptr<Snapshot>> snapshots_;
 
   bool in_maintenance_ = false;  // Guards checkpoint/clean reentrancy.
-  ChunkStoreStats stats_;
 
-  // Validated-plaintext cache (tentpole of the hot-read path): holds only
-  // bytes that already passed Merkle + decryption validation, keyed by the
-  // chunk's last committed state. See DESIGN.md for invalidation rules.
+  // Open commit group (group_commit mode): buffered ops awaiting the next
+  // merged manifest, and the durable committers waiting on its flush.
+  std::vector<PendingOp> group_ops_;
+  std::vector<std::shared_ptr<internal::CommitTicket>> group_tickets_;
+  bool group_flushing_ = false;  // A leader's sync is in flight.
+  std::condition_variable group_cv_;
+
+  AtomicStats stats_;  // Atomic: no lock required.
+
+  // Validated-plaintext cache: holds only bytes that already passed
+  // Merkle + decryption validation, keyed by the chunk's last committed
+  // state. Internally locked; see DESIGN.md for invalidation rules.
   ChunkCache cache_;
+
+  std::mutex iv_mu_;  // Serializes CipherSuite::Seal/NextIv (DRBG state).
+  std::once_flag crypto_pool_once_;
   std::unique_ptr<ThreadPool> crypto_pool_;
 };
 

@@ -21,9 +21,14 @@ namespace tdb {
 /// drop-in replacement for the serial code path (and `ThreadPool(0)` has
 /// zero overhead beyond a virtual-free function call).
 ///
-/// The pool itself is thread-safe; the blocking helpers (ParallelFor and
-/// friends) are intended to be driven from one coordinating thread at a
-/// time, which also participates in the work instead of idling.
+/// The pool itself is thread-safe, including the blocking helpers:
+/// ParallelFor and friends keep all per-call state (work index, failure
+/// flag, futures) on the caller's stack and each call joins only its own
+/// submitted tasks, so several threads may drive ParallelFor on one pool
+/// concurrently — calls simply share the worker set, and every caller
+/// also participates in its own work instead of idling. The group-commit
+/// chunk store relies on this: concurrent committers seal their batches
+/// through one shared crypto pool.
 class ThreadPool {
  public:
   /// Spawns `num_threads` workers; <= 1 means inline execution.

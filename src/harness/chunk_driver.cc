@@ -21,13 +21,17 @@ chunk::ChunkStoreOptions PresetOptions(Preset preset) {
   options.map_fanout = 8;
   options.cache_bytes = 256 * 1024;
   options.crypto_threads = 0;  // Serial: thousands of short-lived stores.
-  if (preset == Preset::kStrict) {
+  if (preset == Preset::kStrict || preset == Preset::kGroup) {
     // No maintenance commits besides the trace's own checkpoints: the set
-    // of durable boundaries is exactly what the oracle models.
+    // of durable boundaries is exactly what the oracle models. kGroup
+    // additionally coalesces nondurable commits into merged multi-commit
+    // records, so the durable boundaries (and crash-tear geometry) differ
+    // while the oracle invariant stays identical.
     options.segment_size = 4096;
     options.checkpoint_interval_bytes = 1ull << 40;
     options.max_clean_segments_per_commit = 0;
     options.max_utilization = 0.95;
+    options.group_commit = (preset == Preset::kGroup);
   } else {
     // Aggressive maintenance: crash points inside auto-checkpoint and
     // cleaning commits.
@@ -42,8 +46,26 @@ chunk::ChunkStoreOptions PresetOptions(Preset preset) {
 namespace {
 
 constexpr const char* kMasterSecret = "tdb-harness-master-secret-32byte";
-constexpr uint32_t kTearNums[] = {0, 1, 2, 3, 4};
-constexpr uint32_t kTearDen = 4;
+
+/// Torn-write fractions enumerated per crash point. Group commit merges
+/// several logical commits into one record, so its appends are longer:
+/// finer-grained tear buckets keep the sweep enumerating tear points that
+/// land INSIDE a merged multi-commit record, not only at its edges.
+struct TearBuckets {
+  const uint32_t* nums;
+  size_t count;
+  uint32_t den;
+};
+
+constexpr uint32_t kTearNumsDefault[] = {0, 1, 2, 3, 4};
+constexpr uint32_t kTearNumsGroup[] = {0, 1, 2, 3, 4, 5, 6, 7, 8};
+
+TearBuckets PresetTearBuckets(Preset preset) {
+  if (preset == Preset::kGroup) {
+    return {kTearNumsGroup, std::size(kTearNumsGroup), 8};
+  }
+  return {kTearNumsDefault, std::size(kTearNumsDefault), 4};
+}
 
 /// One fresh store environment (base memory image, optional buggy wrapper,
 /// fault injector, trusted secret + counter that survive "reboots").
@@ -218,13 +240,15 @@ Status ChunkCrashSweep(const TraceSpec& spec, int shard, int num_shards,
                        SweepStats* stats, int64_t recovery_crash,
                        const StoreWrap& wrap) {
   TDB_ASSIGN_OR_RETURN(uint64_t writes, CountChunkTraceWrites(spec, wrap));
+  TearBuckets tears = PresetTearBuckets(spec.preset);
   if (stats != nullptr) {
     stats->write_points = writes;
-    stats->tear_buckets = std::size(kTearNums);
+    stats->tear_buckets = tears.count;
   }
   uint64_t case_idx = 0;
   for (uint64_t point = 0; point < writes; point++) {
-    for (uint32_t tear : kTearNums) {
+    for (size_t t = 0; t < tears.count; t++) {
+      uint32_t tear = tears.nums[t];
       uint64_t idx = case_idx++;
       if (num_shards > 1 &&
           static_cast<int>(idx % static_cast<uint64_t>(num_shards)) != shard) {
@@ -233,7 +257,7 @@ Status ChunkCrashSweep(const TraceSpec& spec, int shard, int num_shards,
       CrashCase crash;
       crash.write_index = point;
       crash.tear_num = tear;
-      crash.tear_den = kTearDen;
+      crash.tear_den = tears.den;
       crash.recovery_crash = recovery_crash;
       TDB_RETURN_IF_ERROR(RunChunkCrashCase(spec, crash, stats, wrap));
     }

@@ -52,6 +52,8 @@ const char* PresetName(Preset preset) {
       return "strict";
     case Preset::kCleaning:
       return "cleaning";
+    case Preset::kGroup:
+      return "group";
   }
   return "strict";
 }
@@ -120,6 +122,8 @@ Result<ReproCase> ParseRepro(const std::string& line) {
         repro.spec.preset = Preset::kStrict;
       } else if (value == "cleaning") {
         repro.spec.preset = Preset::kCleaning;
+      } else if (value == "group") {
+        repro.spec.preset = Preset::kGroup;
       } else {
         return MalformedRepro("unknown preset: " + value);
       }

@@ -22,6 +22,13 @@ enum class Preset {
   /// Small segments, aggressive cleaner and auto-checkpoints: covers the
   /// crash windows inside maintenance commits.
   kCleaning,
+  /// Like kStrict but with ChunkStoreOptions::group_commit on: nondurable
+  /// commits buffer into an open group and each durable commit seals ONE
+  /// merged multi-commit record followed by one sync + one counter bump.
+  /// Crash sweeps over this preset cover intra-group tear points — power
+  /// failing inside the single merged append — and assert the durable
+  /// floor is only raised at group ack.
+  kGroup,
 };
 
 /// One logical operation inside a commit group. Slots are a small logical

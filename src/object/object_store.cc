@@ -253,15 +253,26 @@ Status ObjectStore::CommitTxn(internal::TxnState& txn, bool durable) {
     if (!txn.inserted.count(oid)) batch.Deallocate(oid);
   }
 
+  chunk::CommitHandle handle;
   if (!batch.empty() || durable) {
-    Status s = chunks_->Commit(batch, durable);
-    if (!s.ok()) {
+    // Stage 1: buffer the batch into the chunk store's commit group. Once
+    // this succeeds the transaction's serialization order is fixed (its
+    // writes are in the log buffer and the in-memory map), so 2PL locks
+    // can be released BEFORE waiting on durability — early lock release.
+    // Conflicting transactions that then read this data are serialized
+    // after it; they cannot ack durably before it because their own
+    // durable commit waits on the same (or a later) group flush. §4.1's
+    // contract is preserved: the caller is acked only after WaitDurable,
+    // i.e. after the covering sync + counter bump.
+    auto buffered = chunks_->CommitBuffered(batch, durable);
+    if (!buffered.ok()) {
       // The transaction cannot be partially applied; roll it back so the
       // caller sees a clean failure.
       lock.unlock();
       AbortTxn(txn).ok();
-      return s;
+      return buffered.status();
     }
+    handle = std::move(buffered).value();
   }
 
   for (ObjectId oid : txn.write_set) {
@@ -272,6 +283,17 @@ Status ObjectStore::CommitTxn(internal::TxnState& txn, bool durable) {
   txn.active = false;
   locks_.ReleaseAll(txn.id);
   cache_.EnforceCapacity();
+  lock.unlock();
+
+  // Stage 2, outside the state mutex: block on the group flush (or, for a
+  // nondurable commit, just run deferred chunk-store maintenance). Other
+  // transactions proceed against this store meanwhile. On durability
+  // failure the transaction is already torn down locally; the error is a
+  // faithful "not durable" report (never a silent acceptance). The
+  // deviation from strict 2PL-until-ack is documented in DESIGN.md.
+  if (handle.valid()) {
+    TDB_RETURN_IF_ERROR(chunks_->WaitDurable(handle));
+  }
   return Status::OK();
 }
 

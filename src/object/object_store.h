@@ -227,7 +227,13 @@ class Transaction {
 ///
 /// Thread-safe: a single state mutex guards all structures; blocked lock
 /// waits release it (§4.2.3). Individual Transaction objects are
-/// single-threaded.
+/// single-threaded. Commits use the chunk store's two-stage group-commit
+/// API: transaction locks are released as soon as the write batch is in
+/// the chunk store's log buffer, and the committer then waits for the
+/// covering group flush outside the state mutex — so concurrent durable
+/// committers share one log sync and one counter bump (when
+/// ChunkStoreOptions::group_commit is on) instead of serializing behind
+/// each other's I/O.
 class ObjectStore {
  public:
   /// The chunk store must outlive the object store and must not be used

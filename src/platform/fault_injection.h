@@ -38,6 +38,16 @@ class FaultInjectingStore final : public UntrustedStore {
   /// prefix ends on a sector boundary (see SectorAtomicTornLength).
   /// tear_num >= tear_den persists the whole write (the crash then hits
   /// after the write reached the platter but before the caller learned so).
+  ///
+  /// The tear fraction is applied to the WHOLE crashing write, so a
+  /// group-commit store that appends one merged multi-commit record in a
+  /// single Write() spreads the tear points across the entire group. The
+  /// fraction only reaches a given internal sector boundary if tear_den is
+  /// at least the number of sectors the write spans; sweeps over merged
+  /// appends must therefore enumerate proportionally finer buckets (the
+  /// harness uses n/8 for the group preset vs n/4 elsewhere) or interior
+  /// commit boundaries of the merged record are silently skipped. The
+  /// sector-atomic model itself is unchanged.
   void CrashAtWrite(uint64_t index, uint32_t tear_num, uint32_t tear_den,
                     uint32_t sector_bytes = kDefaultSectorBytes) {
     writes_until_crash_ = index;

@@ -5,6 +5,7 @@
 namespace tdb::platform {
 
 Status MemUntrustedStore::Create(const std::string& name, bool overwrite) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (!overwrite && files_.count(name)) {
     return Status::AlreadyExists("file exists: " + name);
   }
@@ -13,6 +14,7 @@ Status MemUntrustedStore::Create(const std::string& name, bool overwrite) {
 }
 
 Status MemUntrustedStore::Remove(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (files_.erase(name) == 0) {
     return Status::NotFound("no such file: " + name);
   }
@@ -20,11 +22,13 @@ Status MemUntrustedStore::Remove(const std::string& name) {
 }
 
 bool MemUntrustedStore::Exists(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   return files_.count(name) > 0;
 }
 
 Status MemUntrustedStore::Read(const std::string& name, uint64_t offset,
                                size_t n, Buffer* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = files_.find(name);
   if (it == files_.end()) return Status::NotFound("no such file: " + name);
   const Buffer& f = it->second;
@@ -37,6 +41,7 @@ Status MemUntrustedStore::Read(const std::string& name, uint64_t offset,
 
 Status MemUntrustedStore::Write(const std::string& name, uint64_t offset,
                                 Slice data) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = files_.find(name);
   if (it == files_.end()) return Status::NotFound("no such file: " + name);
   Buffer& f = it->second;
@@ -48,12 +53,14 @@ Status MemUntrustedStore::Write(const std::string& name, uint64_t offset,
 }
 
 Result<uint64_t> MemUntrustedStore::Size(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = files_.find(name);
   if (it == files_.end()) return Status::NotFound("no such file: " + name);
   return static_cast<uint64_t>(it->second.size());
 }
 
 Status MemUntrustedStore::Truncate(const std::string& name, uint64_t size) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = files_.find(name);
   if (it == files_.end()) return Status::NotFound("no such file: " + name);
   it->second.resize(size, 0);
@@ -61,12 +68,14 @@ Status MemUntrustedStore::Truncate(const std::string& name, uint64_t size) {
 }
 
 Status MemUntrustedStore::Sync(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (!files_.count(name)) return Status::NotFound("no such file: " + name);
   sync_count_++;
   return Status::OK();
 }
 
 std::vector<std::string> MemUntrustedStore::List() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> names;
   names.reserve(files_.size());
   for (const auto& [name, _] : files_) names.push_back(name);
@@ -75,6 +84,7 @@ std::vector<std::string> MemUntrustedStore::List() const {
 
 Status MemUntrustedStore::CorruptByte(const std::string& name,
                                       uint64_t offset, uint8_t mask) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = files_.find(name);
   if (it == files_.end()) return Status::NotFound("no such file: " + name);
   if (offset >= it->second.size()) {
@@ -85,6 +95,7 @@ Status MemUntrustedStore::CorruptByte(const std::string& name,
 }
 
 uint64_t MemUntrustedStore::TotalBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
   uint64_t total = 0;
   for (const auto& [_, data] : files_) total += data.size();
   return total;

@@ -2,6 +2,7 @@
 #define TDB_PLATFORM_MEM_STORE_H_
 
 #include <map>
+#include <mutex>
 #include <string>
 
 #include "platform/untrusted_store.h"
@@ -12,6 +13,11 @@ namespace tdb::platform {
 /// also plays the attacker: the image can be snapshotted, individual bytes
 /// corrupted, and a stale image replayed — exactly the offline attacks the
 /// paper's threat model allows on removable media.
+///
+/// Thread-safe behind an internal mutex: the group-commit chunk store
+/// issues Sync/Write calls from a flush leader concurrently with reads and
+/// tail writes from other threads (FileUntrustedStore gets the same
+/// guarantee from per-call file descriptors and pread/pwrite).
 class MemUntrustedStore final : public UntrustedStore {
  public:
   using Image = std::map<std::string, Buffer>;
@@ -32,10 +38,16 @@ class MemUntrustedStore final : public UntrustedStore {
   // --- Attacker / test hooks (not part of UntrustedStore) ---
 
   /// Copies the full store image (the attacker "saving the database").
-  Image SnapshotImage() const { return files_; }
+  Image SnapshotImage() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return files_;
+  }
 
   /// Replaces the store contents with a saved image (a replay attack).
-  void RestoreImage(Image image) { files_ = std::move(image); }
+  void RestoreImage(Image image) {
+    std::lock_guard<std::mutex> lock(mu_);
+    files_ = std::move(image);
+  }
 
   /// XORs one byte — the smallest possible malicious modification.
   Status CorruptByte(const std::string& name, uint64_t offset, uint8_t mask);
@@ -44,11 +56,21 @@ class MemUntrustedStore final : public UntrustedStore {
   uint64_t TotalBytes() const;
 
   /// Number of Write() calls so far (for write-traffic accounting).
-  uint64_t write_count() const { return write_count_; }
-  uint64_t bytes_written() const { return bytes_written_; }
-  uint64_t sync_count() const { return sync_count_; }
+  uint64_t write_count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return write_count_;
+  }
+  uint64_t bytes_written() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return bytes_written_;
+  }
+  uint64_t sync_count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return sync_count_;
+  }
 
  private:
+  mutable std::mutex mu_;
   Image files_;
   uint64_t write_count_ = 0;
   uint64_t bytes_written_ = 0;

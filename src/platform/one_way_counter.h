@@ -1,6 +1,7 @@
 #ifndef TDB_PLATFORM_ONE_WAY_COUNTER_H_
 #define TDB_PLATFORM_ONE_WAY_COUNTER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -15,6 +16,16 @@ namespace tdb::platform {
 /// reproduction — emulates it as a file. The chunk store signs the counter
 /// value into its anchor record; replaying a stale database image then
 /// fails because the stored value lags the counter.
+///
+/// Batching contract: counter devices are slow (a persisted increment per
+/// durable commit is one of the paper's two dominant commit costs, §5/§7),
+/// so the chunk store amortizes bumps — under group commit, one Increment
+/// covers every durable commit sealed into the same merged commit record.
+/// The store serializes its own Increment calls (a single flush leader at
+/// a time), so implementations need Read/Increment to be safe against a
+/// concurrent Read at most; MemOneWayCounter makes both fully atomic so
+/// even misuse cannot produce a torn value. Implementations must never
+/// expose value N as persisted while a crash could reveal a value < N.
 class OneWayCounter {
  public:
   virtual ~OneWayCounter() = default;
@@ -25,14 +36,14 @@ class OneWayCounter {
   virtual Result<uint64_t> Increment() = 0;
 };
 
-/// In-memory counter for tests and benchmarks.
+/// In-memory counter for tests and benchmarks. Lock-free.
 class MemOneWayCounter final : public OneWayCounter {
  public:
-  Result<uint64_t> Read() const override { return value_; }
-  Result<uint64_t> Increment() override { return ++value_; }
+  Result<uint64_t> Read() const override { return value_.load(); }
+  Result<uint64_t> Increment() override { return value_.fetch_add(1) + 1; }
 
  private:
-  uint64_t value_ = 0;
+  std::atomic<uint64_t> value_{0};
 };
 
 /// File-emulated counter, as in the paper's evaluation platform ("the

@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <map>
 #include <memory>
+#include <thread>
+#include <vector>
 
 #include "common/random.h"
 #include "platform/fault_injection.h"
@@ -1187,6 +1190,255 @@ TEST(ChunkPipelineTest, SmallBatchesStaySerial) {
   ASSERT_TRUE((*cs)->Write((*cs)->AllocateChunkId(), Slice("tiny"), true).ok());
   EXPECT_EQ((*cs)->Stats().parallel_sealed_bytes, 0u);
   EXPECT_GT((*cs)->Stats().sealed_bytes, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Group commit
+
+ChunkStoreOptions GroupOptions() {
+  ChunkStoreOptions options = SmallSegments();
+  options.group_commit = true;
+  return options;
+}
+
+// Two durable commits buffered before either waits must be flushed by ONE
+// leader: one merged manifest, one sync round, one counter bump, and both
+// acked. This pins the deterministic two-stage path the multi-threaded
+// grouping reduces to.
+TEST(ChunkGroupCommitTest, TwoBufferedDurablesFlushAsOneGroup) {
+  TestEnv env;
+  auto cs = env.Open(GroupOptions());
+  ASSERT_TRUE(cs.ok()) << cs.status().ToString();
+  ChunkId a = (*cs)->AllocateChunkId();
+  ChunkId b = (*cs)->AllocateChunkId();
+  WriteBatch batch_a, batch_b;
+  batch_a.Write(a, Bytes("first committer"));
+  batch_b.Write(b, Bytes("second committer"));
+
+  auto ha = (*cs)->CommitBuffered(batch_a, true);
+  ASSERT_TRUE(ha.ok()) << ha.status().ToString();
+  auto hb = (*cs)->CommitBuffered(batch_b, true);
+  ASSERT_TRUE(hb.ok()) << hb.status().ToString();
+
+  ChunkStoreStats before = (*cs)->Stats();
+  ASSERT_TRUE((*cs)->WaitDurable(*ha).ok());
+  ASSERT_TRUE((*cs)->WaitDurable(*hb).ok());
+  ChunkStoreStats after = (*cs)->Stats();
+
+  EXPECT_EQ(after.commit_groups - before.commit_groups, 1u);
+  EXPECT_EQ(after.grouped_commits - before.grouped_commits, 2u);
+  EXPECT_GE(after.max_commits_per_group, 2u);
+  EXPECT_EQ(after.log_syncs - before.log_syncs, 1u);
+  EXPECT_EQ(after.counter_bumps - before.counter_bumps, 1u);
+  EXPECT_EQ(after.durable_commits - before.durable_commits, 2u);
+  EXPECT_GT(after.syncs_saved(), 0u);
+  EXPECT_GT(after.counter_bumps_saved(), 0u);
+
+  EXPECT_EQ(Slice(*(*cs)->Read(a)).ToString(), "first committer");
+  EXPECT_EQ(Slice(*(*cs)->Read(b)).ToString(), "second committer");
+}
+
+// With grouping on, nondurable commits append data records but seal no
+// manifest and never touch the counter; the next durable commit covers
+// them with one merged record. Cache is disabled so the read-back of a
+// buffered-but-unflushed record exercises the tail-buffer serving path.
+TEST(ChunkGroupCommitTest, NondurablesBufferUntilDurableCovers) {
+  TestEnv env;
+  auto options = GroupOptions();
+  options.cache_bytes = 0;
+  ChunkId a, b, c;
+  {
+    auto cs = env.Open(options);
+    ASSERT_TRUE(cs.ok());
+    a = (*cs)->AllocateChunkId();
+    b = (*cs)->AllocateChunkId();
+    c = (*cs)->AllocateChunkId();
+    uint64_t bumps0 = (*cs)->Stats().counter_bumps;
+    uint64_t syncs0 = (*cs)->Stats().log_syncs;
+    ASSERT_TRUE((*cs)->Write(a, Slice("buffered one"), false).ok());
+    ASSERT_TRUE((*cs)->Write(b, Slice("buffered two"), false).ok());
+    // Buffered writes are visible immediately (from the open group's tail).
+    EXPECT_EQ(Slice(*(*cs)->Read(a)).ToString(), "buffered one");
+    EXPECT_EQ(Slice(*(*cs)->Read(b)).ToString(), "buffered two");
+    // No durable boundary yet: no sync, no counter bump.
+    EXPECT_EQ((*cs)->Stats().counter_bumps, bumps0);
+    EXPECT_EQ((*cs)->Stats().log_syncs, syncs0);
+
+    ASSERT_TRUE((*cs)->Write(c, Slice("durable cover"), true).ok());
+    EXPECT_EQ((*cs)->Stats().counter_bumps, bumps0 + 1);
+    EXPECT_EQ((*cs)->Stats().log_syncs, syncs0 + 1);
+    ASSERT_TRUE((*cs)->Close().ok());
+  }
+  auto cs = env.Open(options);
+  ASSERT_TRUE(cs.ok()) << cs.status().ToString();
+  EXPECT_EQ(Slice(*(*cs)->Read(a)).ToString(), "buffered one");
+  EXPECT_EQ(Slice(*(*cs)->Read(b)).ToString(), "buffered two");
+  EXPECT_EQ(Slice(*(*cs)->Read(c)).ToString(), "durable cover");
+}
+
+// A batch that fails validation must fail only its own committer: batches
+// already buffered into the open group still flush and ack.
+TEST(ChunkGroupCommitTest, InvalidBatchDoesNotPoisonGroupmates) {
+  TestEnv env;
+  auto cs = env.Open(GroupOptions());
+  ASSERT_TRUE(cs.ok());
+  ChunkId good = (*cs)->AllocateChunkId();
+  WriteBatch good_batch;
+  good_batch.Write(good, Bytes("innocent bystander"));
+  auto handle = (*cs)->CommitBuffered(good_batch, true);
+  ASSERT_TRUE(handle.ok());
+
+  WriteBatch bad_batch;
+  bad_batch.Write(0, Bytes("chunk id zero is invalid"));
+  auto bad = (*cs)->CommitBuffered(bad_batch, true);
+  EXPECT_FALSE(bad.ok());
+
+  ASSERT_TRUE((*cs)->WaitDurable(*handle).ok());
+  EXPECT_EQ(Slice(*(*cs)->Read(good)).ToString(), "innocent bystander");
+}
+
+// An explicit checkpoint (a durable boundary taken under the store mutex)
+// must absorb a buffered-but-unflushed durable commit: its ticket is
+// completed by the checkpoint's merged record, and WaitDurable returns OK
+// without leading a second flush.
+TEST(ChunkGroupCommitTest, CheckpointAbsorbsBufferedCommit) {
+  TestEnv env;
+  ChunkId cid;
+  {
+    auto cs = env.Open(GroupOptions());
+    ASSERT_TRUE(cs.ok());
+    cid = (*cs)->AllocateChunkId();
+    WriteBatch batch;
+    batch.Write(cid, Bytes("absorbed by checkpoint"));
+    auto handle = (*cs)->CommitBuffered(batch, true);
+    ASSERT_TRUE(handle.ok());
+    ASSERT_TRUE((*cs)->Checkpoint().ok());
+    // The checkpoint's merged record completed the ticket (it counts as
+    // the group's flush); waiting must not lead a second one.
+    ChunkStoreStats after_ckpt = (*cs)->Stats();
+    EXPECT_EQ(after_ckpt.grouped_commits, 1u);
+    ASSERT_TRUE((*cs)->WaitDurable(*handle).ok());
+    EXPECT_EQ((*cs)->Stats().log_syncs, after_ckpt.log_syncs);
+    EXPECT_EQ((*cs)->Stats().commit_groups, after_ckpt.commit_groups);
+    ASSERT_TRUE((*cs)->Close().ok());
+  }
+  auto cs = env.Open(GroupOptions());
+  ASSERT_TRUE(cs.ok()) << cs.status().ToString();
+  EXPECT_EQ(Slice(*(*cs)->Read(cid)).ToString(), "absorbed by checkpoint");
+}
+
+// Concurrent durable committers under group commit: every acked write must
+// be readable, reopen must recover all of them, and syncs never exceed
+// acked durable commits (amortization can only save syncs, never add).
+TEST(ChunkGroupCommitTest, ConcurrentDurableCommitters) {
+  TestEnv env;
+  constexpr int kThreads = 4;
+  constexpr int kCommitsPerThread = 8;
+  std::map<ChunkId, Buffer> model;
+  {
+    auto cs = env.Open(GroupOptions());
+    ASSERT_TRUE(cs.ok());
+    std::vector<std::vector<ChunkId>> ids(kThreads);
+    for (int t = 0; t < kThreads; t++) {
+      for (int i = 0; i < kCommitsPerThread; i++) {
+        ids[t].push_back((*cs)->AllocateChunkId());
+      }
+    }
+    std::atomic<int> failures{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; t++) {
+      threads.emplace_back([&, t] {
+        for (int i = 0; i < kCommitsPerThread; i++) {
+          std::string value = "t" + std::to_string(t) + "#" + std::to_string(i);
+          if (!(*cs)->Write(ids[t][i], Slice(value), true).ok()) {
+            failures.fetch_add(1);
+          }
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+    ASSERT_EQ(failures.load(), 0);
+    for (int t = 0; t < kThreads; t++) {
+      for (int i = 0; i < kCommitsPerThread; i++) {
+        std::string value = "t" + std::to_string(t) + "#" + std::to_string(i);
+        model[ids[t][i]] = Bytes(value);
+      }
+    }
+    ChunkStoreStats stats = (*cs)->Stats();
+    EXPECT_GE(stats.durable_commits, uint64_t{kThreads * kCommitsPerThread});
+    EXPECT_LE(stats.log_syncs, stats.durable_commits);
+    EXPECT_GE(stats.commits_per_sync(), 1.0);
+    for (const auto& [cid, expected] : model) {
+      auto data = (*cs)->Read(cid);
+      ASSERT_TRUE(data.ok()) << cid << ": " << data.status().ToString();
+      EXPECT_EQ(*data, expected);
+    }
+    ASSERT_TRUE((*cs)->Close().ok());
+  }
+  auto cs = env.Open(GroupOptions());
+  ASSERT_TRUE(cs.ok()) << cs.status().ToString();
+  for (const auto& [cid, expected] : model) {
+    auto data = (*cs)->Read(cid);
+    ASSERT_TRUE(data.ok()) << cid << ": " << data.status().ToString();
+    EXPECT_EQ(*data, expected);
+  }
+}
+
+// With an accumulation window, a leader holds the flush open until the
+// early-seal target is reached, so two committers racing from different
+// threads MUST coalesce into one group: one sync round, one counter bump.
+// (Window is generous — seconds — but the target of 2 seals it the moment
+// the second committer buffers, so the test runs at normal speed.)
+TEST(ChunkGroupCommitTest, WindowCoalescesConcurrentCommitters) {
+  TestEnv env;
+  auto options = GroupOptions();
+  options.group_commit_window_us = 5'000'000;
+  options.group_commit_target_commits = 2;
+  auto cs = env.Open(options);
+  ASSERT_TRUE(cs.ok());
+  ChunkId a = (*cs)->AllocateChunkId();
+  ChunkId b = (*cs)->AllocateChunkId();
+
+  ChunkStoreStats before = (*cs)->Stats();
+  std::atomic<int> failures{0};
+  std::thread ta([&] {
+    if (!(*cs)->Write(a, Slice("window rider a"), true).ok()) failures++;
+  });
+  std::thread tb([&] {
+    if (!(*cs)->Write(b, Slice("window rider b"), true).ok()) failures++;
+  });
+  ta.join();
+  tb.join();
+  ASSERT_EQ(failures.load(), 0);
+
+  ChunkStoreStats after = (*cs)->Stats();
+  EXPECT_EQ(after.durable_commits - before.durable_commits, 2u);
+  EXPECT_EQ(after.log_syncs - before.log_syncs, 1u);
+  EXPECT_EQ(after.counter_bumps - before.counter_bumps, 1u);
+  EXPECT_EQ(after.commit_groups - before.commit_groups, 1u);
+  EXPECT_EQ(after.grouped_commits - before.grouped_commits, 2u);
+  EXPECT_EQ(Slice(*(*cs)->Read(a)).ToString(), "window rider a");
+  EXPECT_EQ(Slice(*(*cs)->Read(b)).ToString(), "window rider b");
+}
+
+// group_commit=false must keep the serialized path: every durable commit
+// pays its own sync and counter bump, exactly as before the group-commit
+// change (the amortization metrics stay flat).
+TEST(ChunkGroupCommitTest, SerializedModeBumpsPerCommit) {
+  TestEnv env;
+  auto cs = env.Open(SmallSegments());
+  ASSERT_TRUE(cs.ok());
+  ChunkStoreStats before = (*cs)->Stats();
+  for (int i = 0; i < 3; i++) {
+    ASSERT_TRUE(
+        (*cs)->Write((*cs)->AllocateChunkId(), Slice("serial"), true).ok());
+  }
+  ChunkStoreStats after = (*cs)->Stats();
+  EXPECT_EQ(after.durable_commits - before.durable_commits, 3u);
+  EXPECT_EQ(after.log_syncs - before.log_syncs, 3u);
+  EXPECT_EQ(after.counter_bumps - before.counter_bumps, 3u);
+  EXPECT_EQ(after.commit_groups, 0u);
+  EXPECT_EQ(after.grouped_commits, 0u);
 }
 
 }  // namespace

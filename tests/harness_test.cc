@@ -44,6 +44,15 @@ TraceSpec ChunkCleaningSpec() {
   return spec;
 }
 
+TraceSpec ChunkGroupSpec() {
+  TraceSpec spec;
+  spec.seed = 29;
+  spec.commits = 10;
+  spec.slots = 10;
+  spec.preset = Preset::kGroup;
+  return spec;
+}
+
 TraceSpec ObjectSpec() {
   TraceSpec spec;
   spec.seed = 13;
@@ -168,6 +177,25 @@ TEST(ReproTest, CrashLineRoundTrips) {
   EXPECT_EQ(FormatRepro(parsed.value()), line);
 }
 
+TEST(ReproTest, GroupPresetRoundTrips) {
+  ReproCase repro;
+  repro.layer = "chunk";
+  repro.kind = "crash";
+  repro.spec = ChunkGroupSpec();
+  repro.crash.write_index = 9;
+  repro.crash.tear_num = 5;
+  repro.crash.tear_den = 8;
+
+  std::string line = FormatRepro(repro);
+  EXPECT_NE(line.find("preset=group"), std::string::npos);
+  Result<ReproCase> parsed = ParseRepro(line);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().spec.preset, Preset::kGroup);
+  EXPECT_EQ(parsed.value().crash.tear_num, 5u);
+  EXPECT_EQ(parsed.value().crash.tear_den, 8u);
+  EXPECT_EQ(FormatRepro(parsed.value()), line);
+}
+
 TEST(ReproTest, TamperLineRoundTrips) {
   ReproCase repro;
   repro.layer = "chunk";
@@ -268,6 +296,36 @@ TEST_P(ChunkStrictCrashSweepTest, Exhaustive) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Shards, ChunkStrictCrashSweepTest,
+                         ::testing::Range(0, 4));
+
+// Group commit coalesces runs of nondurable commits into one merged
+// multi-commit record, so this sweep's crash points include tears INSIDE
+// a record that covers several logical commits. The oracle invariant is
+// unchanged — recovered state must be a commit-boundary prefix at least
+// as new as the durable floor — because a merged record applies
+// all-or-nothing and its boundary IS a commit boundary; what the sweep
+// proves is that no group-acked commit is ever lost and no torn group is
+// ever partially applied. Tear buckets are n/8 (vs n/4 elsewhere) so
+// interior sector boundaries of the longer merged appends are reached.
+class ChunkGroupCrashSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChunkGroupCrashSweepTest, Exhaustive) {
+  constexpr int kShards = 4;
+  TraceSpec spec = ChunkGroupSpec();
+  SweepStats stats;
+  Status status = ChunkCrashSweep(spec, GetParam(), kShards, &stats);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+
+  Result<uint64_t> writes = CountChunkTraceWrites(spec);
+  ASSERT_TRUE(writes.ok()) << writes.status().ToString();
+  EXPECT_EQ(stats.write_points, writes.value());
+  EXPECT_EQ(stats.tear_buckets, 9u);
+  EXPECT_EQ(stats.cases, ShardShare(stats.write_points * stats.tear_buckets,
+                                    GetParam(), kShards));
+  PrintCoverage("chunk-group-crash", GetParam(), kShards, stats);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shards, ChunkGroupCrashSweepTest,
                          ::testing::Range(0, 4));
 
 class ChunkCleaningCrashSweepTest : public ::testing::TestWithParam<int> {};

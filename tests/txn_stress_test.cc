@@ -62,14 +62,17 @@ struct Stack {
   std::unique_ptr<ObjectStore> objects;
 };
 
-void OpenStack(Stack* stack) {
-  ASSERT_TRUE(stack->secrets.Provision(Slice("stress-secret")).ok());
+void OpenStack(Stack* stack, bool group_commit = false) {
+  if (!stack->secrets.GetSecret().ok()) {
+    ASSERT_TRUE(stack->secrets.Provision(Slice("stress-secret")).ok());
+  }
   chunk::ChunkStoreOptions chunk_options;
   chunk_options.security = crypto::SecurityConfig::Modern();
   chunk_options.segment_size = 8 * 1024;
   chunk_options.map_fanout = 8;
   chunk_options.cache_bytes = 256 * 1024;  // PR-1 validated-plaintext cache.
   chunk_options.crypto_threads = 4;        // PR-1 commit crypto pipeline.
+  chunk_options.group_commit = group_commit;  // PR-3 group commit.
   auto chunks = chunk::ChunkStore::Open(&stack->mem, &stack->secrets,
                                         &stack->counter, chunk_options);
   ASSERT_TRUE(chunks.ok()) << chunks.status().ToString();
@@ -85,22 +88,28 @@ void OpenStack(Stack* stack) {
       Account::kClassId).ok());
 }
 
-TEST(TxnStressTest, ConcurrentTransfersConserveTotal) {
-  Stack stack;
-  OpenStack(&stack);
-  if (HasFatalFailure()) return;
-
+// Seeds the shared accounts with one durable transaction.
+std::vector<ObjectId> SeedAccounts(Stack* stack) {
   std::vector<ObjectId> accounts;
-  {
-    Transaction txn(stack.objects.get());
-    for (int i = 0; i < kAccounts; i++) {
-      auto oid = txn.Insert(std::make_unique<Account>(kInitialBalance));
-      ASSERT_TRUE(oid.ok()) << oid.status().ToString();
-      accounts.push_back(oid.value());
-    }
-    ASSERT_TRUE(txn.Commit(true).ok());
+  Transaction txn(stack->objects.get());
+  for (int i = 0; i < kAccounts; i++) {
+    auto oid = txn.Insert(std::make_unique<Account>(kInitialBalance));
+    EXPECT_TRUE(oid.ok()) << oid.status().ToString();
+    if (!oid.ok()) return accounts;
+    accounts.push_back(oid.value());
   }
+  EXPECT_TRUE(txn.Commit(true).ok());
+  return accounts;
+}
 
+// The core multi-threaded transfer workload: random-order 2PL lock
+// acquisition (deadlocks broken by timeout), interleaved read-only audits,
+// conservation of the total balance throughout and at the end.
+// `p_durable` controls how many transfers also wait on durability — with
+// group commit enabled that is the path where concurrent committers share
+// one sync and one counter bump.
+void RunTransferStress(Stack* stack, const std::vector<ObjectId>& accounts,
+                       double p_durable) {
   std::atomic<uint64_t> committed{0};
   std::atomic<uint64_t> lock_timeouts{0};
   std::atomic<uint64_t> audits{0};
@@ -113,7 +122,7 @@ TEST(TxnStressTest, ConcurrentTransfersConserveTotal) {
       // see a conserved total (2PL isolation).
       if (t % 8 == 7) {
         for (int attempt = 0;; attempt++) {
-          Transaction txn(stack.objects.get());
+          Transaction txn(stack->objects.get());
           uint64_t sum = 0;
           bool retry = false;
           for (ObjectId oid : accounts) {
@@ -146,10 +155,10 @@ TEST(TxnStressTest, ConcurrentTransfersConserveTotal) {
       uint32_t b = static_cast<uint32_t>(rng.Uniform(kAccounts - 1));
       if (b >= a) b++;
       uint64_t amount = rng.Uniform(50) + 1;
-      bool durable = rng.Bernoulli(0.1);
+      bool durable = rng.Bernoulli(p_durable);
 
       for (int attempt = 0;; attempt++) {
-        Transaction txn(stack.objects.get());
+        Transaction txn(stack->objects.get());
         auto src = txn.OpenWritable<Account>(accounts[a]);
         auto dst = src.ok() ? txn.OpenWritable<Account>(accounts[b])
                             : Result<WritableRef<Account>>(src.status());
@@ -193,7 +202,7 @@ TEST(TxnStressTest, ConcurrentTransfersConserveTotal) {
 
   // Conservation after all threads are done.
   {
-    Transaction txn(stack.objects.get());
+    Transaction txn(stack->objects.get());
     uint64_t sum = 0;
     for (ObjectId oid : accounts) {
       auto ref = txn.OpenReadonly<Account>(oid);
@@ -206,8 +215,53 @@ TEST(TxnStressTest, ConcurrentTransfersConserveTotal) {
 
   // The underlying chunk store (cache + pipeline) is still fully intact.
   uint64_t checked = 0;
-  EXPECT_TRUE(stack.chunks->VerifyIntegrity(&checked).ok());
+  EXPECT_TRUE(stack->chunks->VerifyIntegrity(&checked).ok());
   EXPECT_GE(checked, static_cast<uint64_t>(kAccounts));
+}
+
+TEST(TxnStressTest, ConcurrentTransfersConserveTotal) {
+  Stack stack;
+  OpenStack(&stack);
+  if (HasFatalFailure()) return;
+  std::vector<ObjectId> accounts = SeedAccounts(&stack);
+  if (HasFailure()) return;
+  RunTransferStress(&stack, accounts, /*p_durable=*/0.1);
+}
+
+// Same workload with group commit enabled and EVERY transfer durable: the
+// commit path exercised here is two-stage (early lock release after the
+// batch is buffered, ack after the shared group flush). Conservation and
+// audit isolation must hold exactly as under the serialized path, and the
+// group-acked state must survive a close + reopen.
+TEST(TxnStressTest, GroupCommitDurableTransfersConserveTotal) {
+  Stack stack;
+  OpenStack(&stack, /*group_commit=*/true);
+  if (HasFatalFailure()) return;
+  std::vector<ObjectId> accounts = SeedAccounts(&stack);
+  if (HasFailure()) return;
+  RunTransferStress(&stack, accounts, /*p_durable=*/1.0);
+  if (HasFailure()) return;
+
+  chunk::ChunkStoreStats stats = stack.chunks->Stats();
+  EXPECT_GT(stats.durable_commits, 0u);
+  // Amortization can only merge syncs, never add them.
+  EXPECT_LE(stats.log_syncs, stats.durable_commits);
+  EXPECT_LE(stats.counter_bumps, stats.durable_commits);
+
+  // Every group-acked commit must survive recovery.
+  stack.objects.reset();
+  ASSERT_TRUE(stack.chunks->Close().ok());
+  stack.chunks.reset();
+  OpenStack(&stack, /*group_commit=*/true);
+  if (HasFatalFailure()) return;
+  Transaction txn(stack.objects.get());
+  uint64_t sum = 0;
+  for (ObjectId oid : accounts) {
+    auto ref = txn.OpenReadonly<Account>(oid);
+    ASSERT_TRUE(ref.ok()) << ref.status().ToString();
+    sum += ref.value()->balance();
+  }
+  EXPECT_EQ(sum, kAccounts * kInitialBalance);
 }
 
 // Same workload shape with locking disabled and a single thread: §4.2.3's

@@ -2,16 +2,22 @@
 # Tier-1 verification in one command: configure a fresh out-of-tree build,
 # build everything, and run the full test suite.
 #
-#   tools/check.sh            # build into ./build-check and run ctest
+#   tools/check.sh               # build into ./build-check and run ctest
 #   BUILD_DIR=out tools/check.sh
-#   tools/check.sh --asan     # AddressSanitizer build, harness smoke suite
-#   tools/check.sh --tsan     # ThreadSanitizer build, harness smoke suite
+#   tools/check.sh --asan        # AddressSanitizer build, harness smoke suite
+#   tools/check.sh --tsan        # ThreadSanitizer build, harness smoke suite
+#   tools/check.sh --bench-smoke # build benches, run each briefly
 #
 # The sanitizer modes configure a separate build directory with
 # -DTDB_SANITIZE=<address|thread> and run a smoke subset (the differential
-# harness, the lock/transaction stress tests, and the platform fault
-# model) rather than the full suite, so they stay fast enough to run on
-# every change.
+# harness, the lock/transaction stress tests, the chunk-store group-commit
+# tests, and the platform fault model) rather than the full suite, so they
+# stay fast enough to run on every change.
+#
+# --bench-smoke catches bench bit-rot: every google-benchmark binary runs
+# with a tiny min_time and every scripted bench runs at a reduced scale
+# (TPCB_SCALE/TPCB_TXNS env knobs), so each executes end to end in seconds
+# without producing meaningful numbers.
 #
 # Exits non-zero if configuration, the build, or any test fails.
 set -euo pipefail
@@ -20,11 +26,13 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 
 sanitize=""
 suffix=""
-case "${1:-}" in
+mode="${1:-}"
+case "$mode" in
   --asan) sanitize="address" ; suffix="-asan" ;;
   --tsan) sanitize="thread"  ; suffix="-tsan" ;;
+  --bench-smoke) suffix="" ;;
   "") ;;
-  *) echo "usage: tools/check.sh [--asan|--tsan]" >&2; exit 2 ;;
+  *) echo "usage: tools/check.sh [--asan|--tsan|--bench-smoke]" >&2; exit 2 ;;
 esac
 
 build_dir="${BUILD_DIR:-$repo_root/build-check$suffix}"
@@ -32,14 +40,32 @@ build_dir="${BUILD_DIR:-$repo_root/build-check$suffix}"
 if [[ -n "$sanitize" ]]; then
   cmake -B "$build_dir" -S "$repo_root" -DTDB_SANITIZE="$sanitize"
   # Smoke subset: the harness sweeps (crash + tamper + self-test), the
-  # multi-threaded 2PL stress (the TSan target), the lock manager, and
-  # the torn-write fault model.
-  smoke_targets=(harness_test txn_stress_test lock_manager_test sim_disk_test)
+  # multi-threaded 2PL stress and group-commit coordinator (the TSan
+  # targets), the lock manager, and the torn-write fault model.
+  smoke_targets=(harness_test txn_stress_test chunk_store_test
+                 lock_manager_test sim_disk_test)
   cmake --build "$build_dir" -j "$(nproc)" --target "${smoke_targets[@]}"
   for t in "${smoke_targets[@]}"; do
     echo "== $t ($sanitize sanitizer) =="
     "$build_dir/tests/$t" --gtest_brief=1
   done
+elif [[ "$mode" == "--bench-smoke" ]]; then
+  cmake -B "$build_dir" -S "$repo_root"
+  gbenches=(crypto_micro commit_throughput chunk_micro index_micro
+            cache_micro)
+  scripted=(tpcb_response utilization_sweep footprint_table backup_micro
+            cleaner_ablation recovery_micro)
+  cmake --build "$build_dir" -j "$(nproc)" \
+      --target "${gbenches[@]}" "${scripted[@]}"
+  for b in "${gbenches[@]}"; do
+    echo "== $b (google-benchmark smoke) =="
+    "$build_dir/bench/$b" --benchmark_min_time=0.001 > /dev/null
+  done
+  for b in "${scripted[@]}"; do
+    echo "== $b (scripted smoke) =="
+    TPCB_SCALE=1 TPCB_TXNS=200 "$build_dir/bench/$b" > /dev/null
+  done
+  echo "bench smoke OK: ${#gbenches[@]} gbenches + ${#scripted[@]} scripted"
 else
   cmake -B "$build_dir" -S "$repo_root"
   cmake --build "$build_dir" -j "$(nproc)"
