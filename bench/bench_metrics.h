@@ -1,0 +1,97 @@
+// --metrics-json support shared by the google-benchmark binaries.
+//
+// Benchmark fixtures destroy their store (and with it the store's private
+// MetricsRegistry) before the process exits, so each fixture folds its
+// registry snapshot into a process-wide merged snapshot at teardown via
+// AccumulateMetrics(). TDB_BENCH_MAIN_WITH_METRICS() replaces
+// BENCHMARK_MAIN(): it strips --metrics-json[=FILE] from argv before
+// benchmark::Initialize (google-benchmark rejects unknown flags), runs
+// the benchmarks, then dumps the merged snapshot as JSON to FILE, or to
+// stdout when the flag carries no file. tdbstat --snapshot/--check read
+// that dump back.
+#ifndef TDB_BENCH_BENCH_METRICS_H_
+#define TDB_BENCH_BENCH_METRICS_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+
+namespace tdb::benchutil {
+
+inline std::mutex& MetricsMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+inline common::MetricsSnapshot& MergedMetrics() {
+  static common::MetricsSnapshot snap;
+  return snap;
+}
+
+/// Folds one store's registry snapshot into the process-wide merged
+/// snapshot. Call from fixture teardown, after ChunkStore::Close(), so
+/// the final syncs and counter bumps are included.
+inline void AccumulateMetrics(const common::MetricsSnapshot& snap) {
+  std::lock_guard<std::mutex> lock(MetricsMutex());
+  MergedMetrics().Merge(snap);
+}
+
+inline int BenchMainWithMetrics(int argc, char** argv) {
+  bool metrics_enabled = false;
+  std::string metrics_path;
+  std::vector<char*> args;
+  args.push_back(argv[0]);
+  for (int i = 1; i < argc; i++) {
+    std::string arg = argv[i];
+    if (arg == "--metrics-json") {
+      metrics_enabled = true;
+    } else if (arg.rfind("--metrics-json=", 0) == 0) {
+      metrics_enabled = true;
+      metrics_path = arg.substr(sizeof("--metrics-json=") - 1);
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (metrics_enabled) {
+    std::string json;
+    {
+      std::lock_guard<std::mutex> lock(MetricsMutex());
+      json = MergedMetrics().ToJson();
+    }
+    if (metrics_path.empty() || metrics_path == "-") {
+      std::printf("%s\n", json.c_str());
+    } else {
+      std::ofstream out(metrics_path, std::ios::trunc);
+      out << json << "\n";
+      out.flush();
+      if (!out.good()) {
+        std::fprintf(stderr, "cannot write metrics to %s\n",
+                     metrics_path.c_str());
+        return 1;
+      }
+    }
+  }
+  return 0;
+}
+
+}  // namespace tdb::benchutil
+
+#define TDB_BENCH_MAIN_WITH_METRICS()                        \
+  int main(int argc, char** argv) {                          \
+    return tdb::benchutil::BenchMainWithMetrics(argc, argv); \
+  }
+
+#endif  // TDB_BENCH_BENCH_METRICS_H_

@@ -4,6 +4,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_metrics.h"
 #include "common/random.h"
 #include "object/object_store.h"
 #include "platform/mem_store.h"
@@ -56,6 +57,12 @@ struct Fixture {
     }
     (void)txn.Commit(false).ok();
   }
+
+  ~Fixture() {
+    if (chunks != nullptr) {
+      benchutil::AccumulateMetrics(chunks->metrics()->Snapshot());
+    }
+  }
 };
 
 // Working set fits: after warmup, every read is a cache hit.
@@ -106,4 +113,4 @@ BENCHMARK(BM_ObjectWriteCommit);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+TDB_BENCH_MAIN_WITH_METRICS();

@@ -5,6 +5,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_metrics.h"
 #include "chunk/chunk_store.h"
 #include "common/random.h"
 #include "platform/mem_store.h"
@@ -37,6 +38,12 @@ struct Fixture {
     options.crypto_threads = crypto_threads;
     chunks = std::move(ChunkStore::Open(&store, &secrets, &counter, options))
                  .value();
+  }
+
+  ~Fixture() {
+    if (chunks != nullptr) {
+      benchutil::AccumulateMetrics(chunks->metrics()->Snapshot());
+    }
   }
 };
 
@@ -188,4 +195,4 @@ BENCHMARK(BM_ChunkBatchCommitLarge)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+TDB_BENCH_MAIN_WITH_METRICS();

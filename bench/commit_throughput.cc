@@ -14,16 +14,22 @@
 // Emit JSON with:
 //   commit_throughput --benchmark_out=BENCH_commit_throughput.json
 //                     --benchmark_out_format=json  (one command line)
+//
+// --metrics-json[=FILE] additionally dumps the merged metrics-registry
+// snapshot (chunk.sync.latency_us, txn.lock_wait_us, audit trail, ...)
+// for tdbstat --snapshot / --check.
 
 #include <benchmark/benchmark.h>
 
 #include <atomic>
+#include <barrier>
 #include <cstdlib>
 #include <filesystem>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "bench_metrics.h"
 #include "chunk/chunk_store.h"
 #include "common/random.h"
 #include "object/object_store.h"
@@ -95,8 +101,15 @@ struct ChunkFixture {
   platform::SecretStore* secrets_ptr() { return &secrets; }
 
   ~ChunkFixture() {
+    // Keep the registry alive past Close() so the final sync lands in the
+    // merged --metrics-json snapshot.
+    std::shared_ptr<common::MetricsRegistry> registry =
+        chunks != nullptr ? chunks->metrics() : nullptr;
     if (chunks != nullptr) (void)chunks->Close().ok();
     chunks.reset();
+    if (registry != nullptr) {
+      benchutil::AccumulateMetrics(registry->Snapshot());
+    }
     std::filesystem::remove_all(dir);
   }
 };
@@ -230,9 +243,14 @@ struct TpcbFixture {
   }
 
   ~TpcbFixture() {
+    std::shared_ptr<common::MetricsRegistry> registry =
+        chunks != nullptr ? chunks->metrics() : nullptr;
     objects.reset();
     if (chunks != nullptr) (void)chunks->Close().ok();
     chunks.reset();
+    if (registry != nullptr) {
+      benchutil::AccumulateMetrics(registry->Snapshot());
+    }
     std::filesystem::remove_all(dir);
   }
 };
@@ -256,11 +274,17 @@ void RunTpcb(benchmark::State& state, bool group_commit) {
     uint64_t delta = rng.Uniform(100) + 1;
     for (;;) {
       object::Transaction txn(fx.objects.get());
-      auto acc = txn.OpenWritable<BankRecord>(account);
-      auto tel = acc.ok() ? txn.OpenWritable<BankRecord>(teller)
+      // Hot lock first: the branch table has only 64 rows, so the branch
+      // record is the contended one. Acquiring it before the teller and
+      // account holds it across the rest of the transaction, which makes
+      // lock contention (txn.lock_wait_us, lock-manager wait counts) a
+      // measurable signal instead of an artifact of open order — and is
+      // exactly the window early lock release shortens under group commit.
+      auto brn = txn.OpenWritable<BankRecord>(branch);
+      auto tel = brn.ok() ? txn.OpenWritable<BankRecord>(teller)
                           : Result<object::WritableRef<BankRecord>>(
-                                acc.status());
-      auto brn = tel.ok() ? txn.OpenWritable<BankRecord>(branch)
+                                brn.status());
+      auto acc = tel.ok() ? txn.OpenWritable<BankRecord>(account)
                           : Result<object::WritableRef<BankRecord>>(
                                 tel.status());
       if (!acc.ok() || !tel.ok() || !brn.ok()) {
@@ -318,6 +342,106 @@ BENCHMARK(BM_TpcbDurableGroup)
     ->Threads(1)->Threads(4)->Threads(8)
     ->UseRealTime();
 
+// ---------------------------------------------------------------------------
+// Deadlock-avoidance cost: two clients acquire the same two records in
+// opposite orders, with a barrier between the first and second acquisition
+// so the conflict is guaranteed (random workloads on few cores almost
+// never overlap inside the lock window — transactions here hold locks only
+// across in-memory work). Each round one side's second lock expires its
+// (short) timeout and the transaction aborts; the other side's wait is
+// granted the moment the loser releases. Per round this exercises exactly
+// the satellite counters: two lock waits, one timeout, one deadlock abort,
+// and two txn.lock_wait_us samples near the configured timeout.
+
+struct LockConflictFixture {
+  std::string dir;
+  std::unique_ptr<platform::FileUntrustedStore> files;
+  platform::MemSecretStore secrets;
+  std::unique_ptr<platform::FileOneWayCounter> counter;
+  std::unique_ptr<ChunkStore> chunks;
+  std::unique_ptr<object::ObjectStore> objects;
+  object::ObjectId a = 0, b = 0;
+  std::barrier<> barrier{2};
+
+  LockConflictFixture() {
+    dir = FreshBenchDir();
+    files = std::make_unique<platform::FileUntrustedStore>(dir);
+    (void)secrets.Provision(Slice("bench-secret")).ok();
+    counter = std::make_unique<platform::FileOneWayCounter>(dir + "/counter");
+    chunks = std::move(ChunkStore::Open(files.get(), &secrets, counter.get(),
+                                        ThroughputOptions(false, 2)))
+                 .value();
+    object::ObjectStoreOptions options;
+    options.lock_timeout = std::chrono::milliseconds(5);
+    objects = std::move(object::ObjectStore::Open(chunks.get(), options))
+                  .value();
+    TDB_CHECK(objects->registry().Register<BankRecord>(BankRecord::kClassId)
+                  .ok(),
+              "register");
+    object::Transaction txn(objects.get());
+    a = txn.Insert(std::make_unique<BankRecord>(0)).value();
+    b = txn.Insert(std::make_unique<BankRecord>(0)).value();
+    TDB_CHECK(txn.Commit(true).ok(), "seed commit");
+  }
+
+  ~LockConflictFixture() {
+    std::shared_ptr<common::MetricsRegistry> registry =
+        chunks != nullptr ? chunks->metrics() : nullptr;
+    objects.reset();
+    if (chunks != nullptr) (void)chunks->Close().ok();
+    chunks.reset();
+    if (registry != nullptr) {
+      benchutil::AccumulateMetrics(registry->Snapshot());
+    }
+    std::filesystem::remove_all(dir);
+  }
+};
+
+std::unique_ptr<LockConflictFixture> g_lock_fixture;
+
+void BM_LockConflict(benchmark::State& state) {
+  if (state.thread_index() == 0) {
+    g_lock_fixture = std::make_unique<LockConflictFixture>();
+  }
+  uint64_t aborted = 0;
+  for (auto _ : state) {
+    LockConflictFixture& fx = *g_lock_fixture;
+    const bool forward = state.thread_index() == 0;
+    object::Transaction txn(fx.objects.get());
+    auto first =
+        txn.OpenWritable<BankRecord>(forward ? fx.a : fx.b);
+    // Both sides hold their first lock before either requests its second;
+    // every code path below reaches the closing barrier exactly once.
+    fx.barrier.arrive_and_wait();
+    if (first.ok()) {
+      auto second =
+          txn.OpenWritable<BankRecord>(forward ? fx.b : fx.a);
+      if (second.ok()) {
+        second.value()->set_value(second.value()->value() + 1);
+        (void)txn.Commit(/*durable=*/false).ok();
+      } else {
+        aborted++;
+        (void)txn.Abort().ok();
+      }
+    } else {
+      aborted++;
+      (void)txn.Abort().ok();
+    }
+    fx.barrier.arrive_and_wait();
+  }
+  state.counters["aborts"] =
+      benchmark::Counter(static_cast<double>(aborted));
+  if (state.thread_index() == 0) {
+    object::ObjectStoreStats stats = g_lock_fixture->objects->Stats();
+    state.counters["lock_waits"] =
+        static_cast<double>(stats.lock_waits);
+    state.counters["deadlock_aborts"] =
+        static_cast<double>(stats.deadlock_aborts);
+    g_lock_fixture.reset();
+  }
+}
+BENCHMARK(BM_LockConflict)->Threads(2)->UseRealTime();
+
 }  // namespace
 
-BENCHMARK_MAIN();
+TDB_BENCH_MAIN_WITH_METRICS();

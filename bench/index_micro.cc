@@ -3,6 +3,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_metrics.h"
 #include "collection/collection.h"
 #include "common/random.h"
 #include "platform/mem_store.h"
@@ -63,6 +64,12 @@ struct Fixture {
       (void)(*coll)->Insert(&txn, std::make_unique<Item>(i)).status().ok();
     }
     (void)txn.Commit(false).ok();
+  }
+
+  ~Fixture() {
+    if (chunks != nullptr) {
+      benchutil::AccumulateMetrics(chunks->metrics()->Snapshot());
+    }
   }
 };
 
@@ -139,4 +146,4 @@ BENCHMARK(BM_RangeList)->Arg(10000);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+TDB_BENCH_MAIN_WITH_METRICS();

@@ -2,6 +2,7 @@
 
 #include "common/check.h"
 #include "common/coding.h"
+#include "common/trace.h"
 #include "crypto/hmac.h"
 
 namespace tdb::backup {
@@ -32,7 +33,16 @@ Result<std::unique_ptr<BackupStore>> BackupStore::Open(
 BackupStore::BackupStore(chunk::ChunkStore* chunks,
                          platform::ArchivalStore* archive,
                          crypto::CipherSuite suite)
-    : chunks_(chunks), archive_(archive), suite_(std::move(suite)) {}
+    : chunks_(chunks), archive_(archive), suite_(std::move(suite)) {
+  common::MetricsRegistry* r = chunks_->metrics().get();
+  m_.fulls = r->GetCounter("backup.fulls");
+  m_.incrementals = r->GetCounter("backup.incrementals");
+  m_.chunks_written = r->GetCounter("backup.chunks_written");
+  m_.bytes_written = r->GetCounter("backup.bytes_written");
+  m_.restores = r->GetCounter("backup.restores");
+  m_.chunks_restored = r->GetCounter("backup.chunks_restored");
+  m_.create_latency_us = r->GetHistogram("backup.create.latency_us");
+}
 
 Result<BackupInfo> BackupStore::CreateFull(const std::string& archive_name) {
   return Create(archive_name, /*full=*/true);
@@ -49,6 +59,8 @@ Result<BackupInfo> BackupStore::CreateIncremental(
 
 Result<BackupInfo> BackupStore::Create(const std::string& archive_name,
                                        bool full) {
+  common::TraceSpan span("backup.create");
+  common::ScopedTimer timer(chunks_->metrics().get(), m_.create_latency_us);
   TDB_ASSIGN_OR_RETURN(std::shared_ptr<chunk::Snapshot> snap,
                        chunks_->CreateSnapshot());
 
@@ -125,6 +137,9 @@ Result<BackupInfo> BackupStore::Create(const std::string& archive_name,
   info.chunks = to_write.size();
   info.removed = removed.size();
   info.bytes = body.size() + trailer.size();
+  (full ? m_.fulls : m_.incrementals)->Increment();
+  m_.chunks_written->Add(static_cast<int64_t>(info.chunks));
+  m_.bytes_written->Add(static_cast<int64_t>(info.bytes));
   return info;
 }
 
@@ -157,15 +172,20 @@ Status BackupStore::Restore(const std::vector<std::string>& archive_names,
     TDB_RETURN_IF_ERROR(reader->Read(total - trailer_size, &body));
     TDB_RETURN_IF_ERROR(reader->Read(trailer_size, &trailer));
 
+    common::AuditLog& audit = chunks_->metrics()->audit();
     Decoder tdec{Slice(trailer)};
     uint32_t cksum;
     TDB_RETURN_IF_ERROR(tdec.GetFixed32(&cksum));
     if (Checksum32(body) != cksum) {
+      audit.Record("backup_tamper", common::kRegionUnknown, name,
+                   "backup checksum mismatch");
       return Status::TamperDetected("backup checksum mismatch: " + name);
     }
     crypto::Digest mac;
     TDB_RETURN_IF_ERROR(chunk::GetDigest(&tdec, suite_.hash_size(), &mac));
     if (suite_.enabled() && mac != suite_.Mac(body)) {
+      audit.Record("backup_tamper", common::kRegionUnknown, name,
+                   "backup MAC invalid");
       return Status::TamperDetected("backup MAC invalid: " + name);
     }
 
@@ -197,6 +217,8 @@ Status BackupStore::Restore(const std::vector<std::string>& archive_names,
       TDB_RETURN_IF_ERROR(dec.GetLengthPrefixed(&sealed));
       auto plain = suite_.Open(sealed);
       if (!plain.ok()) {
+        audit.Record("backup_tamper", common::kRegionUnknown, name,
+                     "backup chunk decryption failed");
         return Status::TamperDetected("backup chunk decryption failed");
       }
       backup.writes.push_back({cid, std::move(plain).value()});
@@ -225,6 +247,9 @@ Status BackupStore::Restore(const std::vector<std::string>& archive_names,
       return Status::InvalidArgument("incremental backups out of sequence");
     }
     if (suite_.enabled() && parsed[i].prev_mac != parsed[i - 1].mac) {
+      chunks_->metrics()->audit().Record(
+          "backup_tamper", common::kRegionUnknown, archive_names[i],
+          "incremental does not chain to its predecessor");
       return Status::TamperDetected(
           "incremental does not chain to its predecessor");
     }
@@ -233,6 +258,7 @@ Status BackupStore::Restore(const std::vector<std::string>& archive_names,
   // Phase 2: apply, one durable commit per backup. When `target` is null
   // (Verify), validation alone was the point.
   if (target == nullptr) return Status::OK();
+  common::TraceSpan span("backup.restore");
   for (const ParsedBackup& backup : parsed) {
     chunk::WriteBatch batch;
     for (const auto& [cid, plain] : backup.writes) batch.Write(cid, plain);
@@ -240,7 +266,9 @@ Status BackupStore::Restore(const std::vector<std::string>& archive_names,
     if (!batch.empty()) {
       TDB_RETURN_IF_ERROR(target->Commit(batch, /*durable=*/true));
     }
+    m_.chunks_restored->Add(static_cast<int64_t>(backup.writes.size()));
   }
+  m_.restores->Increment();
   return Status::OK();
 }
 

@@ -75,9 +75,21 @@ class BackupStore {
 
   Result<BackupInfo> Create(const std::string& archive_name, bool full);
 
+  // Registry-backed instruments (on the chunk store's shared registry).
+  struct Instruments {
+    common::Counter* fulls = nullptr;
+    common::Counter* incrementals = nullptr;
+    common::Counter* chunks_written = nullptr;
+    common::Counter* bytes_written = nullptr;
+    common::Counter* restores = nullptr;
+    common::Counter* chunks_restored = nullptr;
+    common::Histogram* create_latency_us = nullptr;
+  };
+
   chunk::ChunkStore* chunks_;
   platform::ArchivalStore* archive_;
   crypto::CipherSuite suite_;
+  Instruments m_;
 
   bool has_lineage_ = false;
   uint64_t next_seq_ = 0;

@@ -6,9 +6,35 @@
 #include <unordered_map>
 
 #include "chunk/types.h"
+#include "common/metrics.h"
 #include "common/slice.h"
 
 namespace tdb::chunk {
+
+/// Why a validated-plaintext entry left the cache. Every mutation site is
+/// tagged so hit-ratio math stays trustworthy: before causes were tracked,
+/// Stats() only counted capacity evictions and silently missed erasures on
+/// deallocation and failed/aborted commits.
+enum class EvictCause {
+  kCapacity = 0,      // LRU pressure in EvictToFit.
+  kDealloc = 1,       // Chunk deallocated by a committed batch.
+  kFailedCommit = 2,  // Batch failed/rolled back; ids dropped defensively.
+  kRelocation = 3,    // Cleaner relocation. Structurally zero by design:
+                      // relocation moves sealed bytes verbatim (same id,
+                      // same plaintext), so entries survive; the counter
+                      // exists to prove that claim in live stats.
+};
+
+/// Per-cause eviction counts, plus the compatibility total.
+struct CacheEvictionCounts {
+  uint64_t capacity = 0;
+  uint64_t dealloc = 0;
+  uint64_t failed_commit = 0;
+  uint64_t relocation = 0;
+  uint64_t total() const {
+    return capacity + dealloc + failed_commit + relocation;
+  }
+};
 
 /// Byte-budgeted LRU cache of validated plaintext chunk payloads.
 ///
@@ -34,6 +60,12 @@ class ChunkCache {
   /// `capacity_bytes` = 0 disables the cache (all ops become no-ops).
   explicit ChunkCache(size_t capacity_bytes) : capacity_(capacity_bytes) {}
 
+  /// Mirrors eviction counts and occupancy into registry instruments (all
+  /// may be null). Call before concurrent use; the owning ChunkStore does
+  /// so in its constructor.
+  void AttachMetrics(common::Counter* evictions[4],
+                     common::Gauge* bytes_used);
+
   bool enabled() const { return capacity_ > 0; }
 
   /// On a hit, copies the cached payload into `*out`, refreshes the LRU
@@ -48,8 +80,9 @@ class ChunkCache {
   /// replace — i.e. erase — any stale entry under the same id).
   void Put(ChunkId cid, Slice data);
 
-  /// Drops the entry for `cid` if present (deallocate / failed commit).
-  void Erase(ChunkId cid);
+  /// Drops the entry for `cid` if present, attributing the eviction to
+  /// `cause` (only counted when an entry was actually present).
+  void Erase(ChunkId cid, EvictCause cause);
 
   /// Drops everything.
   void Clear();
@@ -62,9 +95,15 @@ class ChunkCache {
     std::lock_guard<std::mutex> lock(mu_);
     return entries_.size();
   }
+  /// All evictions regardless of cause (the pre-cause compatibility view —
+  /// which previously undercounted by missing every non-capacity cause).
   uint64_t evictions() const {
     std::lock_guard<std::mutex> lock(mu_);
-    return evictions_;
+    return counts_.total();
+  }
+  CacheEvictionCounts eviction_counts() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return counts_;
   }
 
  private:
@@ -80,15 +119,19 @@ class ChunkCache {
   size_t Charge(const Buffer& data) const {
     return data.size() + kEntryOverhead;
   }
-  void EvictToFit(size_t incoming_charge);  // Requires mu_.
-  void EraseLocked(ChunkId cid);            // Requires mu_.
+  void EvictToFit(size_t incoming_charge);      // Requires mu_.
+  bool EraseLocked(ChunkId cid);                // Requires mu_.
+  void CountEvictionLocked(EvictCause cause);   // Requires mu_.
+  void MirrorSizeLocked();                      // Requires mu_.
 
   mutable std::mutex mu_;
   std::unordered_map<ChunkId, Entry> entries_;
   std::list<ChunkId> lru_;  // Front = most recently used.
   size_t capacity_;
   size_t size_ = 0;
-  uint64_t evictions_ = 0;
+  CacheEvictionCounts counts_;
+  common::Counter* evict_metrics_[4] = {nullptr, nullptr, nullptr, nullptr};
+  common::Gauge* bytes_used_metric_ = nullptr;
 };
 
 }  // namespace tdb::chunk

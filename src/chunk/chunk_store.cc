@@ -8,6 +8,7 @@
 #include <unordered_set>
 
 #include "common/check.h"
+#include "common/trace.h"
 
 namespace tdb::chunk {
 
@@ -63,7 +64,70 @@ ChunkStore::ChunkStore(platform::UntrustedStore* store,
       suite_(std::move(suite)),
       anchor_mgr_(store, &suite_, entry_hash_size()),
       map_(options.map_fanout),
-      cache_(options.cache_bytes) {}
+      metrics_(options.metrics != nullptr
+                   ? options.metrics
+                   : std::make_shared<common::MetricsRegistry>()),
+      cache_(options.cache_bytes) {
+  BindInstruments();
+  cache_.AttachMetrics(m_.cache_evictions, m_.cache_bytes_used);
+}
+
+void ChunkStore::BindInstruments() {
+  common::MetricsRegistry* r = metrics_.get();
+  m_.live_bytes = r->GetGauge("chunk.live_bytes");
+  m_.total_bytes = r->GetGauge("chunk.total_bytes");
+  m_.segments = r->GetGauge("chunk.segments");
+  m_.live_chunks = r->GetGauge("chunk.live_chunks");
+  m_.commits = r->GetCounter("chunk.commits");
+  m_.durable_commits = r->GetCounter("chunk.durable_commits");
+  m_.checkpoints = r->GetCounter("chunk.checkpoints");
+  m_.cleaned_segments = r->GetCounter("chunk.cleaner.segments_cleaned");
+  m_.relocated_records = r->GetCounter("chunk.cleaner.relocated_records");
+  m_.relocated_bytes = r->GetCounter("chunk.cleaner.relocated_bytes");
+  m_.bytes_appended = r->GetCounter("chunk.bytes_appended");
+  m_.data_bytes = r->GetCounter("chunk.data_bytes");
+  m_.map_bytes = r->GetCounter("chunk.map_bytes");
+  m_.commit_bytes = r->GetCounter("chunk.commit_bytes");
+  m_.cache_hits = r->GetCounter("chunk.cache.hits");
+  m_.cache_misses = r->GetCounter("chunk.cache.misses");
+  m_.cache_evictions[0] = r->GetCounter("chunk.cache.evictions.capacity");
+  m_.cache_evictions[1] = r->GetCounter("chunk.cache.evictions.dealloc");
+  m_.cache_evictions[2] =
+      r->GetCounter("chunk.cache.evictions.failed_commit");
+  m_.cache_evictions[3] = r->GetCounter("chunk.cache.evictions.relocation");
+  m_.cache_bytes_used = r->GetGauge("chunk.cache.bytes_used");
+  m_.sealed_bytes = r->GetCounter("chunk.sealed_bytes");
+  m_.parallel_sealed_bytes = r->GetCounter("chunk.parallel_sealed_bytes");
+  m_.commit_groups = r->GetCounter("chunk.commit_groups");
+  m_.grouped_commits = r->GetCounter("chunk.grouped_commits");
+  m_.max_commits_per_group = r->GetGauge("chunk.max_commits_per_group");
+  m_.log_syncs = r->GetCounter("chunk.log_syncs");
+  m_.counter_bumps = r->GetCounter("chunk.counter_bumps");
+  m_.read_latency_us = r->GetHistogram("chunk.read.latency_us");
+  m_.seal_latency_us = r->GetHistogram("chunk.seal.latency_us");
+  m_.sync_latency_us = r->GetHistogram("chunk.sync.latency_us");
+  m_.counter_bump_latency_us =
+      r->GetHistogram("chunk.counter_bump.latency_us");
+  m_.group_flush_latency_us =
+      r->GetHistogram("chunk.group_flush.latency_us");
+  m_.commit_latency_us = r->GetHistogram("chunk.commit.latency_us");
+  m_.verify_latency_us = r->GetHistogram("chunk.verify.latency_us");
+  m_.recovery_time_us = r->GetGauge("recovery.time_us");
+  m_.recovery_commits_replayed = r->GetGauge("recovery.commits_replayed");
+  m_.recovery_chunks_replayed = r->GetGauge("recovery.chunks_replayed");
+  m_.verified_chunks = r->GetCounter("chunk.verify.chunks");
+}
+
+void ChunkStore::AuditDetect(const char* kind, int region,
+                             const std::string& location,
+                             const std::string& message) {
+  metrics_->audit().Record(kind, region, location, message);
+}
+
+std::string ChunkStore::LocationString(const Location& loc) {
+  return "seg " + std::to_string(loc.segment) + " off " +
+         std::to_string(loc.offset);
+}
 
 ThreadPool* ChunkStore::CryptoPool() {
   if (options_.crypto_threads <= 1) return nullptr;
@@ -131,6 +195,8 @@ Result<std::unique_ptr<ChunkStore>> ChunkStore::Open(
     for (const std::string& name : store->List()) {
       uint32_t id;
       if (ParseSegmentName(name, &id)) {
+        cs->AuditDetect("anchor_missing", common::kRegionAnchor, "anchor",
+                        "segments present but anchor missing");
         return Status::TamperDetected("segments present but anchor missing");
       }
     }
@@ -139,6 +205,11 @@ Result<std::unique_ptr<ChunkStore>> ChunkStore::Open(
     }
     TDB_RETURN_IF_ERROR(cs->Bootstrap());
   } else {
+    if (anchor.status().IsTamperDetected() ||
+        anchor.status().IsCorruption()) {
+      cs->AuditDetect("torn_anchor", common::kRegionAnchor, "anchor",
+                      anchor.status().ToString());
+    }
     return anchor.status();
   }
   cs->open_.store(true);
@@ -156,6 +227,8 @@ Status ChunkStore::Bootstrap() {
 
 Status ChunkStore::Recover() {
   std::unique_lock<std::mutex> lock(mu_);
+  common::TraceSpan span("chunk.recover");
+  const uint64_t recover_start = common::MonotonicMicros();
   TDB_ASSIGN_OR_RETURN(AnchorState anchor, anchor_mgr_.Load());
 
   // Freshness floor: the hardware counter can never be behind the anchor.
@@ -164,6 +237,8 @@ Status ChunkStore::Recover() {
   if (suite_.enabled()) {
     TDB_ASSIGN_OR_RETURN(uint64_t cv, counter_->Read());
     if (cv < anchor.counter) {
+      AuditDetect("counter_regression", common::kRegionCounter, "counter",
+                  "one-way counter behind anchor");
       return Status::TamperDetected("one-way counter behind anchor");
     }
     counter_value_ = cv;
@@ -298,6 +373,9 @@ Status ChunkStore::Recover() {
     // The hardware counter ahead of the log means the current log is stale
     // or truncated (the counter only advances after a successful sync).
     if (counter_value_ > last_counter) {
+      AuditDetect("replay", common::kRegionLog, "log",
+                  "stale or truncated database image (counter ahead of "
+                  "log state)");
       return Status::ReplayDetected(
           "stale or truncated database image (counter behind log state)");
     }
@@ -311,6 +389,8 @@ Status ChunkStore::Recover() {
       TDB_ASSIGN_OR_RETURN(counter_value_, counter_->Increment());
     }
     if (counter_value_ != last_counter) {
+      AuditDetect("counter_regression", common::kRegionCounter, "counter",
+                  "one-way counter out of sync with log");
       return Status::TamperDetected("one-way counter out of sync with log");
     }
   }
@@ -322,8 +402,10 @@ Status ChunkStore::Recover() {
   }
   uint32_t tail_segment = scan_segment_;
   uint64_t tail_offset = scan_offset_;
+  uint64_t replayed_chunks = 0;
   for (size_t i = 0; i < last_durable; i++) {
     const ScannedCommit& c = commits[i];
+    replayed_chunks += c.manifest.writes.size();
     for (const ManifestWrite& w : c.manifest.writes) {
       MapEntry entry;
       entry.present = true;
@@ -367,23 +449,28 @@ Status ChunkStore::Recover() {
 
   // Normalize: a fresh checkpoint + anchor resets the crash windows, makes
   // discarded nondurable garbage unreachable, and re-syncs the counter.
-  return CheckpointLocked();
+  Status normalized = CheckpointLocked();
+  m_.recovery_commits_replayed->Set(static_cast<int64_t>(last_durable));
+  m_.recovery_chunks_replayed->Set(static_cast<int64_t>(replayed_chunks));
+  m_.recovery_time_us->Set(
+      static_cast<int64_t>(common::MonotonicMicros() - recover_start));
+  return normalized;
 }
 
 Status ChunkStore::RebuildAccounting() {
   segments_.clear();
-  stats_.live_bytes.store(0);
-  stats_.total_bytes.store(0);
-  stats_.live_chunks.store(0);
+  m_.live_bytes->Set(0);
+  m_.total_bytes->Set(0);
+  m_.live_chunks->Set(0);
   for (const std::string& name : store_->List()) {
     uint32_t id;
     if (!ParseSegmentName(name, &id)) continue;
     TDB_ASSIGN_OR_RETURN(uint64_t size, store_->Size(name));
     segments_[id].total = size;
-    stats_.total_bytes.fetch_add(size);
+    m_.total_bytes->Add(static_cast<int64_t>(size));
   }
   if (!has_root_) {
-    stats_.segments.store(segments_.size());
+    m_.segments->Set(static_cast<int64_t>(segments_.size()));
     return Status::OK();
   }
   NodeLoader loader = MakeLoader();
@@ -398,11 +485,11 @@ Status ChunkStore::RebuildAccounting() {
             if (!entry.present) continue;
             AccountLive(entry.loc.segment,
                         kRecordHeaderSize + entry.loc.length);
-            stats_.live_chunks.fetch_add(1);
+            m_.live_chunks->Add(1);
           }
         }
       }));
-  stats_.segments.store(segments_.size());
+  m_.segments->Set(static_cast<int64_t>(segments_.size()));
   return Status::OK();
 }
 
@@ -421,7 +508,7 @@ Status ChunkStore::OpenFreshSegment() {
   cur_offset_ = 0;
   tail_buf_ = EncodeSegmentHeader(cur_segment_);
   segments_[cur_segment_] = SegInfo{};
-  stats_.segments.store(segments_.size());
+  m_.segments->Set(static_cast<int64_t>(segments_.size()));
   return Status::OK();
 }
 
@@ -441,13 +528,13 @@ Result<Location> ChunkStore::Append(RecordType type, Slice payload) {
   AppendRecord(&tail_buf_, type, payload);
   switch (type) {
     case RecordType::kData:
-      stats_.data_bytes.fetch_add(record_size);
+      m_.data_bytes->Add(static_cast<int64_t>(record_size));
       break;
     case RecordType::kMapNode:
-      stats_.map_bytes.fetch_add(record_size);
+      m_.map_bytes->Add(static_cast<int64_t>(record_size));
       break;
     case RecordType::kCommit:
-      stats_.commit_bytes.fetch_add(record_size);
+      m_.commit_bytes->Add(static_cast<int64_t>(record_size));
       break;
   }
   return loc;
@@ -458,8 +545,8 @@ Status ChunkStore::FlushTail() {
   const std::string name = SegmentName(cur_segment_);
   TDB_RETURN_IF_ERROR(store_->Write(name, cur_offset_, tail_buf_));
   segments_[cur_segment_].total += tail_buf_.size();
-  stats_.total_bytes.fetch_add(tail_buf_.size());
-  stats_.bytes_appended.fetch_add(tail_buf_.size());
+  m_.total_bytes->Add(static_cast<int64_t>(tail_buf_.size()));
+  m_.bytes_appended->Add(static_cast<int64_t>(tail_buf_.size()));
   cur_offset_ += tail_buf_.size();
   residual_bytes_ += tail_buf_.size();
   dirty_files_.insert(name);
@@ -468,11 +555,13 @@ Status ChunkStore::FlushTail() {
 }
 
 Status ChunkStore::SyncDirtyFilesLocked() {
+  common::TraceSpan span("chunk.sync");
+  common::ScopedTimer timer(metrics_.get(), m_.sync_latency_us);
   for (const std::string& name : dirty_files_) {
     TDB_RETURN_IF_ERROR(store_->Sync(name));
   }
   dirty_files_.clear();
-  stats_.log_syncs.fetch_add(1);
+  m_.log_syncs->Increment();
   return Status::OK();
 }
 
@@ -490,6 +579,8 @@ Result<Buffer> ChunkStore::FetchRawRecord(const Location& loc,
     // either fully here or fully in the store.
     const uint64_t start = loc.offset - cur_offset_;
     if (start + record_size > tail_buf_.size()) {
+      AuditDetect("record_mismatch", common::kRegionLog,
+                  LocationString(loc), "tail record beyond buffer");
       return Status::TamperDetected("record does not match location map");
     }
     bytes = Slice(tail_buf_.data() + start, record_size).ToBuffer();
@@ -497,17 +588,24 @@ Result<Buffer> ChunkStore::FetchRawRecord(const Location& loc,
     Status read = store_->Read(SegmentName(loc.segment), loc.offset,
                                record_size, &bytes);
     if (!read.ok()) {
-      return read.IsNotFound() || read.IsCorruption()
-                 ? Status::TamperDetected("record missing: " + read.ToString())
-                 : read;
+      if (read.IsNotFound() || read.IsCorruption()) {
+        AuditDetect("record_missing", common::kRegionLog,
+                    LocationString(loc), read.ToString());
+        return Status::TamperDetected("record missing: " + read.ToString());
+      }
+      return read;
     }
   }
   RecordView view;
   Status parsed = ParseRecord(bytes, &view);
   if (!parsed.ok()) {
+    AuditDetect("record_damaged", common::kRegionLog, LocationString(loc),
+                parsed.ToString());
     return Status::TamperDetected("record damaged: " + parsed.ToString());
   }
   if (view.type != expected || view.payload.size() != loc.length) {
+    AuditDetect("record_mismatch", common::kRegionLog, LocationString(loc),
+                "type or length disagrees with location map");
     return Status::TamperDetected("record does not match location map");
   }
   return view.payload.ToBuffer();
@@ -518,6 +616,10 @@ Result<Buffer> ChunkStore::ReadRawRecord(const Location& loc,
                                          const crypto::Digest& expected_hash) {
   TDB_ASSIGN_OR_RETURN(Buffer payload, FetchRawRecord(loc, expected));
   if (suite_.enabled() && EntryHash(payload) != expected_hash) {
+    AuditDetect("hash_mismatch",
+                expected == RecordType::kMapNode ? common::kRegionMap
+                                                 : common::kRegionPayload,
+                LocationString(loc), "record hash does not match map entry");
     return Status::TamperDetected("chunk hash mismatch");
   }
   return payload;
@@ -529,6 +631,8 @@ Result<Buffer> ChunkStore::ReadDataAt(const MapEntry& entry) {
                                      entry.hash));
   auto plain = suite_.Open(sealed);
   if (!plain.ok()) {
+    AuditDetect("decrypt_failure", common::kRegionPayload,
+                LocationString(entry.loc), plain.status().ToString());
     return Status::TamperDetected("chunk decryption failed: " +
                                   plain.status().ToString());
   }
@@ -543,12 +647,16 @@ NodeLoader ChunkStore::MakeLoader() {
                          ReadRawRecord(loc, RecordType::kMapNode, hash));
     auto plain = suite_.Open(sealed);
     if (!plain.ok()) {
+      AuditDetect("decrypt_failure", common::kRegionMap, LocationString(loc),
+                  "map node decryption failed");
       return Status::TamperDetected("map node decryption failed");
     }
     TDB_ASSIGN_OR_RETURN(
         std::shared_ptr<MapNode> node,
         LocationMap::DecodeNode(*plain, map_.fanout(), entry_hash_size()));
     if (node->level != level || node->index != index) {
+      AuditDetect("map_node_mismatch", common::kRegionMap,
+                  LocationString(loc), "map node identity mismatch");
       return Status::TamperDetected("map node identity mismatch");
     }
     node->has_persisted = true;
@@ -565,11 +673,17 @@ Result<std::shared_ptr<MapNode>> ChunkStore::LoadRoot(
   TDB_ASSIGN_OR_RETURN(Buffer sealed,
                        ReadRawRecord(loc, RecordType::kMapNode, hash));
   auto plain = suite_.Open(sealed);
-  if (!plain.ok()) return Status::TamperDetected("map root decryption failed");
+  if (!plain.ok()) {
+    AuditDetect("decrypt_failure", common::kRegionMap, LocationString(loc),
+                "map root decryption failed");
+    return Status::TamperDetected("map root decryption failed");
+  }
   TDB_ASSIGN_OR_RETURN(
       std::shared_ptr<MapNode> node,
       LocationMap::DecodeNode(*plain, map_.fanout(), entry_hash_size()));
   if (node->index != 0) {
+    AuditDetect("map_node_mismatch", common::kRegionMap, LocationString(loc),
+                "map root identity mismatch");
     return Status::TamperDetected("map root identity mismatch");
   }
   node->has_persisted = true;
@@ -584,6 +698,8 @@ Result<std::shared_ptr<MapNode>> ChunkStore::LoadRoot(
 
 Result<Buffer> ChunkStore::Read(ChunkId cid) {
   if (!open_.load()) return Status::InvalidArgument("chunk store not open");
+  common::TraceSpan span("chunk.read");
+  common::ScopedTimer timer(metrics_.get(), m_.read_latency_us);
   // Cache entries hold already-validated plaintext of the chunk's last
   // committed state, so a hit skips the map walk, untrusted-store I/O,
   // hash check, and decryption entirely — AND takes only the cache's own
@@ -591,7 +707,7 @@ Result<Buffer> ChunkStore::Read(ChunkId cid) {
   // (or group sync) is in flight.
   Buffer hit;
   if (cache_.Get(cid, &hit)) {
-    stats_.cache_hits.fetch_add(1);
+    m_.cache_hits->Increment();
     return hit;
   }
   std::lock_guard<std::mutex> lock(mu_);
@@ -602,7 +718,7 @@ Result<Buffer> ChunkStore::Read(ChunkId cid) {
   }
   TDB_ASSIGN_OR_RETURN(Buffer plain, ReadDataAt(*entry));
   if (cache_.enabled()) {
-    stats_.cache_misses.fetch_add(1);
+    m_.cache_misses->Increment();
     cache_.Put(cid, plain);
   }
   return plain;
@@ -621,6 +737,7 @@ Status ChunkStore::Deallocate(ChunkId cid, bool durable) {
 }
 
 Status ChunkStore::Commit(const WriteBatch& batch, bool durable) {
+  common::ScopedTimer timer(metrics_.get(), m_.commit_latency_us);
   TDB_ASSIGN_OR_RETURN(CommitHandle handle, CommitBuffered(batch, durable));
   return WaitDurable(handle);
 }
@@ -648,7 +765,7 @@ Status ChunkStore::PrepareBatch(const WriteBatch& batch, PreparedBatch* out) {
     const WriteBatch::Op* op = last[cid];
     if (op->is_write) {
       write_ops.push_back(op);
-      stats_.sealed_bytes.fetch_add(op->data.size());
+      m_.sealed_bytes->Add(static_cast<int64_t>(op->data.size()));
     } else {
       out->deallocs.push_back(cid);
     }
@@ -666,6 +783,8 @@ Status ChunkStore::PrepareBatch(const WriteBatch& batch, PreparedBatch* out) {
   for (size_t i = 0; i < write_ops.size(); i++) {
     out->plains[i] = &write_ops[i]->data;
   }
+  common::TraceSpan span("chunk.seal");
+  common::ScopedTimer timer(metrics_.get(), m_.seal_latency_us);
   ThreadPool* pool = CryptoPool();
   if (pool != nullptr && suite_.enabled() &&
       write_ops.size() >= kParallelSealMinWrites) {
@@ -677,7 +796,7 @@ Status ChunkStore::PrepareBatch(const WriteBatch& batch, PreparedBatch* out) {
       out->writes[i].hash = EntryHash(out->writes[i].sealed);
     });
     for (const WriteBatch::Op* op : write_ops) {
-      stats_.parallel_sealed_bytes.fetch_add(op->data.size());
+      m_.parallel_sealed_bytes->Add(static_cast<int64_t>(op->data.size()));
     }
   } else {
     for (size_t i = 0; i < write_ops.size(); i++) {
@@ -727,7 +846,7 @@ Status ChunkStore::BufferBatchLocked(const PreparedBatch& prep) {
                   -static_cast<int64_t>(kRecordHeaderSize +
                                         (*old)->loc.length));
     } else {
-      stats_.live_chunks.fetch_add(1);
+      m_.live_chunks->Add(1);
     }
   }
   if (failed.ok()) {
@@ -743,7 +862,7 @@ Status ChunkStore::BufferBatchLocked(const PreparedBatch& prep) {
         AccountLive((*old)->loc.segment,
                     -static_cast<int64_t>(kRecordHeaderSize +
                                           (*old)->loc.length));
-        stats_.live_chunks.fetch_sub(1);
+        m_.live_chunks->Add(-1);
       }
     }
   }
@@ -765,13 +884,13 @@ Status ChunkStore::BufferBatchLocked(const PreparedBatch& prep) {
                     kRecordHeaderSize + a.old_entry->loc.length);
       } else {
         map_.Remove(a.cid, loader).status().ok();
-        stats_.live_chunks.fetch_sub(1);
+        m_.live_chunks->Add(-1);
       }
     } else if (a.old_entry.has_value()) {
       map_.Put(a.cid, *a.old_entry, loader).status().ok();
       AccountLive(a.old_entry->loc.segment,
                   kRecordHeaderSize + a.old_entry->loc.length);
-      stats_.live_chunks.fetch_add(1);
+      m_.live_chunks->Add(1);
     }
   }
   group_ops_.resize(ops_start);
@@ -834,7 +953,7 @@ Result<ChunkStore::SealResult> ChunkStore::SealGroupLocked(
 
   seq_ = manifest.seq;
   chain_mac_ = mac;
-  stats_.commits.fetch_add(1);
+  m_.commits->Increment();
   group_ops_.clear();
 
   SealResult res;
@@ -847,8 +966,10 @@ Result<ChunkStore::SealResult> ChunkStore::SealGroupLocked(
 Status ChunkStore::FinishDurableLocked(const SealResult& seal) {
   TDB_RETURN_IF_ERROR(SyncDirtyFilesLocked());
   if (seal.bump_counter) {
+    common::TraceSpan span("chunk.counter_bump");
+    common::ScopedTimer timer(metrics_.get(), m_.counter_bump_latency_us);
     TDB_ASSIGN_OR_RETURN(uint64_t cv, counter_->Increment());
-    stats_.counter_bumps.fetch_add(1);
+    m_.counter_bumps->Increment();
     TDB_CHECK(cv >= seal.counter_target,
               "one-way counter regressed during commit");
     counter_value_ = seal.counter_target;
@@ -899,11 +1020,11 @@ Status ChunkStore::CommitGroupDurableLocked(uint8_t flags,
     if (result.ok()) {
       // One ack for this (internal or serialized) commit plus one for
       // every absorbed group committer.
-      stats_.durable_commits.fetch_add(1 + tickets.size());
+      m_.durable_commits->Add(static_cast<int64_t>(1 + tickets.size()));
       if (!tickets.empty()) {
-        stats_.commit_groups.fetch_add(1);
-        stats_.grouped_commits.fetch_add(tickets.size());
-        AtomicMax(stats_.max_commits_per_group, tickets.size());
+        m_.commit_groups->Increment();
+        m_.grouped_commits->Add(static_cast<int64_t>(tickets.size()));
+        m_.max_commits_per_group->SetMax(static_cast<int64_t>(tickets.size()));
       }
       result = FreePendingSegments();
     }
@@ -952,22 +1073,34 @@ Status ChunkStore::LeadGroupFlushLocked(std::unique_lock<std::mutex>& lock) {
   lock.unlock();
 
   Status result = Status::OK();
-  for (const std::string& name : to_sync) {
-    Status s = store_->Sync(name);
-    if (!s.ok()) {
-      result = s;
-      break;
+  {
+    common::TraceSpan flush_span("chunk.group_flush");
+    common::ScopedTimer flush_timer(metrics_.get(),
+                                    m_.group_flush_latency_us);
+    {
+      common::TraceSpan sync_span("chunk.sync");
+      common::ScopedTimer sync_timer(metrics_.get(), m_.sync_latency_us);
+      for (const std::string& name : to_sync) {
+        Status s = store_->Sync(name);
+        if (!s.ok()) {
+          result = s;
+          break;
+        }
+      }
     }
-  }
-  if (result.ok()) stats_.log_syncs.fetch_add(1);
-  if (result.ok() && seal->bump_counter) {
-    auto cv = counter_->Increment();
-    if (cv.ok()) {
-      stats_.counter_bumps.fetch_add(1);
-      TDB_CHECK(*cv >= seal->counter_target,
-                "one-way counter regressed during commit");
-    } else {
-      result = cv.status();
+    if (result.ok()) m_.log_syncs->Increment();
+    if (result.ok() && seal->bump_counter) {
+      common::TraceSpan bump_span("chunk.counter_bump");
+      common::ScopedTimer bump_timer(metrics_.get(),
+                                     m_.counter_bump_latency_us);
+      auto cv = counter_->Increment();
+      if (cv.ok()) {
+        m_.counter_bumps->Increment();
+        TDB_CHECK(*cv >= seal->counter_target,
+                  "one-way counter regressed during commit");
+      } else {
+        result = cv.status();
+      }
     }
   }
 
@@ -981,10 +1114,10 @@ Status ChunkStore::LeadGroupFlushLocked(std::unique_lock<std::mutex>& lock) {
   } else {
     if (seal->bump_counter) counter_value_ = seal->counter_target;
     const uint64_t n = tickets.size();
-    stats_.durable_commits.fetch_add(n);
-    stats_.grouped_commits.fetch_add(n);
-    stats_.commit_groups.fetch_add(1);
-    AtomicMax(stats_.max_commits_per_group, n);
+    m_.durable_commits->Add(static_cast<int64_t>(n));
+    m_.grouped_commits->Add(static_cast<int64_t>(n));
+    m_.commit_groups->Increment();
+    m_.max_commits_per_group->SetMax(static_cast<int64_t>(n));
     result = FreePendingSegments();
   }
   group_flushing_ = false;
@@ -1006,7 +1139,9 @@ Result<CommitHandle> ChunkStore::CommitBuffered(const WriteBatch& batch,
   if (!buffered.ok()) {
     // The failed batch was rolled back, but drop its ids from the cache
     // anyway so no stale plaintext can outlive a partial rollback.
-    for (ChunkId cid : prep.touched) cache_.Erase(cid);
+    for (ChunkId cid : prep.touched) {
+      cache_.Erase(cid, EvictCause::kFailedCommit);
+    }
     return buffered;
   }
   // Write-through: the batch's plaintext is the chunks' new committed
@@ -1015,7 +1150,9 @@ Result<CommitHandle> ChunkStore::CommitBuffered(const WriteBatch& batch,
     for (size_t i = 0; i < prep.writes.size(); i++) {
       cache_.Put(prep.writes[i].cid, *prep.plains[i]);
     }
-    for (ChunkId cid : prep.deallocs) cache_.Erase(cid);
+    for (ChunkId cid : prep.deallocs) {
+      cache_.Erase(cid, EvictCause::kDealloc);
+    }
   }
 
   if (options_.group_commit) {
@@ -1044,7 +1181,9 @@ Result<CommitHandle> ChunkStore::CommitBuffered(const WriteBatch& batch,
     result = SealGroupLocked(durable ? kCommitDurable : 0, nullptr).status();
   }
   if (!result.ok()) {
-    for (ChunkId cid : prep.touched) cache_.Erase(cid);
+    for (ChunkId cid : prep.touched) {
+      cache_.Erase(cid, EvictCause::kFailedCommit);
+    }
     return result;
   }
   handle.ticket_->done = true;
@@ -1098,10 +1237,11 @@ bool ChunkStore::MaintenanceDueLocked() {
   // Same utilization trigger as MaybeCleanLocked (which re-checks after
   // the group goes idle; this is only an early out).
   const uint64_t target = std::max<uint64_t>(
-      static_cast<uint64_t>(stats_.live_bytes.load() /
+      static_cast<uint64_t>(m_.live_bytes->value() /
                             options_.max_utilization),
       2 * static_cast<uint64_t>(options_.segment_size));
-  return stats_.total_bytes.load() > target + options_.segment_size;
+  return static_cast<uint64_t>(m_.total_bytes->value()) >
+         target + options_.segment_size;
 }
 
 Status ChunkStore::WriteAnchor() {
@@ -1145,7 +1285,7 @@ Status ChunkStore::CheckpointLocked() {
   // ops merge into it) and completes their pending durability tickets.
   TDB_RETURN_IF_ERROR(
       CommitGroupDurableLocked(kCommitDurable | kCommitCheckpoint, &root));
-  stats_.checkpoints.fetch_add(1);
+  m_.checkpoints->Increment();
   return Status::OK();
 }
 
@@ -1157,32 +1297,41 @@ Status ChunkStore::MaybeCheckpointLocked() {
 }
 
 ChunkStoreStats ChunkStore::Stats() const {
+  // Compatibility accessor over the metrics registry: the same counters
+  // the registry snapshot exposes by name, in the struct shape the tests
+  // and benchmarks predate the registry with.
+  auto u = [](int64_t v) { return static_cast<uint64_t>(v); };
   ChunkStoreStats s;
-  s.live_bytes = stats_.live_bytes.load();
-  s.total_bytes = stats_.total_bytes.load();
-  s.segments = stats_.segments.load();
-  s.live_chunks = stats_.live_chunks.load();
-  s.commits = stats_.commits.load();
-  s.durable_commits = stats_.durable_commits.load();
-  s.checkpoints = stats_.checkpoints.load();
-  s.cleaned_segments = stats_.cleaned_segments.load();
-  s.relocated_records = stats_.relocated_records.load();
-  s.relocated_bytes = stats_.relocated_bytes.load();
-  s.bytes_appended = stats_.bytes_appended.load();
-  s.data_bytes = stats_.data_bytes.load();
-  s.map_bytes = stats_.map_bytes.load();
-  s.commit_bytes = stats_.commit_bytes.load();
-  s.cache_hits = stats_.cache_hits.load();
-  s.cache_misses = stats_.cache_misses.load();
-  s.cache_evictions = cache_.evictions();
+  s.live_bytes = u(m_.live_bytes->value());
+  s.total_bytes = u(m_.total_bytes->value());
+  s.segments = u(m_.segments->value());
+  s.live_chunks = u(m_.live_chunks->value());
+  s.commits = u(m_.commits->value());
+  s.durable_commits = u(m_.durable_commits->value());
+  s.checkpoints = u(m_.checkpoints->value());
+  s.cleaned_segments = u(m_.cleaned_segments->value());
+  s.relocated_records = u(m_.relocated_records->value());
+  s.relocated_bytes = u(m_.relocated_bytes->value());
+  s.bytes_appended = u(m_.bytes_appended->value());
+  s.data_bytes = u(m_.data_bytes->value());
+  s.map_bytes = u(m_.map_bytes->value());
+  s.commit_bytes = u(m_.commit_bytes->value());
+  s.cache_hits = u(m_.cache_hits->value());
+  s.cache_misses = u(m_.cache_misses->value());
+  const CacheEvictionCounts evictions = cache_.eviction_counts();
+  s.cache_evictions = evictions.total();
+  s.cache_evictions_capacity = evictions.capacity;
+  s.cache_evictions_dealloc = evictions.dealloc;
+  s.cache_evictions_failed_commit = evictions.failed_commit;
+  s.cache_evictions_relocation = evictions.relocation;
   s.cache_bytes_used = cache_.size_bytes();
-  s.sealed_bytes = stats_.sealed_bytes.load();
-  s.parallel_sealed_bytes = stats_.parallel_sealed_bytes.load();
-  s.commit_groups = stats_.commit_groups.load();
-  s.grouped_commits = stats_.grouped_commits.load();
-  s.max_commits_per_group = stats_.max_commits_per_group.load();
-  s.log_syncs = stats_.log_syncs.load();
-  s.counter_bumps = stats_.counter_bumps.load();
+  s.sealed_bytes = u(m_.sealed_bytes->value());
+  s.parallel_sealed_bytes = u(m_.parallel_sealed_bytes->value());
+  s.commit_groups = u(m_.commit_groups->value());
+  s.grouped_commits = u(m_.grouped_commits->value());
+  s.max_commits_per_group = u(m_.max_commits_per_group->value());
+  s.log_syncs = u(m_.log_syncs->value());
+  s.counter_bumps = u(m_.counter_bumps->value());
   return s;
 }
 
@@ -1238,7 +1387,7 @@ void ChunkStore::AccountLive(uint32_t segment, int64_t delta, bool is_map) {
   }
   // Two's-complement wraparound makes fetch_add with a negative delta
   // correct for unsigned atomics.
-  stats_.live_bytes.fetch_add(static_cast<uint64_t>(delta));
+  m_.live_bytes->Add(delta);
 }
 
 size_t ChunkStore::ActiveSnapshots() {
@@ -1277,7 +1426,7 @@ std::vector<uint32_t> ChunkStore::CleanCandidates(uint64_t target,
   }
   std::sort(candidates.begin(), candidates.end());
   std::vector<uint32_t> victims;
-  uint64_t projected = stats_.total_bytes.load();
+  uint64_t projected = static_cast<uint64_t>(m_.total_bytes->value());
   for (const auto& [live, id] : candidates) {
     if (static_cast<int>(victims.size()) >= max_segments) break;
     if (target != 0 && projected <= target) break;
@@ -1365,10 +1514,11 @@ Status ChunkStore::MaybeCleanLocked() {
     return Status::OK();
   }
   const uint64_t target = std::max<uint64_t>(
-      static_cast<uint64_t>(stats_.live_bytes.load() /
+      static_cast<uint64_t>(m_.live_bytes->value() /
                             options_.max_utilization),
       2 * static_cast<uint64_t>(options_.segment_size));
-  if (stats_.total_bytes.load() <= target + options_.segment_size) {
+  if (static_cast<uint64_t>(m_.total_bytes->value()) <=
+      target + options_.segment_size) {
     return Status::OK();
   }
   std::vector<uint32_t> victims =
@@ -1436,8 +1586,8 @@ Status ChunkStore::CleanSegments(const std::vector<uint32_t>& victims) {
     staged.sealed = std::move(raw).value();
     staged.hash = entry.hash;
     relocations.writes.push_back(std::move(staged));
-    stats_.relocated_records.fetch_add(1);
-    stats_.relocated_bytes.fetch_add(entry.loc.length);
+    m_.relocated_records->Increment();
+    m_.relocated_bytes->Add(static_cast<int64_t>(entry.loc.length));
   }
   if (status.ok() && !relocations.writes.empty()) {
     // Buffer the relocations into the open group: victim segments are all
@@ -1456,7 +1606,7 @@ Status ChunkStore::CleanSegments(const std::vector<uint32_t>& victims) {
   if (status.ok()) {
     for (uint32_t id : victims) pending_free_.push_back(id);
     status = FreePendingSegments();
-    stats_.cleaned_segments.fetch_add(victims.size());
+    m_.cleaned_segments->Add(static_cast<int64_t>(victims.size()));
   }
   in_maintenance_ = false;
   return status;
@@ -1473,17 +1623,19 @@ Status ChunkStore::FreePendingSegments() {
       continue;
     }
     TDB_RETURN_IF_ERROR(store_->Remove(SegmentName(id)));
-    stats_.total_bytes.fetch_sub(it->second.total);
+    m_.total_bytes->Add(-static_cast<int64_t>(it->second.total));
     segments_.erase(it);
   }
   pending_free_ = std::move(keep);
-  stats_.segments.store(segments_.size());
+  m_.segments->Set(static_cast<int64_t>(segments_.size()));
   return Status::OK();
 }
 
 Status ChunkStore::VerifyIntegrity(uint64_t* chunks_checked) {
   if (!open_.load()) return Status::InvalidArgument("chunk store not open");
   std::lock_guard<std::mutex> lock(mu_);
+  common::TraceSpan span("chunk.verify");
+  common::ScopedTimer timer(metrics_.get(), m_.verify_latency_us);
   uint64_t checked = 0;
   NodeLoader loader = MakeLoader();
   ThreadPool* pool = CryptoPool();
@@ -1499,6 +1651,7 @@ Status ChunkStore::VerifyIntegrity(uint64_t* chunks_checked) {
           checked++;
           return Status::OK();
         });
+    m_.verified_chunks->Add(static_cast<int64_t>(checked));
     if (chunks_checked != nullptr) *chunks_checked = checked;
     return walk;
   }
@@ -1533,17 +1686,25 @@ Status ChunkStore::VerifyIntegrity(uint64_t* chunks_checked) {
       if (!results[j].ok()) return;
       const MapEntry& entry = entries[start + j].second;
       if (suite_.enabled() && EntryHash(sealed[j]) != entry.hash) {
+        // Same audit key (kind + location) as the serial ReadRawRecord
+        // path, so a chunk flagged by both collapses to one entry.
+        AuditDetect("hash_mismatch", common::kRegionPayload,
+                    LocationString(entry.loc),
+                    "record hash does not match map entry");
         results[j] = Status::TamperDetected("chunk hash mismatch");
         return;
       }
       auto plain = suite_.Open(sealed[j]);
       if (!plain.ok()) {
+        AuditDetect("decrypt_failure", common::kRegionPayload,
+                    LocationString(entry.loc), plain.status().ToString());
         results[j] = Status::TamperDetected("chunk decryption failed: " +
                                             plain.status().ToString());
       }
     });
     for (size_t j = 0; j < n; j++) {
       if (!results[j].ok()) {
+        m_.verified_chunks->Add(static_cast<int64_t>(checked));
         if (chunks_checked != nullptr) *chunks_checked = checked;
         return Status::TamperDetected(
             "chunk " + std::to_string(entries[start + j].first) + ": " +
@@ -1552,6 +1713,7 @@ Status ChunkStore::VerifyIntegrity(uint64_t* chunks_checked) {
       checked++;
     }
   }
+  m_.verified_chunks->Add(static_cast<int64_t>(checked));
   if (chunks_checked != nullptr) *chunks_checked = checked;
   return Status::OK();
 }

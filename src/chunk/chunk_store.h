@@ -15,6 +15,7 @@
 #include "chunk/location_map.h"
 #include "chunk/log_format.h"
 #include "chunk/types.h"
+#include "common/metrics.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "crypto/cipher_suite.h"
@@ -105,6 +106,15 @@ struct ChunkStoreOptions {
   /// (cf. MySQL binlog_group_commit_sync_no_delay_count). 0 means always
   /// wait the full window. Ignored when group_commit_window_us is 0.
   uint32_t group_commit_target_commits = 0;
+
+  /// Metrics registry the store records into (counters, gauges, latency
+  /// histograms, and the security audit trail). Null (default) gives the
+  /// store a private registry, preserving the per-store semantics of
+  /// Stats(); pass a shared registry to aggregate several stores (or to
+  /// keep the audit trail reachable when Open itself fails, as the tamper
+  /// harness does). The object/collection/backup layers register on the
+  /// owning chunk store's registry via ChunkStore::metrics().
+  std::shared_ptr<common::MetricsRegistry> metrics;
 };
 
 /// Counters exposed for tests, benchmarks, and the utilization experiment.
@@ -130,8 +140,15 @@ struct ChunkStoreStats {
   // Validated-plaintext chunk cache (only moves when cache_bytes > 0).
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;    // Reads that fell through to validation.
-  uint64_t cache_evictions = 0;
+  uint64_t cache_evictions = 0;  // All causes (see breakdown below).
   uint64_t cache_bytes_used = 0;
+  // Evictions by cause. `cache_evictions` is their sum; before the cause
+  // breakdown it silently missed every non-capacity erasure (deallocations
+  // and failed/aborted commits), overstating the effective hit ratio.
+  uint64_t cache_evictions_capacity = 0;
+  uint64_t cache_evictions_dealloc = 0;
+  uint64_t cache_evictions_failed_commit = 0;
+  uint64_t cache_evictions_relocation = 0;  // Zero by design; see cache.
   // Commit-path crypto pipeline.
   uint64_t sealed_bytes = 0;           // Plaintext bytes sealed by commits.
   uint64_t parallel_sealed_bytes = 0;  // Subset sealed via the worker pool.
@@ -328,6 +345,15 @@ class ChunkStore {
   /// and committers.
   ChunkStoreStats Stats() const;
   ChunkStoreStats stats() const { return Stats(); }  // Legacy alias.
+
+  /// The registry backing Stats(): latency histograms, the security audit
+  /// trail, and every counter above, by name. Shared with the layers built
+  /// on this store (object/collection/backup) so one snapshot covers the
+  /// whole database instance.
+  const std::shared_ptr<common::MetricsRegistry>& metrics() const {
+    return metrics_;
+  }
+
   const ChunkStoreOptions& options() const { return options_; }
   uint64_t next_chunk_id() const { return next_chunk_id_.load(); }
 
@@ -347,32 +373,51 @@ class ChunkStore {
                             // until a checkpoint relocates those nodes.
   };
 
-  /// Internal counters: atomics so Stats() and the lock-free read path
-  /// never race committers. Mirrors ChunkStoreStats field for field.
-  struct AtomicStats {
-    std::atomic<uint64_t> live_bytes{0};
-    std::atomic<uint64_t> total_bytes{0};
-    std::atomic<uint64_t> segments{0};
-    std::atomic<uint64_t> live_chunks{0};
-    std::atomic<uint64_t> commits{0};
-    std::atomic<uint64_t> durable_commits{0};
-    std::atomic<uint64_t> checkpoints{0};
-    std::atomic<uint64_t> cleaned_segments{0};
-    std::atomic<uint64_t> relocated_records{0};
-    std::atomic<uint64_t> relocated_bytes{0};
-    std::atomic<uint64_t> bytes_appended{0};
-    std::atomic<uint64_t> data_bytes{0};
-    std::atomic<uint64_t> map_bytes{0};
-    std::atomic<uint64_t> commit_bytes{0};
-    std::atomic<uint64_t> cache_hits{0};
-    std::atomic<uint64_t> cache_misses{0};
-    std::atomic<uint64_t> sealed_bytes{0};
-    std::atomic<uint64_t> parallel_sealed_bytes{0};
-    std::atomic<uint64_t> commit_groups{0};
-    std::atomic<uint64_t> grouped_commits{0};
-    std::atomic<uint64_t> max_commits_per_group{0};
-    std::atomic<uint64_t> log_syncs{0};
-    std::atomic<uint64_t> counter_bumps{0};
+  /// Registry-backed instruments, resolved once at construction so hot
+  /// paths touch only the wait-free instruments themselves (the old
+  /// per-field AtomicStats atomics, migrated onto the metrics registry;
+  /// Stats() reads them back as the compatibility accessor). Quantities
+  /// that move both ways or get rebuilt are gauges; monotonic tallies are
+  /// sharded counters.
+  struct Instruments {
+    common::Gauge* live_bytes = nullptr;
+    common::Gauge* total_bytes = nullptr;
+    common::Gauge* segments = nullptr;
+    common::Gauge* live_chunks = nullptr;
+    common::Counter* commits = nullptr;
+    common::Counter* durable_commits = nullptr;
+    common::Counter* checkpoints = nullptr;
+    common::Counter* cleaned_segments = nullptr;
+    common::Counter* relocated_records = nullptr;
+    common::Counter* relocated_bytes = nullptr;
+    common::Counter* bytes_appended = nullptr;
+    common::Counter* data_bytes = nullptr;
+    common::Counter* map_bytes = nullptr;
+    common::Counter* commit_bytes = nullptr;
+    common::Counter* cache_hits = nullptr;
+    common::Counter* cache_misses = nullptr;
+    common::Counter* cache_evictions[4] = {};  // Indexed by EvictCause.
+    common::Gauge* cache_bytes_used = nullptr;
+    common::Counter* sealed_bytes = nullptr;
+    common::Counter* parallel_sealed_bytes = nullptr;
+    common::Counter* commit_groups = nullptr;
+    common::Counter* grouped_commits = nullptr;
+    common::Gauge* max_commits_per_group = nullptr;
+    common::Counter* log_syncs = nullptr;
+    common::Counter* counter_bumps = nullptr;
+    // Latency histograms (recording gated by the registry's timing flag).
+    common::Histogram* read_latency_us = nullptr;
+    common::Histogram* seal_latency_us = nullptr;
+    common::Histogram* sync_latency_us = nullptr;
+    common::Histogram* counter_bump_latency_us = nullptr;
+    common::Histogram* group_flush_latency_us = nullptr;
+    common::Histogram* commit_latency_us = nullptr;
+    common::Histogram* verify_latency_us = nullptr;
+    // Recovery (set once per Open that replays a residual log).
+    common::Gauge* recovery_time_us = nullptr;
+    common::Gauge* recovery_commits_replayed = nullptr;
+    common::Gauge* recovery_chunks_replayed = nullptr;
+    common::Counter* verified_chunks = nullptr;
   };
 
   ChunkStore(platform::UntrustedStore* store,
@@ -514,8 +559,14 @@ class ChunkStore {
   // Worker pool for the commit/verify crypto pipeline; created on first
   // use (thread-safely), nullptr when options_.crypto_threads <= 1.
   ThreadPool* CryptoPool();
-  // Mirrors cache occupancy/eviction counters into Stats() output.
   static void AtomicMax(std::atomic<uint64_t>& counter, uint64_t value);
+
+  // Resolves every instrument in m_ against metrics_ (constructor only).
+  void BindInstruments();
+  // Records a security audit event (tamper/replay/counter detections).
+  void AuditDetect(const char* kind, int region, const std::string& location,
+                   const std::string& message);
+  static std::string LocationString(const Location& loc);
 
   platform::UntrustedStore* store_;
   platform::OneWayCounter* counter_;
@@ -561,7 +612,8 @@ class ChunkStore {
   bool group_flushing_ = false;  // A leader's sync is in flight.
   std::condition_variable group_cv_;
 
-  AtomicStats stats_;  // Atomic: no lock required.
+  std::shared_ptr<common::MetricsRegistry> metrics_;  // Never null.
+  Instruments m_;  // Wait-free instruments: no lock required.
 
   // Validated-plaintext cache: holds only bytes that already passed
   // Merkle + decryption validation, keyed by the chunk's last committed

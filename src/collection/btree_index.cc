@@ -1,6 +1,7 @@
 #include "collection/btree_index.h"
 
 #include "common/check.h"
+#include "common/metrics.h"
 
 namespace tdb::collection {
 
@@ -12,6 +13,13 @@ using object::Transaction;
 using object::WritableRef;
 
 constexpr size_t kT = BTreeIndex::kMinDegree;
+
+// Depth instruments live on the store's shared registry; GetHistogram
+// returns a stable pointer, so the per-op cost is one name lookup —
+// negligible next to the object opens each level performs.
+common::Histogram* DepthHistogram(Transaction* txn, const char* name) {
+  return txn->store()->metrics()->GetHistogram(name);
+}
 
 // First index i with entries[i] >= (key, oid).
 Result<size_t> LowerBound(const GenericIndexer& indexer,
@@ -268,7 +276,9 @@ Result<int> CompareEntryKey(const GenericIndexer& indexer,
 
 Status RangeRec(Transaction* txn, const GenericIndexer& indexer,
                 ObjectId node_id, const GenericKey* min, const GenericKey* max,
-                std::vector<ObjectId>* out) {
+                std::vector<ObjectId>* out, int64_t depth,
+                int64_t* max_depth) {
+  if (depth > *max_depth) *max_depth = depth;
   TDB_ASSIGN_OR_RETURN(ReadonlyRef<BTreeNode> node,
                        txn->OpenReadonly<BTreeNode>(node_id));
   if (node->leaf) {
@@ -297,8 +307,8 @@ Status RangeRec(Transaction* txn, const GenericIndexer& indexer,
           int cmp, CompareEntryKey(indexer, node->entries[i - 1], *max));
       if (cmp > 0) break;  // This child and all further ones above range.
     }
-    TDB_RETURN_IF_ERROR(
-        RangeRec(txn, indexer, node->children[i], min, max, out));
+    TDB_RETURN_IF_ERROR(RangeRec(txn, indexer, node->children[i], min, max,
+                                 out, depth + 1, max_depth));
   }
   return Status::OK();
 }
@@ -362,14 +372,21 @@ Status BTreeIndex::Insert(Transaction* txn, const GenericIndexer& indexer,
   Buffer key_bytes = PickleKey(key);
 
   // Fast path: if the target leaf has room, only the leaf is dirtied.
+  // The descent depth (= tree height at this key) feeds the registry
+  // histogram either way: InsertFull re-descends the same path.
+  common::Histogram* depth_hist =
+      DepthHistogram(txn, "index.btree.insert_depth");
+  int64_t depth = 0;
   ObjectId node_id = root;
   for (;;) {
+    depth++;
     TDB_ASSIGN_OR_RETURN(ReadonlyRef<BTreeNode> node,
                          txn->OpenReadonly<BTreeNode>(node_id));
     if (node->leaf) {
       if (node->entries.size() < kMaxEntries) {
         TDB_ASSIGN_OR_RETURN(WritableRef<BTreeNode> leaf,
                              txn->OpenWritable<BTreeNode>(node_id));
+        depth_hist->Record(depth);
         return InsertIntoLeaf(indexer, leaf, key_bytes, oid);
       }
       break;  // Full leaf: take the splitting path.
@@ -378,6 +395,7 @@ Status BTreeIndex::Insert(Transaction* txn, const GenericIndexer& indexer,
                          Route(indexer, node->entries, key_bytes, oid));
     node_id = node->children[idx];
   }
+  depth_hist->Record(depth);
   return InsertFull(txn, indexer, root, key_bytes, oid);
 }
 
@@ -421,14 +439,24 @@ Status BTreeIndex::Scan(Transaction* txn, ObjectId root,
 Status BTreeIndex::Match(Transaction* txn, const GenericIndexer& indexer,
                          ObjectId root, const GenericKey& key,
                          std::vector<ObjectId>* out) {
-  return RangeRec(txn, indexer, root, &key, &key, out);
+  int64_t max_depth = 0;
+  Status s = RangeRec(txn, indexer, root, &key, &key, out, 1, &max_depth);
+  if (s.ok()) {
+    DepthHistogram(txn, "index.btree.probe_depth")->Record(max_depth);
+  }
+  return s;
 }
 
 Status BTreeIndex::Range(Transaction* txn, const GenericIndexer& indexer,
                          ObjectId root, const GenericKey* min,
                          const GenericKey* max,
                          std::vector<ObjectId>* out) {
-  return RangeRec(txn, indexer, root, min, max, out);
+  int64_t max_depth = 0;
+  Status s = RangeRec(txn, indexer, root, min, max, out, 1, &max_depth);
+  if (s.ok()) {
+    DepthHistogram(txn, "index.btree.probe_depth")->Record(max_depth);
+  }
+  return s;
 }
 
 Result<bool> BTreeIndex::ContainsKey(Transaction* txn,

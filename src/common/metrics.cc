@@ -1,0 +1,619 @@
+#include "common/metrics.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace tdb::common {
+
+namespace {
+
+std::atomic<uint64_t (*)()> g_clock{nullptr};
+
+uint64_t SteadyMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// bit_width(v) for v > 0: position of the highest set bit, 1-based.
+size_t BitWidth(uint64_t v) {
+  size_t w = 0;
+  while (v != 0) {
+    v >>= 1;
+    w++;
+  }
+  return w;
+}
+
+}  // namespace
+
+uint64_t MonotonicMicros() {
+  uint64_t (*clock)() = g_clock.load(std::memory_order_acquire);
+  return clock != nullptr ? clock() : SteadyMicros();
+}
+
+void SetMonotonicClockForTesting(uint64_t (*clock)()) {
+  g_clock.store(clock, std::memory_order_release);
+}
+
+// ---------------------------------------------------------------------------
+// Counter
+
+size_t Counter::StripeIndex() {
+  // One stripe per thread, assigned round-robin on first use; threads
+  // beyond kStripes share, which only costs contention, never correctness.
+  static std::atomic<size_t> next{0};
+  thread_local size_t index =
+      next.fetch_add(1, std::memory_order_relaxed) % kStripes;
+  return index;
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+void Histogram::Record(int64_t value) {
+  const uint64_t magnitude = value <= 0 ? 0 : static_cast<uint64_t>(value);
+  size_t bucket = magnitude <= 1 ? 0 : BitWidth(magnitude) - 1;
+  if (bucket >= HistogramData::kBuckets) {
+    bucket = HistogramData::kBuckets - 1;
+  }
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  int64_t cur = max_.load(std::memory_order_relaxed);
+  while (cur < value && !max_.compare_exchange_weak(
+                            cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+HistogramData Histogram::Data() const {
+  HistogramData d;
+  for (size_t i = 0; i < HistogramData::kBuckets; i++) {
+    d.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    d.count += d.buckets[i];
+  }
+  // Derive count from the buckets so the snapshot is internally consistent
+  // even if a concurrent Record() is mid-flight between its two adds.
+  d.sum = sum_.load(std::memory_order_relaxed);
+  d.max = max_.load(std::memory_order_relaxed);
+  return d;
+}
+
+int64_t HistogramData::Percentile(double p) const {
+  if (count == 0) return 0;
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  uint64_t rank = static_cast<uint64_t>(p * static_cast<double>(count));
+  if (rank >= count) rank = count - 1;
+  uint64_t seen = 0;
+  for (size_t b = 0; b < kBuckets; b++) {
+    seen += buckets[b];
+    if (seen > rank) {
+      // Upper edge of bucket b: 2^(b+1) - 1 (bucket 0 holds v <= 1).
+      int64_t upper = b >= 62 ? max : (int64_t(1) << (b + 1)) - 1;
+      return upper < max ? upper : max;
+    }
+  }
+  return max;
+}
+
+// ---------------------------------------------------------------------------
+// AuditLog
+
+void AuditLog::Record(const std::string& kind, int region,
+                      const std::string& location,
+                      const std::string& message) {
+  std::lock_guard<std::mutex> lock(mu_);
+  total_++;
+  auto key = std::make_pair(kind, location);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    events_[it->second].count++;
+    return;
+  }
+  if (events_.size() >= max_events_) {
+    dropped_++;
+    return;
+  }
+  AuditEvent ev;
+  ev.kind = kind;
+  ev.region = region;
+  ev.location = location;
+  ev.message = message;
+  ev.count = 1;
+  ev.first_seq = static_cast<uint64_t>(events_.size());
+  index_[key] = events_.size();
+  events_.push_back(std::move(ev));
+}
+
+std::vector<AuditEvent> AuditLog::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+size_t AuditLog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+uint64_t AuditLog::total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+uint64_t AuditLog::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+void AuditLog::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  index_.clear();
+  total_ = 0;
+  dropped_ = 0;
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+
+MetricsRegistry::MetricsRegistry() {
+  const char* env = std::getenv("TDB_METRICS");
+  if (env != nullptr && std::strcmp(env, "off") == 0) {
+    timing_.store(false, std::memory_order_relaxed);
+  }
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, counter] : counters_) {
+      snap.counters[name] = counter->value();
+    }
+    for (const auto& [name, gauge] : gauges_) {
+      snap.gauges[name] = gauge->value();
+    }
+    for (const auto& [name, hist] : histograms_) {
+      snap.histograms[name] = hist->Data();
+    }
+  }
+  snap.audit = audit_.Events();
+  snap.audit_total = audit_.total();
+  snap.audit_dropped = audit_.dropped();
+  return snap;
+}
+
+// ---------------------------------------------------------------------------
+// MetricsSnapshot: merge + JSON
+
+void MetricsSnapshot::Merge(const MetricsSnapshot& other) {
+  for (const auto& [name, v] : other.counters) counters[name] += v;
+  for (const auto& [name, v] : other.gauges) gauges[name] += v;
+  for (const auto& [name, h] : other.histograms) {
+    HistogramData& mine = histograms[name];
+    mine.count += h.count;
+    mine.sum += h.sum;
+    if (h.max > mine.max) mine.max = h.max;
+    for (size_t i = 0; i < HistogramData::kBuckets; i++) {
+      mine.buckets[i] += h.buckets[i];
+    }
+  }
+  for (const AuditEvent& ev : other.audit) {
+    bool merged = false;
+    for (AuditEvent& mine : audit) {
+      if (mine.kind == ev.kind && mine.location == ev.location) {
+        mine.count += ev.count;
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) audit.push_back(ev);
+  }
+  audit_total += other.audit_total;
+  audit_dropped += other.audit_dropped;
+}
+
+namespace {
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      case '\r': *out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendInt(std::string* out, int64_t v) {
+  *out += std::to_string(v);
+}
+
+// --- Minimal JSON parser (objects/arrays/strings/integers only: exactly
+// the grammar ToJson emits; doubles are accepted and truncated). ---
+struct JsonParser {
+  const char* p;
+  const char* end;
+  bool failed = false;
+
+  void Fail() { failed = true; }
+  void SkipWs() {
+    while (p < end && (*p == ' ' || *p == '\n' || *p == '\t' || *p == '\r')) {
+      p++;
+    }
+  }
+  bool Consume(char c) {
+    SkipWs();
+    if (failed || p >= end || *p != c) return false;
+    p++;
+    return true;
+  }
+  bool Peek(char c) {
+    SkipWs();
+    return !failed && p < end && *p == c;
+  }
+  std::string ParseString() {
+    SkipWs();
+    std::string out;
+    if (failed || p >= end || *p != '"') {
+      Fail();
+      return out;
+    }
+    p++;
+    while (p < end && *p != '"') {
+      if (*p == '\\' && p + 1 < end) {
+        p++;
+        switch (*p) {
+          case 'n': out.push_back('\n'); break;
+          case 't': out.push_back('\t'); break;
+          case 'r': out.push_back('\r'); break;
+          case 'u': {
+            if (p + 4 < end) {
+              unsigned code = 0;
+              std::sscanf(p + 1, "%4x", &code);
+              out.push_back(static_cast<char>(code & 0xff));
+              p += 4;
+            } else {
+              Fail();
+              return out;
+            }
+            break;
+          }
+          default: out.push_back(*p);
+        }
+        p++;
+      } else {
+        out.push_back(*p++);
+      }
+    }
+    if (p >= end) {
+      Fail();
+      return out;
+    }
+    p++;  // Closing quote.
+    return out;
+  }
+  int64_t ParseInt() {
+    SkipWs();
+    if (failed || p >= end) {
+      Fail();
+      return 0;
+    }
+    bool neg = false;
+    if (*p == '-') {
+      neg = true;
+      p++;
+    }
+    if (p >= end || *p < '0' || *p > '9') {
+      Fail();
+      return 0;
+    }
+    uint64_t v = 0;
+    while (p < end && *p >= '0' && *p <= '9') {
+      v = v * 10 + static_cast<uint64_t>(*p - '0');
+      p++;
+    }
+    // Accept (and truncate) a fractional part / exponent.
+    if (p < end && *p == '.') {
+      p++;
+      while (p < end && *p >= '0' && *p <= '9') p++;
+    }
+    if (p < end && (*p == 'e' || *p == 'E')) {
+      p++;
+      if (p < end && (*p == '+' || *p == '-')) p++;
+      while (p < end && *p >= '0' && *p <= '9') p++;
+    }
+    return neg ? -static_cast<int64_t>(v) : static_cast<int64_t>(v);
+  }
+  // Skips one value of any type (unknown fields stay forward-compatible).
+  void SkipValue() {
+    SkipWs();
+    if (failed || p >= end) {
+      Fail();
+      return;
+    }
+    if (*p == '"') {
+      ParseString();
+    } else if (*p == '{') {
+      p++;
+      if (Peek('}')) {
+        p++;
+        return;
+      }
+      do {
+        ParseString();
+        if (!Consume(':')) {
+          Fail();
+          return;
+        }
+        SkipValue();
+      } while (Consume(','));
+      if (!Consume('}')) Fail();
+    } else if (*p == '[') {
+      p++;
+      if (Peek(']')) {
+        p++;
+        return;
+      }
+      do {
+        SkipValue();
+      } while (Consume(','));
+      if (!Consume(']')) Fail();
+    } else if (*p == 't' || *p == 'f' || *p == 'n') {
+      while (p < end && *p >= 'a' && *p <= 'z') p++;
+    } else {
+      ParseInt();
+    }
+  }
+};
+
+}  // namespace
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, v] : counters) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    AppendEscaped(&out, name);
+    out += ": ";
+    AppendInt(&out, v);
+  }
+  out += "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, v] : gauges) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    AppendEscaped(&out, name);
+    out += ": ";
+    AppendInt(&out, v);
+  }
+  out += "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    AppendEscaped(&out, name);
+    out += ": {\"count\": ";
+    AppendInt(&out, static_cast<int64_t>(h.count));
+    out += ", \"sum\": ";
+    AppendInt(&out, h.sum);
+    out += ", \"max\": ";
+    AppendInt(&out, h.max);
+    out += ", \"p50\": ";
+    AppendInt(&out, h.Percentile(0.50));
+    out += ", \"p95\": ";
+    AppendInt(&out, h.Percentile(0.95));
+    out += ", \"p99\": ";
+    AppendInt(&out, h.Percentile(0.99));
+    out += ", \"buckets\": [";
+    bool bfirst = true;
+    for (size_t i = 0; i < HistogramData::kBuckets; i++) {
+      if (h.buckets[i] == 0) continue;
+      if (!bfirst) out += ", ";
+      bfirst = false;
+      out += "[";
+      AppendInt(&out, static_cast<int64_t>(i));
+      out += ", ";
+      AppendInt(&out, static_cast<int64_t>(h.buckets[i]));
+      out += "]";
+    }
+    out += "]}";
+  }
+  out += "\n  },\n  \"audit\": [";
+  first = true;
+  for (const AuditEvent& ev : audit) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    out += "{\"kind\": ";
+    AppendEscaped(&out, ev.kind);
+    out += ", \"region\": ";
+    AppendInt(&out, ev.region);
+    out += ", \"location\": ";
+    AppendEscaped(&out, ev.location);
+    out += ", \"message\": ";
+    AppendEscaped(&out, ev.message);
+    out += ", \"count\": ";
+    AppendInt(&out, static_cast<int64_t>(ev.count));
+    out += ", \"first_seq\": ";
+    AppendInt(&out, static_cast<int64_t>(ev.first_seq));
+    out += "}";
+  }
+  out += "\n  ],\n  \"audit_total\": ";
+  AppendInt(&out, static_cast<int64_t>(audit_total));
+  out += ",\n  \"audit_dropped\": ";
+  AppendInt(&out, static_cast<int64_t>(audit_dropped));
+  out += "\n}\n";
+  return out;
+}
+
+Result<MetricsSnapshot> MetricsSnapshot::FromJson(const std::string& json) {
+  MetricsSnapshot snap;
+  JsonParser jp{json.data(), json.data() + json.size()};
+
+  auto parse_int_map = [&](std::map<std::string, int64_t>* out) {
+    if (!jp.Consume('{')) return jp.Fail();
+    if (jp.Consume('}')) return;
+    do {
+      std::string name = jp.ParseString();
+      if (!jp.Consume(':')) return jp.Fail();
+      (*out)[name] = jp.ParseInt();
+    } while (jp.Consume(','));
+    if (!jp.Consume('}')) jp.Fail();
+  };
+  auto parse_histogram = [&](HistogramData* h) {
+    if (!jp.Consume('{')) return jp.Fail();
+    if (jp.Consume('}')) return;
+    do {
+      std::string field = jp.ParseString();
+      if (!jp.Consume(':')) return jp.Fail();
+      if (field == "count") {
+        h->count = static_cast<uint64_t>(jp.ParseInt());
+      } else if (field == "sum") {
+        h->sum = jp.ParseInt();
+      } else if (field == "max") {
+        h->max = jp.ParseInt();
+      } else if (field == "buckets") {
+        if (!jp.Consume('[')) return jp.Fail();
+        if (jp.Consume(']')) continue;
+        do {
+          if (!jp.Consume('[')) return jp.Fail();
+          int64_t index = jp.ParseInt();
+          if (!jp.Consume(',')) return jp.Fail();
+          int64_t n = jp.ParseInt();
+          if (!jp.Consume(']')) return jp.Fail();
+          if (index < 0 ||
+              index >= static_cast<int64_t>(HistogramData::kBuckets)) {
+            return jp.Fail();
+          }
+          h->buckets[static_cast<size_t>(index)] =
+              static_cast<uint64_t>(n);
+        } while (jp.Consume(','));
+        if (!jp.Consume(']')) return jp.Fail();
+      } else {
+        jp.SkipValue();  // p50/p95/p99 are derived; ignore on input.
+      }
+    } while (jp.Consume(','));
+    if (!jp.Consume('}')) jp.Fail();
+  };
+  auto parse_audit_event = [&](AuditEvent* ev) {
+    if (!jp.Consume('{')) return jp.Fail();
+    if (jp.Consume('}')) return;
+    do {
+      std::string field = jp.ParseString();
+      if (!jp.Consume(':')) return jp.Fail();
+      if (field == "kind") {
+        ev->kind = jp.ParseString();
+      } else if (field == "region") {
+        ev->region = static_cast<int>(jp.ParseInt());
+      } else if (field == "location") {
+        ev->location = jp.ParseString();
+      } else if (field == "message") {
+        ev->message = jp.ParseString();
+      } else if (field == "count") {
+        ev->count = static_cast<uint64_t>(jp.ParseInt());
+      } else if (field == "first_seq") {
+        ev->first_seq = static_cast<uint64_t>(jp.ParseInt());
+      } else {
+        jp.SkipValue();
+      }
+    } while (jp.Consume(','));
+    if (!jp.Consume('}')) jp.Fail();
+  };
+
+  if (!jp.Consume('{')) {
+    return Status::InvalidArgument("metrics json: not an object");
+  }
+  if (!jp.Consume('}')) {
+    do {
+      std::string section = jp.ParseString();
+      if (!jp.Consume(':')) jp.Fail();
+      if (jp.failed) break;
+      if (section == "counters") {
+        parse_int_map(&snap.counters);
+      } else if (section == "gauges") {
+        parse_int_map(&snap.gauges);
+      } else if (section == "histograms") {
+        if (!jp.Consume('{')) {
+          jp.Fail();
+          break;
+        }
+        if (!jp.Consume('}')) {
+          do {
+            std::string name = jp.ParseString();
+            if (!jp.Consume(':')) {
+              jp.Fail();
+              break;
+            }
+            parse_histogram(&snap.histograms[name]);
+          } while (jp.Consume(','));
+          if (!jp.Consume('}')) jp.Fail();
+        }
+      } else if (section == "audit") {
+        if (!jp.Consume('[')) {
+          jp.Fail();
+          break;
+        }
+        if (!jp.Consume(']')) {
+          do {
+            AuditEvent ev;
+            parse_audit_event(&ev);
+            snap.audit.push_back(std::move(ev));
+          } while (jp.Consume(','));
+          if (!jp.Consume(']')) jp.Fail();
+        }
+      } else if (section == "audit_total") {
+        snap.audit_total = static_cast<uint64_t>(jp.ParseInt());
+      } else if (section == "audit_dropped") {
+        snap.audit_dropped = static_cast<uint64_t>(jp.ParseInt());
+      } else {
+        jp.SkipValue();
+      }
+    } while (!jp.failed && jp.Consume(','));
+    if (!jp.failed && !jp.Consume('}')) jp.Fail();
+  }
+  if (jp.failed) {
+    return Status::InvalidArgument("metrics json: parse error at offset " +
+                                   std::to_string(jp.p - json.data()));
+  }
+  return snap;
+}
+
+}  // namespace tdb::common

@@ -1,0 +1,111 @@
+#include "common/trace.h"
+
+#include <memory>
+#include <mutex>
+
+namespace tdb::common {
+
+namespace {
+
+std::atomic<bool> g_tracing{false};
+
+// Per-thread ring of completed spans. Writers are wait-free in practice:
+// the ring's mutex is only ever contended by a drain, and each thread owns
+// exactly one ring. Rings are kept alive by shared_ptr so a drain after a
+// worker thread exits still sees its spans.
+struct Ring {
+  std::mutex mu;
+  TraceEvent events[kTraceRingCapacity];
+  size_t next = 0;       // Insertion cursor.
+  size_t count = 0;      // Valid entries (<= capacity).
+  uint64_t overwrites = 0;
+  uint32_t thread_id = 0;
+};
+
+struct RingDirectory {
+  std::mutex mu;
+  std::vector<std::shared_ptr<Ring>> rings;
+  uint32_t next_thread_id = 0;
+};
+
+RingDirectory& Directory() {
+  static RingDirectory* dir = new RingDirectory();  // Intentionally leaked.
+  return *dir;
+}
+
+Ring& ThreadRing() {
+  thread_local std::shared_ptr<Ring> ring = [] {
+    auto r = std::make_shared<Ring>();
+    RingDirectory& dir = Directory();
+    std::lock_guard<std::mutex> lock(dir.mu);
+    r->thread_id = dir.next_thread_id++;
+    dir.rings.push_back(r);
+    return r;
+  }();
+  return *ring;
+}
+
+}  // namespace
+
+void SetTracingEnabled(bool enabled) {
+  g_tracing.store(enabled, std::memory_order_relaxed);
+}
+
+bool TracingEnabled() {
+  return g_tracing.load(std::memory_order_relaxed);
+}
+
+namespace internal {
+
+void RecordSpan(const char* name, uint64_t start_us, uint64_t end_us) {
+  Ring& ring = ThreadRing();
+  std::lock_guard<std::mutex> lock(ring.mu);
+  TraceEvent& slot = ring.events[ring.next];
+  if (ring.count == kTraceRingCapacity) ring.overwrites++;
+  slot.name = name;
+  slot.start_us = start_us;
+  slot.duration_us = end_us >= start_us ? end_us - start_us : 0;
+  slot.thread_id = ring.thread_id;
+  ring.next = (ring.next + 1) % kTraceRingCapacity;
+  if (ring.count < kTraceRingCapacity) ring.count++;
+}
+
+}  // namespace internal
+
+std::vector<TraceEvent> DrainTraceEvents() {
+  std::vector<std::shared_ptr<Ring>> rings;
+  {
+    RingDirectory& dir = Directory();
+    std::lock_guard<std::mutex> lock(dir.mu);
+    rings = dir.rings;
+  }
+  std::vector<TraceEvent> out;
+  for (const auto& ring : rings) {
+    std::lock_guard<std::mutex> lock(ring->mu);
+    const size_t start =
+        (ring->next + kTraceRingCapacity - ring->count) % kTraceRingCapacity;
+    for (size_t i = 0; i < ring->count; i++) {
+      out.push_back(ring->events[(start + i) % kTraceRingCapacity]);
+    }
+    ring->next = 0;
+    ring->count = 0;
+  }
+  return out;
+}
+
+uint64_t TraceOverwrites() {
+  std::vector<std::shared_ptr<Ring>> rings;
+  {
+    RingDirectory& dir = Directory();
+    std::lock_guard<std::mutex> lock(dir.mu);
+    rings = dir.rings;
+  }
+  uint64_t total = 0;
+  for (const auto& ring : rings) {
+    std::lock_guard<std::mutex> lock(ring->mu);
+    total += ring->overwrites;
+  }
+  return total;
+}
+
+}  // namespace tdb::common

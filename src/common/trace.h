@@ -1,0 +1,69 @@
+#ifndef TDB_COMMON_TRACE_H_
+#define TDB_COMMON_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/metrics.h"  // MonotonicMicros / SetMonotonicClockForTesting.
+
+namespace tdb::common {
+
+/// One completed span. `name` must be a string literal (or otherwise
+/// outlive the tracing session): spans store the pointer, not a copy, so
+/// the hot path never allocates.
+struct TraceEvent {
+  const char* name = nullptr;
+  uint64_t start_us = 0;
+  uint64_t duration_us = 0;
+  uint32_t thread_id = 0;  // Small per-thread ordinal, stable per ring.
+};
+
+/// Tracing is process-global and off by default; a disabled TraceSpan is a
+/// single relaxed load. Spans share the metrics clock, so
+/// SetMonotonicClockForTesting makes trace timestamps deterministic too.
+void SetTracingEnabled(bool enabled);
+bool TracingEnabled();
+
+/// Copies out (and clears) every thread's ring, oldest-first per thread.
+/// Rings from exited threads are retained until drained.
+std::vector<TraceEvent> DrainTraceEvents();
+
+/// Spans recorded while a ring was full overwrite the oldest entry; this
+/// counts how many were overwritten since the last drain.
+uint64_t TraceOverwrites();
+
+/// Fixed per-thread ring capacity, exposed for tests.
+constexpr size_t kTraceRingCapacity = 4096;
+
+namespace internal {
+void RecordSpan(const char* name, uint64_t start_us, uint64_t end_us);
+}  // namespace internal
+
+/// RAII span: records [construction, destruction) into the calling
+/// thread's ring buffer. Lock-lite: the only lock taken is the ring's own
+/// mutex, contended only while a drain is copying that ring out.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) {
+    if (TracingEnabled()) {
+      name_ = name;
+      start_ = MonotonicMicros();
+    }
+  }
+  ~TraceSpan() {
+    if (name_ != nullptr) {
+      internal::RecordSpan(name_, start_, MonotonicMicros());
+    }
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  uint64_t start_ = 0;
+};
+
+}  // namespace tdb::common
+
+#endif  // TDB_COMMON_TRACE_H_

@@ -128,10 +128,52 @@ Status ExecuteChunkTrace(const std::vector<TraceCommit>& trace,
   return Status::OK();
 }
 
-Result<std::unique_ptr<chunk::ChunkStore>> OpenStore(ChunkEnv* env,
-                                                     Preset preset) {
+Result<std::unique_ptr<chunk::ChunkStore>> OpenStore(
+    ChunkEnv* env, Preset preset,
+    std::shared_ptr<common::MetricsRegistry> metrics = nullptr) {
+  chunk::ChunkStoreOptions options = PresetOptions(preset);
+  // Injecting the registry keeps the audit trail reachable even when Open
+  // itself fails on a tampered image (the store object is never built).
+  options.metrics = std::move(metrics);
   return chunk::ChunkStore::Open(env->faulty.get(), &env->secrets,
-                                 &env->counter, PresetOptions(preset));
+                                 &env->counter, options);
+}
+
+/// Audit regions a tampered byte of `cls` may legitimately surface as.
+/// The byte's structural class and the detector that fires need not match
+/// exactly: e.g. a corrupted payload byte inside the residual log breaks
+/// the recovery scan, which the store reports as a log/counter-level
+/// replay detection rather than a payload hash mismatch.
+bool AuditRegionCompatible(RegionClass cls, int region) {
+  switch (cls) {
+    case RegionClass::kAnchorSlot:
+      return region == common::kRegionAnchor ||
+             region == common::kRegionCounter ||
+             region == common::kRegionLog;
+    case RegionClass::kLogStructure:
+      return region == common::kRegionLog ||
+             region == common::kRegionCounter;
+    case RegionClass::kChunkPayload:
+      return region == common::kRegionPayload ||
+             region == common::kRegionLog ||
+             region == common::kRegionCounter;
+    case RegionClass::kLocationMap:
+      return region == common::kRegionMap ||
+             region == common::kRegionLog ||
+             region == common::kRegionCounter;
+  }
+  return false;
+}
+
+std::string AuditEventsToString(
+    const std::vector<common::AuditEvent>& events) {
+  std::string out;
+  for (const common::AuditEvent& e : events) {
+    if (!out.empty()) out += ", ";
+    out += e.kind + "@" + e.location + " region=" +
+           std::to_string(e.region) + " x" + std::to_string(e.count);
+  }
+  return out.empty() ? "<none>" : out;
 }
 
 }  // namespace
@@ -181,14 +223,18 @@ Status RunChunkCrashCase(const TraceSpec& spec, const CrashCase& crash,
     env.faulty->CrashAtWrite(static_cast<uint64_t>(crash.recovery_crash), 1,
                              2);
   }
-  opened = OpenStore(&env, spec.preset);
+  // Recovery of a crash-normal image must never log security audit events
+  // (torn tails are expected, not attacks); the injected registry outlives
+  // failed opens so nothing is missed.
+  auto recovery_metrics = std::make_shared<common::MetricsRegistry>();
+  opened = OpenStore(&env, spec.preset, recovery_metrics);
   if (!opened.ok()) {
     if (!env.faulty->crashed()) {
       return Fail(repro, "recovery failed on a legitimate crash image: " +
                              opened.status().ToString());
     }
     env.faulty->Reboot();
-    opened = OpenStore(&env, spec.preset);
+    opened = OpenStore(&env, spec.preset, recovery_metrics);
     if (!opened.ok()) {
       return Fail(repro, "recovery failed after recovery-time crash: " +
                              opened.status().ToString());
@@ -227,6 +273,11 @@ Status RunChunkCrashCase(const TraceSpec& spec, const CrashCase& crash,
   if (!readback.ok() ||
       Slice(readback.value()) != Slice("post-recovery-probe")) {
     return Fail(repro, "post-recovery probe readback mismatch");
+  }
+  if (recovery_metrics->audit().size() != 0) {
+    return Fail(repro, "crash-normal recovery logged audit events: " +
+                           AuditEventsToString(
+                               recovery_metrics->audit().Events()));
   }
   Status close = cs->Close();
   if (!close.ok()) {
@@ -298,7 +349,8 @@ Result<bool> EvaluateImage(const TraceSpec& spec,
                            uint64_t counter_value,
                            const std::set<uint64_t>& ids,
                            const StateOracle::State* baseline,
-                           StateOracle::State* out_values) {
+                           StateOracle::State* out_values,
+                           std::vector<common::AuditEvent>* audit_out) {
   platform::MemUntrustedStore mem;
   mem.RestoreImage(image);
   platform::MemSecretStore secrets;
@@ -308,8 +360,22 @@ Result<bool> EvaluateImage(const TraceSpec& spec,
     (void)counter.Increment();
   }
 
-  Result<std::unique_ptr<chunk::ChunkStore>> opened = chunk::ChunkStore::Open(
-      &mem, &secrets, &counter, PresetOptions(spec.preset));
+  auto registry = std::make_shared<common::MetricsRegistry>();
+  chunk::ChunkStoreOptions options = PresetOptions(spec.preset);
+  options.metrics = registry;
+  // Collect whatever the audit trail holds on every exit path below; the
+  // registry outlives the store, so detections during a failed Open are
+  // captured too.
+  struct AuditCapture {
+    std::shared_ptr<common::MetricsRegistry> registry;
+    std::vector<common::AuditEvent>* out;
+    ~AuditCapture() {
+      if (out != nullptr) *out = registry->audit().Events();
+    }
+  } capture{registry, audit_out};
+
+  Result<std::unique_ptr<chunk::ChunkStore>> opened =
+      chunk::ChunkStore::Open(&mem, &secrets, &counter, options);
   if (!opened.ok()) {
     const Status& status = opened.status();
     if (status.IsTamperDetected() || status.IsReplayDetected() ||
@@ -367,8 +433,10 @@ constexpr uint8_t kTamperMask = 0x40;
 
 Status TamperBaseline(const TraceSpec& spec, const TamperContext& ctx,
                       StateOracle::State* baseline) {
-  Result<bool> flagged = EvaluateImage(spec, ctx.image, ctx.counter_value,
-                                       ctx.oracle.ids(), nullptr, baseline);
+  std::vector<common::AuditEvent> audit;
+  Result<bool> flagged =
+      EvaluateImage(spec, ctx.image, ctx.counter_value, ctx.oracle.ids(),
+                    nullptr, baseline, &audit);
   if (!flagged.ok()) {
     return Status::Corruption("untampered baseline reopen failed: " +
                               flagged.status().ToString());
@@ -377,6 +445,11 @@ Status TamperBaseline(const TraceSpec& spec, const TamperContext& ctx,
     return Status::Corruption(
         "untampered baseline reopen flagged tampering on a clean image");
   }
+  if (!audit.empty()) {
+    return Status::Corruption(
+        "untampered baseline reopen left audit events on a clean image: " +
+        AuditEventsToString(audit));
+  }
   // The baseline itself must satisfy the durable-commit invariant.
   Result<size_t> matched = ctx.oracle.MatchRecovered(*baseline);
   if (!matched.ok()) {
@@ -384,6 +457,50 @@ Status TamperBaseline(const TraceSpec& spec, const TamperContext& ctx,
                               matched.status().message());
   }
   return Status::OK();
+}
+
+/// The audit-trail contract for one tamper case: a detected corruption
+/// leaves exactly one deduplicated audit event (never zero — no silent
+/// detection — and never several for one corrupted byte), with a region
+/// compatible with the byte's structural class; a masked corruption
+/// leaves none.
+Status CheckTamperAudit(const ReproCase& repro, bool detected,
+                        const std::vector<common::AuditEvent>& audit,
+                        const RegionClass* cls) {
+  if (!detected) {
+    if (!audit.empty()) {
+      return Fail(repro, "masked tamper left audit events: " +
+                             AuditEventsToString(audit));
+    }
+    return Status::OK();
+  }
+  if (audit.empty()) {
+    return Fail(repro,
+                "tamper detected but the audit trail is empty (silent "
+                "detection)");
+  }
+  if (audit.size() > 1) {
+    return Fail(repro, "tamper produced " + std::to_string(audit.size()) +
+                           " audit events, want exactly 1 deduplicated: " +
+                           AuditEventsToString(audit));
+  }
+  if (cls != nullptr && !AuditRegionCompatible(*cls, audit[0].region)) {
+    return Fail(repro, std::string("audit region incompatible with class ") +
+                           RegionClassName(*cls) + ": " +
+                           AuditEventsToString(audit));
+  }
+  return Status::OK();
+}
+
+const TamperRegion* FindRegion(const std::vector<TamperRegion>& regions,
+                               const std::string& file, uint64_t offset) {
+  for (const TamperRegion& region : regions) {
+    if (region.file == file && offset >= region.offset &&
+        offset < region.offset + region.length) {
+      return &region;
+    }
+  }
+  return nullptr;
 }
 
 }  // namespace
@@ -411,10 +528,15 @@ Status RunChunkTamperCase(const TraceSpec& spec, const std::string& file,
   }
   platform::MemUntrustedStore::Image tampered = ctx.image;
   tampered[file][offset] ^= mask;
-  Result<bool> detected = EvaluateImage(spec, tampered, ctx.counter_value,
-                                        ctx.oracle.ids(), &baseline, nullptr);
+  std::vector<common::AuditEvent> audit;
+  Result<bool> detected =
+      EvaluateImage(spec, tampered, ctx.counter_value, ctx.oracle.ids(),
+                    &baseline, nullptr, &audit);
   if (!detected.ok()) return Fail(repro, detected.status().message());
-  return Status::OK();
+  std::vector<TamperRegion> regions = ClassifyImage(ctx.image);
+  const TamperRegion* region = FindRegion(regions, file, offset);
+  return CheckTamperAudit(repro, detected.value(), audit,
+                          region != nullptr ? &region->cls : nullptr);
 }
 
 Status ChunkTamperSweep(const TraceSpec& spec, int shard, int num_shards,
@@ -449,12 +571,16 @@ Status ChunkTamperSweep(const TraceSpec& spec, int shard, int num_shards,
 
       platform::MemUntrustedStore::Image tampered = ctx.image;
       tampered[region.file][offset] ^= kTamperMask;
+      std::vector<common::AuditEvent> audit;
       Result<bool> detected =
           EvaluateImage(spec, tampered, ctx.counter_value, ctx.oracle.ids(),
-                        &baseline, nullptr);
+                        &baseline, nullptr, &audit);
       if (!detected.ok()) return Fail(repro, detected.status().message());
+      TDB_RETURN_IF_ERROR(
+          CheckTamperAudit(repro, detected.value(), audit, &region.cls));
       if (stats != nullptr) {
         stats->cases++;
+        stats->audit_events += audit.size();
         if (detected.value()) {
           stats->detected++;
         } else {

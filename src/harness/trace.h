@@ -95,6 +95,12 @@ struct SweepStats {
   uint64_t sites_per_class[4] = {0, 0, 0, 0};
   uint64_t detected = 0;      // Tamper cases flagged by the store.
   uint64_t masked = 0;        // Tamper cases fully masked (values intact).
+  // Security-audit-trail cross-check: every detected tamper case must
+  // leave exactly one (deduplicated) audit event in the store's registry,
+  // with a region consistent with the byte actually corrupted; masked
+  // cases and crash-normal recoveries must leave none. The sweep fails
+  // hard on violations; these tallies let tests assert coverage too.
+  uint64_t audit_events = 0;  // Audit events observed across all cases.
 };
 
 /// Lets a test interpose its own (possibly buggy) store between the

@@ -2,6 +2,14 @@
 
 namespace tdb::object {
 
+void LockManager::AttachMetrics(common::Counter* waits,
+                                common::Counter* timeouts,
+                                common::Histogram* wait_us) {
+  waits_metric_ = waits;
+  timeouts_metric_ = timeouts;
+  wait_us_metric_ = wait_us;
+}
+
 bool LockManager::CanGrant(const LockState& state, TxnId txn,
                            bool exclusive) const {
   if (state.exclusive != 0 && state.exclusive != txn) return false;
@@ -18,6 +26,8 @@ Status LockManager::Lock(TxnId txn, ObjectId oid, bool exclusive,
                          std::unique_lock<std::mutex>& state_lock,
                          std::chrono::milliseconds timeout) {
   auto deadline = std::chrono::steady_clock::now() + timeout;
+  bool blocked = false;
+  uint64_t wait_start_us = 0;
   for (;;) {
     LockState& state = locks_[oid];
     if (CanGrant(state, txn, exclusive)) {
@@ -28,10 +38,24 @@ Status LockManager::Lock(TxnId txn, ObjectId oid, bool exclusive,
         state.shared.insert(txn);
       }
       held_[txn].insert(oid);
+      if (blocked && wait_us_metric_ != nullptr) {
+        wait_us_metric_->Record(
+            static_cast<int64_t>(common::MonotonicMicros() - wait_start_us));
+      }
       return Status::OK();
+    }
+    if (!blocked) {
+      blocked = true;
+      wait_start_us = common::MonotonicMicros();
+      if (waits_metric_ != nullptr) waits_metric_->Increment();
     }
     // Release the state mutex while waiting (§4.2.3), reacquire on wake.
     if (cv_.wait_until(state_lock, deadline) == std::cv_status::timeout) {
+      if (timeouts_metric_ != nullptr) timeouts_metric_->Increment();
+      if (wait_us_metric_ != nullptr) {
+        wait_us_metric_->Record(
+            static_cast<int64_t>(common::MonotonicMicros() - wait_start_us));
+      }
       return Status::LockTimeout("lock on object " + std::to_string(oid) +
                                  " (possible deadlock)");
     }

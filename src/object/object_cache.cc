@@ -4,6 +4,16 @@
 
 namespace tdb::object {
 
+void ObjectCache::AttachMetrics(common::Counter* hits,
+                                common::Counter* misses,
+                                common::Counter* evictions,
+                                common::Gauge* bytes_used) {
+  hits_metric_ = hits;
+  misses_metric_ = misses;
+  evictions_metric_ = evictions;
+  bytes_used_metric_ = bytes_used;
+}
+
 Object* ObjectCache::Put(ObjectId oid, std::unique_ptr<Object> object,
                          bool dirty) {
   Erase(oid);
@@ -16,6 +26,7 @@ Object* ObjectCache::Put(ObjectId oid, std::unique_ptr<Object> object,
   size_ += entry.charge;
   Object* raw = entry.object.get();
   entries_.emplace(oid, std::move(entry));
+  MirrorSize();
   return raw;
 }
 
@@ -23,6 +34,7 @@ Object* ObjectCache::Get(ObjectId oid) {
   auto it = entries_.find(oid);
   if (it == entries_.end()) return nullptr;
   stats_.hits++;
+  if (hits_metric_ != nullptr) hits_metric_->Increment();
   Touch(oid);
   return it->second.object.get();
 }
@@ -57,6 +69,7 @@ void ObjectCache::Erase(ObjectId oid) {
   size_ -= it->second.charge;
   lru_.erase(it->second.lru_pos);
   entries_.erase(it);
+  MirrorSize();
 }
 
 void ObjectCache::Touch(ObjectId oid) {
@@ -80,7 +93,9 @@ void ObjectCache::EnforceCapacity() {
     it = lru_.erase(it);
     entries_.erase(entry_it);
     stats_.evictions++;
+    if (evictions_metric_ != nullptr) evictions_metric_->Increment();
   }
+  MirrorSize();
 }
 
 }  // namespace tdb::object

@@ -5,6 +5,7 @@
 #include <map>
 #include <memory>
 
+#include "common/metrics.h"
 #include "object/object.h"
 
 namespace tdb::object {
@@ -26,6 +27,13 @@ class ObjectCache {
 
   explicit ObjectCache(size_t capacity_bytes)
       : capacity_(capacity_bytes) {}
+
+  /// Mirrors hit/miss/eviction tallies and occupancy into registry
+  /// instruments (all may be null). The local Stats struct stays the
+  /// source of truth for existing callers; the registry gets the same
+  /// increments so one snapshot covers the whole database instance.
+  void AttachMetrics(common::Counter* hits, common::Counter* misses,
+                     common::Counter* evictions, common::Gauge* bytes_used);
 
   /// Inserts (or replaces) the cached instance for `oid`.
   Object* Put(ObjectId oid, std::unique_ptr<Object> object, bool dirty);
@@ -56,7 +64,10 @@ class ObjectCache {
   size_t size_bytes() const { return size_; }
   size_t entry_count() const { return entries_.size(); }
   const Stats& stats() const { return stats_; }
-  void CountMiss() { stats_.misses++; }
+  void CountMiss() {
+    stats_.misses++;
+    if (misses_metric_ != nullptr) misses_metric_->Increment();
+  }
 
  private:
   struct Entry {
@@ -67,11 +78,21 @@ class ObjectCache {
     std::list<ObjectId>::iterator lru_pos;
   };
 
+  void MirrorSize() {
+    if (bytes_used_metric_ != nullptr) {
+      bytes_used_metric_->Set(static_cast<int64_t>(size_));
+    }
+  }
+
   std::map<ObjectId, Entry> entries_;
   std::list<ObjectId> lru_;  // Front = most recently used.
   size_t capacity_;
   size_t size_ = 0;
   Stats stats_;
+  common::Counter* hits_metric_ = nullptr;
+  common::Counter* misses_metric_ = nullptr;
+  common::Counter* evictions_metric_ = nullptr;
+  common::Gauge* bytes_used_metric_ = nullptr;
 };
 
 }  // namespace tdb::object

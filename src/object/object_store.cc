@@ -1,5 +1,7 @@
 #include "object/object_store.h"
 
+#include "common/trace.h"
+
 namespace tdb::object {
 
 namespace {
@@ -45,7 +47,47 @@ ObjectStore::ObjectStore(chunk::ChunkStore* chunks,
                          const ObjectStoreOptions& options)
     : chunks_(chunks),
       options_(options),
-      cache_(options.cache_capacity_bytes) {}
+      cache_(options.cache_capacity_bytes) {
+  BindInstruments();
+}
+
+void ObjectStore::BindInstruments() {
+  common::MetricsRegistry* r = chunks_->metrics().get();
+  m_.txns_begun = r->GetCounter("txn.begin");
+  m_.commits = r->GetCounter("txn.commits");
+  m_.durable_commits = r->GetCounter("txn.durable_commits");
+  m_.aborts = r->GetCounter("txn.aborts");
+  m_.deadlock_aborts = r->GetCounter("txn.deadlock_aborts");
+  m_.lock_waits = r->GetCounter("txn.lock_waits");
+  m_.lock_timeouts = r->GetCounter("txn.lock_timeouts");
+  m_.pickle_bytes = r->GetCounter("object.pickle_bytes");
+  m_.cache_hits = r->GetCounter("object.cache.hits");
+  m_.cache_misses = r->GetCounter("object.cache.misses");
+  m_.cache_evictions = r->GetCounter("object.cache.evictions");
+  m_.cache_bytes_used = r->GetGauge("object.cache.bytes_used");
+  m_.commit_latency_us = r->GetHistogram("txn.commit.latency_us");
+  m_.lock_wait_us = r->GetHistogram("txn.lock_wait_us");
+  cache_.AttachMetrics(m_.cache_hits, m_.cache_misses, m_.cache_evictions,
+                       m_.cache_bytes_used);
+  locks_.AttachMetrics(m_.lock_waits, m_.lock_timeouts, m_.lock_wait_us);
+}
+
+ObjectStoreStats ObjectStore::Stats() const {
+  auto u = [](int64_t v) { return static_cast<uint64_t>(v); };
+  ObjectStoreStats s;
+  s.txns_begun = u(m_.txns_begun->value());
+  s.commits = u(m_.commits->value());
+  s.durable_commits = u(m_.durable_commits->value());
+  s.aborts = u(m_.aborts->value());
+  s.deadlock_aborts = u(m_.deadlock_aborts->value());
+  s.lock_waits = u(m_.lock_waits->value());
+  s.lock_timeouts = u(m_.lock_timeouts->value());
+  s.pickle_bytes = u(m_.pickle_bytes->value());
+  s.cache_hits = u(m_.cache_hits->value());
+  s.cache_misses = u(m_.cache_misses->value());
+  s.cache_evictions = u(m_.cache_evictions->value());
+  return s;
+}
 
 Result<std::unique_ptr<ObjectStore>> ObjectStore::Open(
     chunk::ChunkStore* chunks, const ObjectStoreOptions& options) {
@@ -137,6 +179,7 @@ std::shared_ptr<internal::TxnState> ObjectStore::BeginTxn() {
   auto state = std::make_shared<internal::TxnState>();
   state->id = next_txn_id_.fetch_add(1);
   state->active = true;
+  m_.txns_begun->Increment();
   return state;
 }
 
@@ -162,8 +205,12 @@ Result<Object*> ObjectStore::OpenInternal(internal::TxnState& txn,
     return Status::NotFound("object removed in this transaction");
   }
   if (options_.locking_enabled) {
-    TDB_RETURN_IF_ERROR(
-        locks_.Lock(txn.id, oid, writable, lock, options_.lock_timeout));
+    Status locked =
+        locks_.Lock(txn.id, oid, writable, lock, options_.lock_timeout);
+    if (!locked.ok()) {
+      if (locked.IsLockTimeout()) txn.hit_lock_timeout = true;
+      return locked;
+    }
   }
   Object* obj = cache_.Get(oid);
   if (obj == nullptr) {
@@ -202,9 +249,12 @@ Result<ObjectId> ObjectStore::InsertInternal(internal::TxnState& txn,
   if (options_.locking_enabled) {
     // A fresh id is uncontended; the lock still must be recorded so it is
     // held until transaction end.
-    TDB_RETURN_IF_ERROR(
-        locks_.Lock(txn.id, oid, /*exclusive=*/true, lock,
-                    options_.lock_timeout));
+    Status locked = locks_.Lock(txn.id, oid, /*exclusive=*/true, lock,
+                                options_.lock_timeout);
+    if (!locked.ok()) {
+      if (locked.IsLockTimeout()) txn.hit_lock_timeout = true;
+      return locked;
+    }
   }
   cache_.Put(oid, std::move(object), /*dirty=*/true);
   txn.write_set.insert(oid);
@@ -221,8 +271,12 @@ Status ObjectStore::RemoveInternal(internal::TxnState& txn, ObjectId oid) {
     return Status::NotFound("object already removed in this transaction");
   }
   if (options_.locking_enabled) {
-    TDB_RETURN_IF_ERROR(locks_.Lock(txn.id, oid, /*exclusive=*/true, lock,
-                                    options_.lock_timeout));
+    Status locked = locks_.Lock(txn.id, oid, /*exclusive=*/true, lock,
+                                options_.lock_timeout);
+    if (!locked.ok()) {
+      if (locked.IsLockTimeout()) txn.hit_lock_timeout = true;
+      return locked;
+    }
   }
   // The object must exist: in cache (possibly inserted by this txn) or in
   // the chunk store.
@@ -235,9 +289,12 @@ Status ObjectStore::RemoveInternal(internal::TxnState& txn, ObjectId oid) {
 }
 
 Status ObjectStore::CommitTxn(internal::TxnState& txn, bool durable) {
+  common::TraceSpan span("txn.commit");
+  common::ScopedTimer timer(chunks_->metrics().get(), m_.commit_latency_us);
   std::unique_lock<std::mutex> lock(mutex_);
 
   chunk::WriteBatch batch;
+  int64_t pickled = 0;
   for (ObjectId oid : txn.write_set) {
     if (txn.removed.count(oid)) continue;
     Object* obj = cache_.Get(oid);
@@ -245,6 +302,7 @@ Status ObjectStore::CommitTxn(internal::TxnState& txn, bool durable) {
     Pickler pickler;
     pickler.PutUint32(obj->class_id());
     obj->Pickle(&pickler);
+    pickled += static_cast<int64_t>(pickler.buffer().size());
     batch.Write(oid, pickler.buffer());
   }
   for (ObjectId oid : txn.removed) {
@@ -283,6 +341,9 @@ Status ObjectStore::CommitTxn(internal::TxnState& txn, bool durable) {
   txn.active = false;
   locks_.ReleaseAll(txn.id);
   cache_.EnforceCapacity();
+  m_.commits->Increment();
+  if (durable) m_.durable_commits->Increment();
+  if (pickled > 0) m_.pickle_bytes->Add(pickled);
   lock.unlock();
 
   // Stage 2, outside the state mutex: block on the group flush (or, for a
@@ -305,6 +366,8 @@ Status ObjectStore::AbortTxn(internal::TxnState& txn) {
   for (ObjectId oid : txn.write_set) cache_.Erase(oid);
   txn.active = false;
   locks_.ReleaseAll(txn.id);
+  m_.aborts->Increment();
+  if (txn.hit_lock_timeout) m_.deadlock_aborts->Increment();
   return Status::OK();
 }
 

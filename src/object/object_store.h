@@ -34,6 +34,10 @@ struct TxnState {
   std::set<ObjectId> write_set;  // Opened writable (incl. inserted).
   std::set<ObjectId> inserted;
   std::set<ObjectId> removed;
+  // A lock wait expired during this transaction (the timeout that "breaks
+  // potential deadlocks", §4.1). When the application then aborts, the
+  // abort is attributed to deadlock avoidance in the store stats.
+  bool hit_lock_timeout = false;
 };
 
 }  // namespace internal
@@ -215,10 +219,33 @@ class Transaction {
   bool active() const { return state_ != nullptr && state_->active; }
   TxnId id() const { return state_ ? state_->id : 0; }
 
+  /// The store this transaction runs against (e.g. for registering
+  /// layer-specific instruments on its metrics registry).
+  ObjectStore* store() const { return store_; }
+
  private:
   friend class ObjectStore;
   ObjectStore* store_;
   std::shared_ptr<internal::TxnState> state_;
+};
+
+/// Transaction/locking tallies, read back from the metrics registry by the
+/// compatibility accessor ObjectStore::Stats().
+struct ObjectStoreStats {
+  uint64_t txns_begun = 0;
+  uint64_t commits = 0;          // Successful CommitTxn calls.
+  uint64_t durable_commits = 0;  // Subset acked only after the group flush.
+  uint64_t aborts = 0;
+  // Aborts of transactions that previously hit a lock timeout — the
+  // deadlock-avoidance path: the timeout breaks the deadlock, the
+  // application gives up and rolls back.
+  uint64_t deadlock_aborts = 0;
+  uint64_t lock_waits = 0;     // Lock calls that blocked.
+  uint64_t lock_timeouts = 0;  // Waits that expired (possible deadlock).
+  uint64_t pickle_bytes = 0;   // Serialized object bytes handed to commits.
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_evictions = 0;
 };
 
 /// The object store (§4): type-safe, transactional storage of named C++
@@ -260,6 +287,16 @@ class ObjectStore {
   size_t cache_size_bytes() const { return cache_.size_bytes(); }
   chunk::ChunkStore* chunk_store() { return chunks_; }
 
+  /// Transaction/locking tallies (see ObjectStoreStats). Reads the
+  /// registry instruments; safe to call concurrently with transactions.
+  ObjectStoreStats Stats() const;
+
+  /// The registry shared with the underlying chunk store — one snapshot
+  /// covers chunk, object, collection, and backup instruments.
+  const std::shared_ptr<common::MetricsRegistry>& metrics() const {
+    return chunks_->metrics();
+  }
+
  private:
   friend class Transaction;
 
@@ -284,9 +321,34 @@ class ObjectStore {
   // Builds the pin guard shared_ptr for a Ref.
   std::shared_ptr<void> MakePin(ObjectId oid);
 
+  // Registry-backed instruments, resolved once at construction (against
+  // the chunk store's registry) so transaction paths touch only the
+  // wait-free instruments.
+  struct Instruments {
+    common::Counter* txns_begun = nullptr;
+    common::Counter* commits = nullptr;
+    common::Counter* durable_commits = nullptr;
+    common::Counter* aborts = nullptr;
+    common::Counter* deadlock_aborts = nullptr;
+    common::Counter* lock_waits = nullptr;
+    common::Counter* lock_timeouts = nullptr;
+    common::Counter* pickle_bytes = nullptr;
+    common::Counter* cache_hits = nullptr;
+    common::Counter* cache_misses = nullptr;
+    common::Counter* cache_evictions = nullptr;
+    common::Gauge* cache_bytes_used = nullptr;
+    common::Histogram* commit_latency_us = nullptr;
+    common::Histogram* lock_wait_us = nullptr;
+  };
+
+  // Resolves every instrument in m_ and wires the cache and lock manager
+  // (constructor only).
+  void BindInstruments();
+
   chunk::ChunkStore* chunks_;
   ObjectStoreOptions options_;
   ClassRegistry registry_;
+  Instruments m_;
 
   std::mutex mutex_;  // The "state mutex" of §4.2.3.
   LockManager locks_;

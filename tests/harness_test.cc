@@ -423,6 +423,13 @@ TEST_P(ChunkTamperSweepTest, EveryRegionClass) {
   // accepted (silent acceptance fails the sweep above).
   EXPECT_EQ(stats.detected + stats.masked, stats.cases);
   EXPECT_GT(stats.detected, 0u);
+  // Security audit trail: each detected case left exactly one
+  // deduplicated audit event with a region compatible with the corrupted
+  // byte's class, and each masked case left none. (The per-case
+  // contract — never zero events on detection, never several, correct
+  // region — is enforced inside the sweep; a violation fails `status`
+  // above. This tally cross-checks the aggregate: events == detections.)
+  EXPECT_EQ(stats.audit_events, stats.detected);
   PrintCoverage("chunk-tamper", GetParam(), kShards, stats);
 }
 

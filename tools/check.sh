@@ -7,6 +7,7 @@
 #   tools/check.sh --asan        # AddressSanitizer build, harness smoke suite
 #   tools/check.sh --tsan        # ThreadSanitizer build, harness smoke suite
 #   tools/check.sh --bench-smoke # build benches, run each briefly
+#   tools/check.sh --metrics     # bench --metrics-json -> tdbstat --check
 #
 # The sanitizer modes configure a separate build directory with
 # -DTDB_SANITIZE=<address|thread> and run a smoke subset (the differential
@@ -31,8 +32,10 @@ case "$mode" in
   --asan) sanitize="address" ; suffix="-asan" ;;
   --tsan) sanitize="thread"  ; suffix="-tsan" ;;
   --bench-smoke) suffix="" ;;
+  --metrics) suffix="" ;;
   "") ;;
-  *) echo "usage: tools/check.sh [--asan|--tsan|--bench-smoke]" >&2; exit 2 ;;
+  *) echo "usage: tools/check.sh [--asan|--tsan|--bench-smoke|--metrics]" >&2
+     exit 2 ;;
 esac
 
 build_dir="${BUILD_DIR:-$repo_root/build-check$suffix}"
@@ -41,9 +44,10 @@ if [[ -n "$sanitize" ]]; then
   cmake -B "$build_dir" -S "$repo_root" -DTDB_SANITIZE="$sanitize"
   # Smoke subset: the harness sweeps (crash + tamper + self-test), the
   # multi-threaded 2PL stress and group-commit coordinator (the TSan
-  # targets), the lock manager, and the torn-write fault model.
+  # targets), the lock manager, the torn-write fault model, and the
+  # wait-free metrics registry (8-thread instrument stress).
   smoke_targets=(harness_test txn_stress_test chunk_store_test
-                 lock_manager_test sim_disk_test)
+                 lock_manager_test sim_disk_test metrics_test)
   cmake --build "$build_dir" -j "$(nproc)" --target "${smoke_targets[@]}"
   for t in "${smoke_targets[@]}"; do
     echo "== $t ($sanitize sanitizer) =="
@@ -66,6 +70,30 @@ elif [[ "$mode" == "--bench-smoke" ]]; then
     TPCB_SCALE=1 TPCB_TXNS=200 "$build_dir/bench/$b" > /dev/null
   done
   echo "bench smoke OK: ${#gbenches[@]} gbenches + ${#scripted[@]} scripted"
+elif [[ "$mode" == "--metrics" ]]; then
+  # Observability round-trip: a short instrumented bench run emits a
+  # metrics snapshot, and tdbstat --check validates it is well-formed and
+  # that the acceptance instruments exist and are nonzero (commit-path
+  # sync latency, lock wait time, deadlock-avoidance aborts).
+  cmake -B "$build_dir" -S "$repo_root"
+  cmake --build "$build_dir" -j "$(nproc)" --target commit_throughput tdbstat
+  metrics_json="$build_dir/metrics-check.json"
+  echo "== commit_throughput --metrics-json =="
+  "$build_dir/bench/commit_throughput" \
+      --benchmark_filter='BM_DurableCommitGroup/real_time/threads:8|BM_TpcbDurableSerialized/real_time/threads:4|BM_LockConflict' \
+      --benchmark_min_time=0.05 \
+      --metrics-json="$metrics_json" > /dev/null
+  echo "== tdbstat --check =="
+  "$build_dir/tools/tdbstat" --check "$metrics_json" \
+      --require chunk.sync.latency_us \
+      --require chunk.counter_bump.latency_us \
+      --require txn.commit.latency_us \
+      --require txn.lock_wait_us \
+      --require txn.deadlock_aborts \
+      --require chunk.commits \
+      --require object.pickle_bytes
+  "$build_dir/tools/tdbstat" --snapshot "$metrics_json" > /dev/null
+  echo "metrics check OK: $metrics_json"
 else
   cmake -B "$build_dir" -S "$repo_root"
   cmake --build "$build_dir" -j "$(nproc)"
