@@ -42,7 +42,25 @@ inline void AccumulateMetrics(const common::MetricsSnapshot& snap) {
   MergedMetrics().Merge(snap);
 }
 
+/// 1 when this binary was compiled with optimization, else 0. Debug-build
+/// numbers are misleading (often 10x slower on the crypto paths), so the
+/// flag rides along in every metrics snapshot as `bench.build_optimized`
+/// and a warning goes to stderr at start-up. tools/check.sh --bench-smoke
+/// configures its own Release build dir for the same reason.
+inline int BuildOptimized() {
+#ifdef __OPTIMIZE__
+  return 1;
+#else
+  return 0;
+#endif
+}
+
 inline int BenchMainWithMetrics(int argc, char** argv) {
+  if (BuildOptimized() == 0) {
+    std::fprintf(stderr,
+                 "WARNING: benchmark built without optimization "
+                 "(CMAKE_BUILD_TYPE=Debug?); results are not meaningful.\n");
+  }
   bool metrics_enabled = false;
   std::string metrics_path;
   std::vector<char*> args;
@@ -68,7 +86,10 @@ inline int BenchMainWithMetrics(int argc, char** argv) {
   if (metrics_enabled) {
     std::string json;
     {
+      common::MetricsRegistry build_info;
+      build_info.GetGauge("bench.build_optimized")->Set(BuildOptimized());
       std::lock_guard<std::mutex> lock(MetricsMutex());
+      MergedMetrics().Merge(build_info.Snapshot());
       json = MergedMetrics().ToJson();
     }
     if (metrics_path.empty() || metrics_path == "-") {

@@ -1,0 +1,228 @@
+// Read-scan throughput: lock-free snapshot reads (the MVCC tentpole) vs
+// classic 2PL locked reads, N reader threads against ONE object store.
+//
+// Each iteration scans kScanObjects objects in one transaction:
+//  - BM_ScanLocked uses object::Transaction + OpenReadonly — every open
+//    takes the store's state mutex and a shared LockManager lock, every
+//    ref pin/unpin takes the state mutex again, and transaction end runs
+//    ReleaseAll. All of that serializes readers against each other.
+//  - BM_ScanSnapshot uses object::ReadTransaction — one PinView at start,
+//    then every read is a versioned chunk-cache hit plus a private
+//    unpickle: zero LockManager and zero state-mutex acquisitions
+//    (asserted via the txn.lock_acquisitions counter, also checked by
+//    ReadTransactionTest.SnapshotReadsTakeZeroLocks).
+//
+// Sweeps 1..16 threads x compression off/on (arg 0/1; compression mainly
+// shifts where decompression cost lands — on the first validation, after
+// which the validated-plaintext cache serves both codecs identically).
+//
+// Acceptance tracking: at 8 threads, snapshot items/sec must be >= 2x
+// locked items/sec. Emit JSON with:
+//   read_path --benchmark_out=BENCH_read_path.json
+//             --benchmark_out_format=json
+//
+// --metrics-json[=FILE] additionally dumps the merged metrics-registry
+// snapshot (chunk.read.verify_us / decrypt_us / decompress_us,
+// object.unpickle_us, chunk.views_pinned, ...) for tdbstat.
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_metrics.h"
+#include "chunk/chunk_store.h"
+#include "common/random.h"
+#include "object/object_store.h"
+#include "platform/mem_store.h"
+#include "platform/one_way_counter.h"
+#include "platform/secret_store.h"
+
+namespace {
+
+using namespace tdb;
+
+constexpr int kObjects = 256;
+constexpr int kScanObjects = 64;
+constexpr size_t kPayloadBytes = 384;
+
+class ScanRecord final : public object::Object {
+ public:
+  static constexpr object::ClassId kClassId = 0x52454144;  // "READ"
+
+  ScanRecord() = default;
+  explicit ScanRecord(uint64_t value) : value_(value) {
+    // Semi-compressible payload (repeating 32-byte phrase + value-mixed
+    // noise) so the compression=1 sweep actually stores compressed chunks.
+    payload_.resize(kPayloadBytes);
+    for (size_t i = 0; i < payload_.size(); i++) {
+      payload_[i] = static_cast<uint8_t>((i % 32) ^ (value & 0x0F));
+    }
+  }
+
+  object::ClassId class_id() const override { return kClassId; }
+  void Pickle(object::Pickler* pickler) const override {
+    pickler->PutUint64(value_);
+    pickler->PutBytes(payload_);
+  }
+  Status UnpickleFrom(object::Unpickler* unpickler) override {
+    TDB_RETURN_IF_ERROR(unpickler->GetUint64(&value_));
+    return unpickler->GetBytes(&payload_);
+  }
+  size_t ApproxSize() const override { return sizeof(*this) + kPayloadBytes; }
+
+  uint64_t value() const { return value_; }
+
+ private:
+  uint64_t value_ = 0;
+  Buffer payload_;
+};
+
+// One in-memory store shared by all reader threads. MemUntrustedStore
+// keeps disk noise out of a read benchmark; every persisted byte still
+// goes through the full seal pipeline (hash, encrypt, compress).
+struct ReadFixture {
+  platform::MemUntrustedStore store;
+  platform::MemSecretStore secrets;
+  platform::MemOneWayCounter counter;
+  std::unique_ptr<chunk::ChunkStore> chunks;
+  std::unique_ptr<object::ObjectStore> objects;
+  std::vector<object::ObjectId> ids;
+  uint64_t locks_before = 0;
+
+  explicit ReadFixture(bool compression) {
+    (void)secrets.Provision(Slice("bench-secret")).ok();
+    chunk::ChunkStoreOptions copts;
+    copts.security = crypto::SecurityConfig::Modern();
+    copts.segment_size = 256 * 1024;
+    copts.checkpoint_interval_bytes = 1ull << 40;
+    copts.max_clean_segments_per_commit = 0;
+    copts.cache_bytes = 16 * 1024 * 1024;
+    copts.compression = compression;
+    chunks = std::move(chunk::ChunkStore::Open(&store, &secrets, &counter,
+                                               copts))
+                 .value();
+    object::ObjectStoreOptions oopts;
+    oopts.cache_capacity_bytes = 16 * 1024 * 1024;
+    objects = std::move(object::ObjectStore::Open(chunks.get(), oopts))
+                  .value();
+    TDB_CHECK(
+        objects->registry().Register<ScanRecord>(ScanRecord::kClassId).ok(),
+        "register");
+    object::Transaction txn(objects.get());
+    for (int i = 0; i < kObjects; i++) {
+      ids.push_back(txn.Insert(std::make_unique<ScanRecord>(i)).value());
+    }
+    TDB_CHECK(txn.Commit(true).ok(), "seed commit");
+    // Warm both caches so the measured loop is the steady read path.
+    object::Transaction warm(objects.get());
+    for (object::ObjectId id : ids) {
+      TDB_CHECK(warm.OpenReadonly<ScanRecord>(id).ok(), "warm");
+    }
+    TDB_CHECK(warm.Commit(false).ok(), "warm commit");
+    {
+      object::ReadTransaction rwarm(objects.get());
+      TDB_CHECK(rwarm.Prefetch(ids).ok(), "warm prefetch");
+    }
+    locks_before = objects->Stats().lock_acquisitions;
+  }
+
+  ~ReadFixture() {
+    std::shared_ptr<common::MetricsRegistry> registry =
+        chunks != nullptr ? chunks->metrics() : nullptr;
+    objects.reset();
+    if (chunks != nullptr) (void)chunks->Close().ok();
+    chunks.reset();
+    if (registry != nullptr) {
+      benchutil::AccumulateMetrics(registry->Snapshot());
+    }
+  }
+};
+
+std::unique_ptr<ReadFixture> g_fixture;
+
+void BM_ScanLocked(benchmark::State& state) {
+  if (state.thread_index() == 0) {
+    g_fixture = std::make_unique<ReadFixture>(state.range(0) != 0);
+  }
+  Random rng(300 + static_cast<uint64_t>(state.thread_index()));
+  uint64_t checksum = 0;
+  for (auto _ : state) {
+    ReadFixture& fx = *g_fixture;
+    const size_t start = rng.Uniform(kObjects);
+    object::Transaction txn(fx.objects.get());
+    for (int i = 0; i < kScanObjects; i++) {
+      auto rec = txn.OpenReadonly<ScanRecord>(
+          fx.ids[(start + i) % kObjects]);
+      if (!rec.ok()) {
+        state.SkipWithError(rec.status().ToString().c_str());
+        return;
+      }
+      checksum += rec.value()->value();
+    }
+    Status s = txn.Commit(/*durable=*/false);
+    if (!s.ok()) {
+      state.SkipWithError(s.ToString().c_str());
+      return;
+    }
+  }
+  benchmark::DoNotOptimize(checksum);
+  state.SetItemsProcessed(state.iterations() * kScanObjects);
+  if (state.thread_index() == 0) {
+    object::ObjectStoreStats stats = g_fixture->objects->Stats();
+    state.counters["lock_acquisitions"] =
+        static_cast<double>(stats.lock_acquisitions - g_fixture->locks_before);
+    g_fixture.reset();
+  }
+}
+BENCHMARK(BM_ScanLocked)
+    ->ArgNames({"compress"})->Arg(0)->Arg(1)
+    ->Threads(1)->Threads(2)->Threads(4)->Threads(8)->Threads(16)
+    ->UseRealTime();
+
+void BM_ScanSnapshot(benchmark::State& state) {
+  if (state.thread_index() == 0) {
+    g_fixture = std::make_unique<ReadFixture>(state.range(0) != 0);
+  }
+  Random rng(400 + static_cast<uint64_t>(state.thread_index()));
+  uint64_t checksum = 0;
+  for (auto _ : state) {
+    ReadFixture& fx = *g_fixture;
+    const size_t start = rng.Uniform(kObjects);
+    object::ReadTransaction txn(fx.objects.get());
+    for (int i = 0; i < kScanObjects; i++) {
+      auto rec = txn.Open<ScanRecord>(fx.ids[(start + i) % kObjects]);
+      if (!rec.ok()) {
+        state.SkipWithError(rec.status().ToString().c_str());
+        return;
+      }
+      checksum += rec.value()->value();
+    }
+  }
+  benchmark::DoNotOptimize(checksum);
+  state.SetItemsProcessed(state.iterations() * kScanObjects);
+  if (state.thread_index() == 0) {
+    object::ObjectStoreStats stats = g_fixture->objects->Stats();
+    chunk::ChunkStoreStats cstats = g_fixture->chunks->Stats();
+    // The headline guarantee: the measured loop took ZERO lock-manager
+    // acquisitions (any nonzero value here is a regression).
+    state.counters["lock_acquisitions"] =
+        static_cast<double>(stats.lock_acquisitions - g_fixture->locks_before);
+    state.counters["views_pinned"] =
+        static_cast<double>(cstats.views_pinned);
+    state.counters["compressed_chunks"] =
+        static_cast<double>(cstats.compressed_chunks);
+    g_fixture.reset();
+  }
+}
+BENCHMARK(BM_ScanSnapshot)
+    ->ArgNames({"compress"})->Arg(0)->Arg(1)
+    ->Threads(1)->Threads(2)->Threads(4)->Threads(8)->Threads(16)
+    ->UseRealTime();
+
+}  // namespace
+
+TDB_BENCH_MAIN_WITH_METRICS();

@@ -14,11 +14,32 @@ bool ChunkCache::Get(ChunkId cid, Buffer* out) {
   auto it = entries_.find(cid);
   if (it == entries_.end()) return false;
   lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
-  *out = it->second.data;
+  *out = *it->second.data;
   return true;
 }
 
-void ChunkCache::Put(ChunkId cid, Slice data) {
+bool ChunkCache::GetIfVersionAtMost(ChunkId cid, uint64_t max_version,
+                                    Buffer* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(cid);
+  if (it == entries_.end() || it->second.version > max_version) return false;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  *out = *it->second.data;
+  return true;
+}
+
+std::shared_ptr<const Buffer> ChunkCache::GetSharedIfVersionAtMost(
+    ChunkId cid, uint64_t max_version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(cid);
+  if (it == entries_.end() || it->second.version > max_version) {
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  return it->second.data;
+}
+
+void ChunkCache::Put(ChunkId cid, Slice data, uint64_t version) {
   if (!enabled()) return;
   std::lock_guard<std::mutex> lock(mu_);
   // Replace-or-erase: a stale entry under this id must never survive, even
@@ -26,15 +47,15 @@ void ChunkCache::Put(ChunkId cid, Slice data) {
   // an eviction — the entry's chunk is still cached (or superseded), so it
   // does not distort the hit-ratio denominators.
   EraseLocked(cid);
-  Buffer payload = data.ToBuffer();
-  const size_t charge = Charge(payload);
+  auto payload = std::make_shared<const Buffer>(data.ToBuffer());
+  const size_t charge = Charge(*payload);
   if (charge > capacity_) {
     MirrorSizeLocked();
     return;
   }
   EvictToFit(charge);
   lru_.push_front(cid);
-  entries_[cid] = Entry{std::move(payload), lru_.begin()};
+  entries_[cid] = Entry{std::move(payload), version, lru_.begin()};
   size_ += charge;
   MirrorSizeLocked();
 }
@@ -50,7 +71,7 @@ void ChunkCache::Erase(ChunkId cid, EvictCause cause) {
 bool ChunkCache::EraseLocked(ChunkId cid) {
   auto it = entries_.find(cid);
   if (it == entries_.end()) return false;
-  size_ -= Charge(it->second.data);
+  size_ -= Charge(*it->second.data);
   lru_.erase(it->second.lru_pos);
   entries_.erase(it);
   return true;
@@ -67,7 +88,7 @@ void ChunkCache::Clear() {
 void ChunkCache::EvictToFit(size_t incoming_charge) {
   while (size_ + incoming_charge > capacity_ && !lru_.empty()) {
     auto it = entries_.find(lru_.back());
-    size_ -= Charge(it->second.data);
+    size_ -= Charge(*it->second.data);
     entries_.erase(it);
     lru_.pop_back();
     CountEvictionLocked(EvictCause::kCapacity);

@@ -2,6 +2,7 @@
 #define TDB_CHUNK_CHUNK_CACHE_H_
 
 #include <list>
+#include <memory>
 #include <mutex>
 #include <unordered_map>
 
@@ -75,10 +76,30 @@ class ChunkCache {
   /// the chunk store returned payloads by value already.
   bool Get(ChunkId cid, Buffer* out);
 
+  /// Versioned hit: like Get, but only succeeds when the entry's commit
+  /// version is <= `max_version`. Because entries always track a chunk's
+  /// LAST committed state (commits write through, deallocations erase), an
+  /// entry whose version predates a pinned view is exactly the state that
+  /// view observes — so lock-free view reads can serve from cache without
+  /// ever consulting the location map.
+  bool GetIfVersionAtMost(ChunkId cid, uint64_t max_version, Buffer* out);
+
+  /// Zero-copy versioned hit: same admission rule as GetIfVersionAtMost,
+  /// but hands back shared ownership of the cached payload instead of
+  /// copying it — nullptr on a miss. Payloads are immutable once inserted
+  /// (replacement swaps in a NEW buffer), so a returned handle stays valid
+  /// bytes even if the entry is evicted or replaced a nanosecond later.
+  /// This is the snapshot-read fast path: per-hit cost drops to one map
+  /// lookup + one refcount bump, no allocation.
+  std::shared_ptr<const Buffer> GetSharedIfVersionAtMost(ChunkId cid,
+                                                         uint64_t max_version);
+
   /// Inserts or replaces the entry for `cid`, evicting LRU entries to fit.
   /// Payloads that alone exceed the budget are not cached (but still
   /// replace — i.e. erase — any stale entry under the same id).
-  void Put(ChunkId cid, Slice data);
+  /// `version` is the store's commit version at insertion; it gates
+  /// GetIfVersionAtMost.
+  void Put(ChunkId cid, Slice data, uint64_t version);
 
   /// Drops the entry for `cid` if present, attributing the eviction to
   /// `cause` (only counted when an entry was actually present).
@@ -112,7 +133,10 @@ class ChunkCache {
   static constexpr size_t kEntryOverhead = 64;
 
   struct Entry {
-    Buffer data;
+    // Shared so GetSharedIfVersionAtMost can hand out the payload without
+    // copying; never mutated after insertion (replacement allocates anew).
+    std::shared_ptr<const Buffer> data;
+    uint64_t version = 0;
     std::list<ChunkId>::iterator lru_pos;
   };
 

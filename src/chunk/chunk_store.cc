@@ -8,6 +8,7 @@
 #include <unordered_set>
 
 #include "common/check.h"
+#include "common/lz.h"
 #include "common/trace.h"
 
 namespace tdb::chunk {
@@ -24,6 +25,10 @@ constexpr size_t kParallelSealMinWrites = 4;
 // VerifyIntegrity fans validation out in batches of this many chunks so
 // sealed bytes are buffered boundedly (I/O stays serial; crypto overlaps).
 constexpr size_t kVerifyBatchChunks = 256;
+
+// Decompression-bomb guard: a compressed record claiming a raw size above
+// this is rejected as tampered without allocating.
+constexpr size_t kMaxDecompressedChunk = size_t{1} << 30;
 
 // Parses "seg-<id>"; returns false for other files (anchors etc.).
 bool ParseSegmentName(const std::string& name, uint32_t* id) {
@@ -103,6 +108,11 @@ void ChunkStore::BindInstruments() {
   m_.max_commits_per_group = r->GetGauge("chunk.max_commits_per_group");
   m_.log_syncs = r->GetCounter("chunk.log_syncs");
   m_.counter_bumps = r->GetCounter("chunk.counter_bumps");
+  m_.compress_attempts = r->GetCounter("chunk.compress.attempts");
+  m_.compressed_chunks = r->GetCounter("chunk.compress.chunks");
+  m_.compress_bytes_in = r->GetCounter("chunk.compress.bytes_in");
+  m_.compress_bytes_out = r->GetCounter("chunk.compress.bytes_out");
+  m_.views_pinned = r->GetCounter("chunk.views_pinned");
   m_.read_latency_us = r->GetHistogram("chunk.read.latency_us");
   m_.seal_latency_us = r->GetHistogram("chunk.seal.latency_us");
   m_.sync_latency_us = r->GetHistogram("chunk.sync.latency_us");
@@ -112,6 +122,9 @@ void ChunkStore::BindInstruments() {
       r->GetHistogram("chunk.group_flush.latency_us");
   m_.commit_latency_us = r->GetHistogram("chunk.commit.latency_us");
   m_.verify_latency_us = r->GetHistogram("chunk.verify.latency_us");
+  m_.read_verify_us = r->GetHistogram("chunk.read.verify_us");
+  m_.read_decrypt_us = r->GetHistogram("chunk.read.decrypt_us");
+  m_.read_decompress_us = r->GetHistogram("chunk.read.decompress_us");
   m_.recovery_time_us = r->GetGauge("recovery.time_us");
   m_.recovery_commits_replayed = r->GetGauge("recovery.commits_replayed");
   m_.recovery_chunks_replayed = r->GetGauge("recovery.chunks_replayed");
@@ -409,6 +422,7 @@ Status ChunkStore::Recover() {
     for (const ManifestWrite& w : c.manifest.writes) {
       MapEntry entry;
       entry.present = true;
+      entry.flags = w.flags;
       entry.loc = w.loc;
       entry.hash = w.hash;
       TDB_RETURN_IF_ERROR(map_.Put(w.cid, entry, loader).status());
@@ -625,18 +639,50 @@ Result<Buffer> ChunkStore::ReadRawRecord(const Location& loc,
   return payload;
 }
 
+Result<Buffer> ChunkStore::ValidateSealed(const MapEntry& entry,
+                                          Buffer sealed) {
+  {
+    common::ScopedTimer timer(metrics_.get(), m_.read_verify_us);
+    if (suite_.enabled() && EntryHash(sealed) != entry.hash) {
+      AuditDetect("hash_mismatch", common::kRegionPayload,
+                  LocationString(entry.loc),
+                  "record hash does not match map entry");
+      return Status::TamperDetected("chunk hash mismatch");
+    }
+  }
+  Buffer plain;
+  {
+    common::ScopedTimer timer(metrics_.get(), m_.read_decrypt_us);
+    auto opened = suite_.Open(sealed);
+    if (!opened.ok()) {
+      AuditDetect("decrypt_failure", common::kRegionPayload,
+                  LocationString(entry.loc), opened.status().ToString());
+      return Status::TamperDetected("chunk decryption failed: " +
+                                    opened.status().ToString());
+    }
+    plain = std::move(opened).value();
+  }
+  if (entry.flags & kEntryCompressed) {
+    common::ScopedTimer timer(metrics_.get(), m_.read_decompress_us);
+    auto raw = LzDecompress(plain, kMaxDecompressedChunk);
+    if (!raw.ok()) {
+      // Decompression failure past an intact Merkle hash + decryption can
+      // only mean the authenticated flags disagree with the payload (or a
+      // store bug); surface it with the same severity as tampering.
+      AuditDetect("decompress_failure", common::kRegionPayload,
+                  LocationString(entry.loc), raw.status().ToString());
+      return Status::TamperDetected("chunk decompression failed: " +
+                                    raw.status().ToString());
+    }
+    return std::move(raw).value();
+  }
+  return plain;
+}
+
 Result<Buffer> ChunkStore::ReadDataAt(const MapEntry& entry) {
   TDB_ASSIGN_OR_RETURN(Buffer sealed,
-                       ReadRawRecord(entry.loc, RecordType::kData,
-                                     entry.hash));
-  auto plain = suite_.Open(sealed);
-  if (!plain.ok()) {
-    AuditDetect("decrypt_failure", common::kRegionPayload,
-                LocationString(entry.loc), plain.status().ToString());
-    return Status::TamperDetected("chunk decryption failed: " +
-                                  plain.status().ToString());
-  }
-  return std::move(plain).value();
+                       FetchRawRecord(entry.loc, RecordType::kData));
+  return ValidateSealed(entry, std::move(sealed));
 }
 
 NodeLoader ChunkStore::MakeLoader() {
@@ -719,7 +765,7 @@ Result<Buffer> ChunkStore::Read(ChunkId cid) {
   TDB_ASSIGN_OR_RETURN(Buffer plain, ReadDataAt(*entry));
   if (cache_.enabled()) {
     m_.cache_misses->Increment();
-    cache_.Put(cid, plain);
+    cache_.Put(cid, plain, commit_version_);
   }
   return plain;
 }
@@ -785,6 +831,23 @@ Status ChunkStore::PrepareBatch(const WriteBatch& batch, PreparedBatch* out) {
   }
   common::TraceSpan span("chunk.seal");
   common::ScopedTimer timer(metrics_.get(), m_.seal_latency_us);
+  // Compress-before-encrypt: returns the plaintext to seal for write `i` —
+  // the LZ-compressed form when that is actually smaller (recording the
+  // choice in the staged flags), the raw bytes otherwise. `scratch` owns
+  // the compressed bytes for the Slice's lifetime. Runs on the sealing
+  // thread (including pool workers): the codec is pure CPU on local state.
+  auto plain_for = [&](size_t i, Buffer* scratch) -> Slice {
+    const Buffer& data = write_ops[i]->data;
+    if (!options_.compression) return data;
+    m_.compress_attempts->Increment();
+    *scratch = LzCompress(data);
+    if (scratch->size() >= data.size()) return data;
+    out->writes[i].flags = kEntryCompressed;
+    m_.compressed_chunks->Increment();
+    m_.compress_bytes_in->Add(static_cast<int64_t>(data.size()));
+    m_.compress_bytes_out->Add(static_cast<int64_t>(scratch->size()));
+    return *scratch;
+  };
   ThreadPool* pool = CryptoPool();
   if (pool != nullptr && suite_.enabled() &&
       write_ops.size() >= kParallelSealMinWrites) {
@@ -792,7 +855,8 @@ Status ChunkStore::PrepareBatch(const WriteBatch& batch, PreparedBatch* out) {
     for (size_t i = 0; i < write_ops.size(); i++) ivs[i] = NextIvSerial();
     pool->ParallelFor(write_ops.size(), [&](size_t i) {
       out->writes[i].cid = write_ops[i]->cid;
-      out->writes[i].sealed = suite_.SealWithIv(write_ops[i]->data, ivs[i]);
+      Buffer scratch;
+      out->writes[i].sealed = suite_.SealWithIv(plain_for(i, &scratch), ivs[i]);
       out->writes[i].hash = EntryHash(out->writes[i].sealed);
     });
     for (const WriteBatch::Op* op : write_ops) {
@@ -801,7 +865,8 @@ Status ChunkStore::PrepareBatch(const WriteBatch& batch, PreparedBatch* out) {
   } else {
     for (size_t i = 0; i < write_ops.size(); i++) {
       out->writes[i].cid = write_ops[i]->cid;
-      out->writes[i].sealed = SealSerialIv(write_ops[i]->data);
+      Buffer scratch;
+      out->writes[i].sealed = SealSerialIv(plain_for(i, &scratch));
       out->writes[i].hash = EntryHash(out->writes[i].sealed);
     }
   }
@@ -830,6 +895,7 @@ Status ChunkStore::BufferBatchLocked(const PreparedBatch& prep) {
     }
     MapEntry entry;
     entry.present = true;
+    entry.flags = w.flags;
     entry.loc = *loc;
     entry.hash = w.hash;
     auto old = map_.Put(w.cid, entry, loader);
@@ -837,7 +903,7 @@ Status ChunkStore::BufferBatchLocked(const PreparedBatch& prep) {
       failed = old.status();
       break;
     }
-    group_ops_.push_back(PendingOp{true, w.cid, *loc, w.hash});
+    group_ops_.push_back(PendingOp{true, w.cid, *loc, w.hash, w.flags});
     applied.push_back(AppliedOp{true, w.cid, *old});
     AtomicMax(next_chunk_id_, w.cid + 1);
     AccountLive(loc->segment, kRecordHeaderSize + loc->length);
@@ -856,7 +922,8 @@ Status ChunkStore::BufferBatchLocked(const PreparedBatch& prep) {
         failed = old.status();
         break;
       }
-      group_ops_.push_back(PendingOp{false, cid, Location(), crypto::Digest()});
+      group_ops_.push_back(
+          PendingOp{false, cid, Location(), crypto::Digest(), 0});
       applied.push_back(AppliedOp{false, cid, *old});
       if (old->has_value()) {
         AccountLive((*old)->loc.segment,
@@ -866,7 +933,12 @@ Status ChunkStore::BufferBatchLocked(const PreparedBatch& prep) {
       }
     }
   }
-  if (failed.ok()) return Status::OK();
+  if (failed.ok()) {
+    // The applied state changed: bump the commit version so versioned
+    // cache entries and newly pinned views order against this batch.
+    commit_version_++;
+    return Status::OK();
+  }
 
   // Roll back this batch's partial application (reverse order). The data
   // records it appended stay in the log as dead bytes — they are never
@@ -929,7 +1001,8 @@ Result<ChunkStore::SealResult> ChunkStore::SealGroupLocked(
     for (ChunkId cid : order) {
       const PendingOp& op = group_ops_[last[cid]];
       if (op.is_write) {
-        manifest.writes.push_back(ManifestWrite{op.cid, op.loc, op.hash});
+        manifest.writes.push_back(
+            ManifestWrite{op.cid, op.loc, op.hash, op.flags});
       } else {
         manifest.deallocs.push_back(op.cid);
       }
@@ -1148,7 +1221,7 @@ Result<CommitHandle> ChunkStore::CommitBuffered(const WriteBatch& batch,
   // state, already in trusted memory — cache it without revalidation.
   if (cache_.enabled()) {
     for (size_t i = 0; i < prep.writes.size(); i++) {
-      cache_.Put(prep.writes[i].cid, *prep.plains[i]);
+      cache_.Put(prep.writes[i].cid, *prep.plains[i], commit_version_);
     }
     for (ChunkId cid : prep.deallocs) {
       cache_.Erase(cid, EvictCause::kDealloc);
@@ -1332,6 +1405,11 @@ ChunkStoreStats ChunkStore::Stats() const {
   s.max_commits_per_group = u(m_.max_commits_per_group->value());
   s.log_syncs = u(m_.log_syncs->value());
   s.counter_bumps = u(m_.counter_bumps->value());
+  s.compress_attempts = u(m_.compress_attempts->value());
+  s.compressed_chunks = u(m_.compressed_chunks->value());
+  s.compress_bytes_in = u(m_.compress_bytes_in->value());
+  s.compress_bytes_out = u(m_.compress_bytes_out->value());
+  s.views_pinned = u(m_.views_pinned->value());
   return s;
 }
 
@@ -1585,6 +1663,7 @@ Status ChunkStore::CleanSegments(const std::vector<uint32_t>& victims) {
     staged.cid = cid;
     staged.sealed = std::move(raw).value();
     staged.hash = entry.hash;
+    staged.flags = entry.flags;  // Sealed bytes move verbatim.
     relocations.writes.push_back(std::move(staged));
     m_.relocated_records->Increment();
     m_.relocated_bytes->Add(static_cast<int64_t>(entry.loc.length));
@@ -1684,23 +1763,11 @@ Status ChunkStore::VerifyIntegrity(uint64_t* chunks_checked) {
     }
     pool->ParallelFor(n, [&](size_t j) {
       if (!results[j].ok()) return;
-      const MapEntry& entry = entries[start + j].second;
-      if (suite_.enabled() && EntryHash(sealed[j]) != entry.hash) {
-        // Same audit key (kind + location) as the serial ReadRawRecord
-        // path, so a chunk flagged by both collapses to one entry.
-        AuditDetect("hash_mismatch", common::kRegionPayload,
-                    LocationString(entry.loc),
-                    "record hash does not match map entry");
-        results[j] = Status::TamperDetected("chunk hash mismatch");
-        return;
-      }
-      auto plain = suite_.Open(sealed[j]);
-      if (!plain.ok()) {
-        AuditDetect("decrypt_failure", common::kRegionPayload,
-                    LocationString(entry.loc), plain.status().ToString());
-        results[j] = Status::TamperDetected("chunk decryption failed: " +
-                                            plain.status().ToString());
-      }
+      // ValidateSealed audits with the same keys (kind + location) as the
+      // serial path, so a chunk flagged by both collapses to one entry.
+      results[j] =
+          ValidateSealed(entries[start + j].second, std::move(sealed[j]))
+              .status();
     });
     for (size_t j = 0; j < n; j++) {
       if (!results[j].ok()) {
@@ -1732,8 +1799,132 @@ Result<std::shared_ptr<Snapshot>> ChunkStore::CreateSnapshot() {
   auto snap = std::make_shared<Snapshot>();
   snap->root_ = map_.root();
   snap->seq_ = seq_;
+  snap->version_ = commit_version_;
   snapshots_.push_back(snap);
   return snap;
+}
+
+Result<std::shared_ptr<Snapshot>> ChunkStore::PinView() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!open_.load()) return Status::InvalidArgument("chunk store not open");
+  // No checkpoint, no group-idle wait: the COW root already reflects every
+  // applied (including buffered) commit, and later commits clone nodes
+  // along their write paths, leaving this root's subtree intact. Shared
+  // ownership keeps unpersisted in-memory nodes alive for the view's
+  // lifetime; registration pauses the cleaner so persisted records stay
+  // readable.
+  auto snap = std::make_shared<Snapshot>();
+  snap->root_ = map_.root();
+  snap->seq_ = seq_;
+  snap->version_ = commit_version_;
+  snapshots_.push_back(snap);
+  m_.views_pinned->Increment();
+  return snap;
+}
+
+Result<Buffer> ChunkStore::ReadAtView(const Snapshot& view, ChunkId cid) {
+  TDB_ASSIGN_OR_RETURN(std::shared_ptr<const Buffer> data,
+                       ReadAtViewShared(view, cid));
+  return Buffer(*data);
+}
+
+Result<std::shared_ptr<const Buffer>> ChunkStore::ReadAtViewShared(
+    const Snapshot& view, ChunkId cid) {
+  if (!open_.load()) return Status::InvalidArgument("chunk store not open");
+  common::TraceSpan span("chunk.read_view");
+  common::ScopedTimer timer(metrics_.get(), m_.read_latency_us);
+  // A cache entry always holds a chunk's LAST committed state, stamped
+  // with the commit version current at insertion. One stamped at or before
+  // the view's version is therefore exactly the state the view observes —
+  // served under the cache's own lock only, with shared ownership instead
+  // of a copy (payloads are immutable once cached).
+  if (std::shared_ptr<const Buffer> hit =
+          cache_.GetSharedIfVersionAtMost(cid, view.version_)) {
+    m_.cache_hits->Increment();
+    return hit;
+  }
+  MapEntry entry;
+  Buffer sealed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    NodeLoader loader = MakeLoader();
+    TDB_ASSIGN_OR_RETURN(std::optional<MapEntry> found,
+                         map_.GetAt(view.root_, cid, loader));
+    if (!found.has_value()) {
+      return Status::NotFound("chunk " + std::to_string(cid));
+    }
+    entry = *found;
+    TDB_ASSIGN_OR_RETURN(sealed,
+                         FetchRawRecord(entry.loc, RecordType::kData));
+  }
+  if (cache_.enabled()) m_.cache_misses->Increment();
+  // Hash check, decryption, and decompression run OUTSIDE the commit
+  // mutex: concurrent view readers serialize only on the record fetch.
+  // The result is not cached — the view's state may predate the chunk's
+  // current committed state, which is what the cache must keep holding.
+  TDB_ASSIGN_OR_RETURN(Buffer plain, ValidateSealed(entry, std::move(sealed)));
+  return std::make_shared<const Buffer>(std::move(plain));
+}
+
+Result<std::vector<Buffer>> ChunkStore::ReadManyAtView(
+    const Snapshot& view, const std::vector<ChunkId>& cids) {
+  if (!open_.load()) return Status::InvalidArgument("chunk store not open");
+  common::TraceSpan span("chunk.read_view_many");
+  std::vector<Buffer> out(cids.size());
+  std::vector<size_t> misses;
+  misses.reserve(cids.size());
+  for (size_t i = 0; i < cids.size(); i++) {
+    if (cache_.GetIfVersionAtMost(cids[i], view.version_, &out[i])) {
+      m_.cache_hits->Increment();
+    } else {
+      misses.push_back(i);
+    }
+  }
+  if (misses.empty()) return out;
+
+  // One commit-mutex acquisition fetches every missing raw record...
+  std::vector<MapEntry> entries(misses.size());
+  std::vector<Buffer> sealed(misses.size());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    NodeLoader loader = MakeLoader();
+    for (size_t j = 0; j < misses.size(); j++) {
+      const ChunkId cid = cids[misses[j]];
+      TDB_ASSIGN_OR_RETURN(std::optional<MapEntry> found,
+                           map_.GetAt(view.root_, cid, loader));
+      if (!found.has_value()) {
+        return Status::NotFound("chunk " + std::to_string(cid));
+      }
+      entries[j] = *found;
+      TDB_ASSIGN_OR_RETURN(sealed[j],
+                           FetchRawRecord(entries[j].loc, RecordType::kData));
+    }
+  }
+  if (cache_.enabled()) {
+    m_.cache_misses->Add(static_cast<int64_t>(misses.size()));
+  }
+  // ...then validation (hash + decrypt + decompress) fans out across the
+  // crypto pool, outside the mutex. First failure wins, lowest index
+  // first, matching the serial order.
+  std::vector<Status> results(misses.size(), Status::OK());
+  ThreadPool* pool = CryptoPool();
+  auto validate = [&](size_t j) {
+    auto plain = ValidateSealed(entries[j], std::move(sealed[j]));
+    if (plain.ok()) {
+      out[misses[j]] = std::move(plain).value();
+    } else {
+      results[j] = plain.status();
+    }
+  };
+  if (pool != nullptr && misses.size() > 1) {
+    pool->ParallelFor(misses.size(), [&](size_t j) { validate(j); });
+  } else {
+    for (size_t j = 0; j < misses.size(); j++) validate(j);
+  }
+  for (const Status& s : results) {
+    if (!s.ok()) return s;
+  }
+  return out;
 }
 
 Result<Buffer> ChunkStore::ReadAtSnapshot(const Snapshot& snap, ChunkId cid) {

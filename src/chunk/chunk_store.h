@@ -58,6 +58,16 @@ struct ChunkStoreOptions {
   /// Extra entropy mixed into the encryption-IV generator.
   std::string iv_seed = "tdb-iv";
 
+  /// Compress-before-encrypt: each chunk plaintext is run through the
+  /// built-in LZ codec before sealing and stored compressed when that is
+  /// actually smaller. The choice is recorded per chunk in EntryFlags —
+  /// authenticated via both the map-node encoding and the MACed commit
+  /// manifests — so mixed and pre-compression images stay readable either
+  /// way. Off by default: sealed output is then byte-identical to older
+  /// stores. Compression happens before encryption by necessity: sealed
+  /// bytes are indistinguishable from random and do not compress.
+  bool compression = false;
+
   /// Byte budget for the validated-plaintext chunk cache: decrypted,
   /// hash-checked payloads served straight from trusted memory on re-read,
   /// skipping untrusted-store I/O, hashing, and decryption. 0 disables the
@@ -159,6 +169,13 @@ struct ChunkStoreStats {
   uint64_t max_commits_per_group = 0;  // Largest single group flush.
   uint64_t log_syncs = 0;              // Sync rounds issued to the store.
   uint64_t counter_bumps = 0;          // One-way counter increments.
+  // Compress-before-encrypt codec (only moves when options.compression).
+  uint64_t compress_attempts = 0;   // Writes run through the compressor.
+  uint64_t compressed_chunks = 0;   // Writes actually stored compressed.
+  uint64_t compress_bytes_in = 0;   // Plaintext bytes of compressed writes.
+  uint64_t compress_bytes_out = 0;  // Stored bytes of compressed writes.
+  // Pinned read views (lock-free snapshot read path).
+  uint64_t views_pinned = 0;
 
   double utilization() const {
     return total_bytes == 0 ? 0.0
@@ -235,11 +252,15 @@ class CommitHandle {
 class Snapshot {
  public:
   uint64_t seq() const { return seq_; }
+  /// Commit version at capture; gates versioned chunk-cache hits in
+  /// ReadAtView (ReadAtSnapshot always bypasses the cache).
+  uint64_t version() const { return version_; }
 
  private:
   friend class ChunkStore;
   std::shared_ptr<MapNode> root_;
   uint64_t seq_ = 0;
+  uint64_t version_ = 0;
 };
 
 /// The trusted chunk store (§3): log-structured storage of encrypted,
@@ -333,6 +354,39 @@ class ChunkStore {
   /// validated read instead.
   Result<std::shared_ptr<Snapshot>> CreateSnapshot();
   Result<Buffer> ReadAtSnapshot(const Snapshot& snap, ChunkId cid);
+
+  /// Pins a read view of the CURRENT applied state: like CreateSnapshot
+  /// but without the checkpoint (no log writes, no sync — just a brief
+  /// mutex hold to capture the COW map root and commit version). Views
+  /// register like snapshots, so the cleaner pauses while any is alive and
+  /// their records stay readable. This is the MVCC read-transaction
+  /// anchor: readers at a view never block on, and are never blocked by,
+  /// writers.
+  Result<std::shared_ptr<Snapshot>> PinView();
+
+  /// Validated read at a pinned view. Serves from the plaintext cache when
+  /// the cached entry's commit version is <= the view's (taking only the
+  /// cache lock); otherwise walks the view's map root and fetches the raw
+  /// record under the commit mutex, then runs the expensive validation —
+  /// Merkle hash check, decryption, decompression — OUTSIDE it, so
+  /// concurrent view readers serialize only on I/O, not on crypto.
+  Result<Buffer> ReadAtView(const Snapshot& view, ChunkId cid);
+
+  /// Zero-copy variant of ReadAtView: a cache hit hands back shared
+  /// ownership of the cached payload (one refcount bump, no allocation,
+  /// no memcpy); a miss allocates once for the freshly validated bytes.
+  /// This is the ReadTransaction hot path — per-object cost at steady
+  /// state is one cache lookup plus the caller's unpickle.
+  Result<std::shared_ptr<const Buffer>> ReadAtViewShared(const Snapshot& view,
+                                                         ChunkId cid);
+
+  /// Batched view read: all cache misses fetch their raw records under ONE
+  /// commit-mutex acquisition, then validation fans out across the crypto
+  /// pool (mirroring VerifyIntegrity's pipeline). Fails on the first
+  /// error, lowest-index first; on success out[i] is the payload of
+  /// cids[i].
+  Result<std::vector<Buffer>> ReadManyAtView(const Snapshot& view,
+                                             const std::vector<ChunkId>& cids);
   Status ForEachChunkAt(
       const Snapshot& snap,
       const std::function<Status(ChunkId, const MapEntry&)>& fn);
@@ -405,6 +459,11 @@ class ChunkStore {
     common::Gauge* max_commits_per_group = nullptr;
     common::Counter* log_syncs = nullptr;
     common::Counter* counter_bumps = nullptr;
+    common::Counter* compress_attempts = nullptr;
+    common::Counter* compressed_chunks = nullptr;
+    common::Counter* compress_bytes_in = nullptr;
+    common::Counter* compress_bytes_out = nullptr;
+    common::Counter* views_pinned = nullptr;
     // Latency histograms (recording gated by the registry's timing flag).
     common::Histogram* read_latency_us = nullptr;
     common::Histogram* seal_latency_us = nullptr;
@@ -413,6 +472,10 @@ class ChunkStore {
     common::Histogram* group_flush_latency_us = nullptr;
     common::Histogram* commit_latency_us = nullptr;
     common::Histogram* verify_latency_us = nullptr;
+    // Read-path stage breakdown (cache misses only; a hit skips all three).
+    common::Histogram* read_verify_us = nullptr;
+    common::Histogram* read_decrypt_us = nullptr;
+    common::Histogram* read_decompress_us = nullptr;
     // Recovery (set once per Open that replays a residual log).
     common::Gauge* recovery_time_us = nullptr;
     common::Gauge* recovery_commits_replayed = nullptr;
@@ -448,6 +511,10 @@ class ChunkStore {
   Result<Buffer> ReadRawRecord(const Location& loc, RecordType expected,
                                const crypto::Digest& expected_hash);
   Result<Buffer> ReadDataAt(const MapEntry& entry);
+  // Hash-checks, decrypts, and (if entry.flags says so) decompresses a
+  // fetched data record. Pure crypto on local state — safe OUTSIDE mu_ and
+  // called concurrently by the view read path and VerifyIntegrity.
+  Result<Buffer> ValidateSealed(const MapEntry& entry, Buffer sealed);
   NodeLoader MakeLoader();
   // Loads the checkpointed map root (level read from the record itself).
   Result<std::shared_ptr<MapNode>> LoadRoot(const Location& loc,
@@ -460,6 +527,7 @@ class ChunkStore {
     ChunkId cid;
     Buffer sealed;
     crypto::Digest hash;
+    uint8_t flags = 0;  // EntryFlags describing `sealed`'s payload.
   };
   // A batch after normalization + sealing, ready to buffer. `plains`
   // points into the caller's WriteBatch (valid for the CommitBuffered
@@ -476,6 +544,7 @@ class ChunkStore {
     ChunkId cid;
     Location loc;         // is_write only.
     crypto::Digest hash;  // is_write only.
+    uint8_t flags = 0;    // is_write only (EntryFlags).
   };
   struct SealResult {
     uint64_t counter_target = 0;  // Sealed counter value (durable only).
@@ -581,6 +650,12 @@ class ChunkStore {
   // --- All state below requires mu_ unless noted. ---
   mutable std::mutex mu_;  // The commit mutex.
   uint64_t seq_ = 0;
+  // Monotone count of applied (buffered or sealed) commits. Unlike seq_ it
+  // advances for every applied batch — group-mode buffered commits mutate
+  // the map without bumping seq_ — so it versions the in-memory state for
+  // the versioned chunk cache and pinned views. Not persisted; resets with
+  // the (equally empty) cache at open.
+  uint64_t commit_version_ = 0;
   uint64_t counter_value_ = 0;  // Cached one-way counter value.
   crypto::Digest chain_mac_;  // MAC of the most recent commit record.
   // Checkpoint state mirrored into the anchor.

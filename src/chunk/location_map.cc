@@ -309,7 +309,12 @@ Buffer LocationMap::EncodeNode(const MapNode& node) {
   PutVarint32(&out, node.level);
   PutVarint64(&out, node.index);
   for (const MapEntry& entry : node.entries) {
-    out.push_back(entry.present ? 1 : 0);
+    // Presence byte doubles as the flag carrier: 0 = absent, else bit 0
+    // set (present) with EntryFlags shifted into bits 1+. A plain present
+    // entry still encodes as 1, so pre-flag images decode unchanged.
+    out.push_back(entry.present
+                      ? static_cast<uint8_t>(1 | (entry.flags << 1))
+                      : 0);
     if (entry.present) {
       PutLocation(&out, entry.loc);
       PutDigest(&out, entry.hash);
@@ -331,7 +336,11 @@ Result<std::shared_ptr<MapNode>> LocationMap::DecodeNode(Slice data,
     Slice present;
     TDB_RETURN_IF_ERROR(dec.GetBytes(1, &present));
     if (present[0] == 0) continue;
+    if ((present[0] & 1) == 0 || (present[0] >> 1) > kEntryCompressed) {
+      return Status::Corruption("bad map entry flags");
+    }
     node->entries[i].present = true;
+    node->entries[i].flags = static_cast<uint8_t>(present[0] >> 1);
     TDB_RETURN_IF_ERROR(GetLocation(&dec, &node->entries[i].loc));
     TDB_RETURN_IF_ERROR(GetDigest(&dec, hash_size, &node->entries[i].hash));
   }

@@ -19,6 +19,7 @@ namespace tdb::chunk {
 /// read validates a root-to-leaf hash path.
 struct MapEntry {
   bool present = false;
+  uint8_t flags = 0;  // EntryFlags; authenticated via the node encoding.
   Location loc;
   crypto::Digest hash;
 };

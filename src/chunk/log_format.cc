@@ -93,6 +93,7 @@ Buffer EncodeManifest(const CommitManifest& manifest, size_t mac_size,
     PutVarint64(&out, w.cid);
     PutLocation(&out, w.loc);
     PutDigest(&out, w.hash);
+    out.push_back(w.flags);
   }
   PutVarint32(&out, static_cast<uint32_t>(manifest.deallocs.size()));
   for (ChunkId cid : manifest.deallocs) PutVarint64(&out, cid);
@@ -127,6 +128,12 @@ Status DecodeManifest(Slice data, size_t mac_size, size_t entry_hash_size,
     TDB_RETURN_IF_ERROR(dec.GetVarint64(&w.cid));
     TDB_RETURN_IF_ERROR(GetLocation(&dec, &w.loc));
     TDB_RETURN_IF_ERROR(GetDigest(&dec, entry_hash_size, &w.hash));
+    Slice wflags;
+    TDB_RETURN_IF_ERROR(dec.GetBytes(1, &wflags));
+    if (wflags[0] > kEntryCompressed) {
+      return Status::Corruption("bad manifest write flags");
+    }
+    w.flags = wflags[0];
     out->writes.push_back(w);
   }
 

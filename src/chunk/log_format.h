@@ -53,6 +53,7 @@ struct ManifestWrite {
   ChunkId cid;
   Location loc;
   crypto::Digest hash;  // Hash of the sealed payload; empty if security off.
+  uint8_t flags = 0;    // EntryFlags; authenticated by the manifest MAC.
 };
 
 /// The commit manifest: the metadata a commit appends after its data

@@ -41,6 +41,13 @@ enum CommitFlags : uint8_t {
   kCommitClean = 1 << 2,  // Produced by the log cleaner (relocations only).
 };
 
+/// Per-chunk entry flags, carried (authenticated) in both the map-node
+/// encoding and commit manifests. Describes how the sealed record payload
+/// was produced from the chunk plaintext.
+enum EntryFlags : uint8_t {
+  kEntryCompressed = 1 << 0,  // Payload is LzCompress(plaintext).
+};
+
 }  // namespace tdb::chunk
 
 #endif  // TDB_CHUNK_TYPES_H_

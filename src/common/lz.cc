@@ -1,0 +1,179 @@
+#include "common/lz.h"
+
+#include <cstring>
+
+#include "common/coding.h"
+
+namespace tdb {
+
+namespace {
+
+// Greedy matcher state: a hash table mapping 4-byte sequences to their
+// most recent position. 2^13 entries keeps the table at 32KB — small
+// enough to stay cache-resident for the chunk-sized inputs (a few KB to
+// a few hundred KB) this codec sees.
+constexpr int kHashBits = 13;
+constexpr size_t kHashSize = size_t{1} << kHashBits;
+
+inline uint32_t Load32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline uint32_t HashSeq(uint32_t v) {
+  // Multiplicative hash of the 4-byte window (Fibonacci constant).
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+// Emits a 255-run extension: value v is encoded as floor(v/255) bytes of
+// 255 followed by one byte of v%255.
+void PutRunExtension(Buffer* out, size_t v) {
+  while (v >= 255) {
+    out->push_back(255);
+    v -= 255;
+  }
+  out->push_back(static_cast<uint8_t>(v));
+}
+
+// Appends one sequence: `literals` raw bytes, then (unless this is the
+// final literals-only sequence) a match of `match_len` at `offset`.
+void PutSequence(Buffer* out, const uint8_t* literals, size_t n_literals,
+                 size_t offset, size_t match_len) {
+  const bool has_match = match_len != 0;
+  const size_t lit_nibble = n_literals < 15 ? n_literals : 15;
+  size_t match_nibble = 0;
+  if (has_match) {
+    const size_t excess = match_len - kLzMinMatch;
+    match_nibble = excess < 15 ? excess : 15;
+  }
+  out->push_back(static_cast<uint8_t>((lit_nibble << 4) | match_nibble));
+  if (lit_nibble == 15) PutRunExtension(out, n_literals - 15);
+  out->insert(out->end(), literals, literals + n_literals);
+  if (!has_match) return;
+  out->push_back(static_cast<uint8_t>(offset & 0xff));
+  out->push_back(static_cast<uint8_t>(offset >> 8));
+  if (match_nibble == 15) PutRunExtension(out, match_len - kLzMinMatch - 15);
+}
+
+Status GetRunExtension(Slice* in, size_t* v) {
+  for (;;) {
+    if (in->empty()) return Status::Corruption("lz: truncated run length");
+    const uint8_t b = (*in)[0];
+    in->RemovePrefix(1);
+    *v += b;
+    if (b != 255) return Status::OK();
+  }
+}
+
+}  // namespace
+
+Buffer LzCompress(Slice in) {
+  Buffer out;
+  out.reserve(in.size() / 2 + 16);
+  PutVarint32(&out, static_cast<uint32_t>(in.size()));
+
+  const uint8_t* base = in.data();
+  const size_t n = in.size();
+  // Inputs too small to ever contain a match are a single literal run.
+  if (n < kLzMinMatch + 1) {
+    PutSequence(&out, base, n, 0, 0);
+    return out;
+  }
+
+  uint32_t table[kHashSize];
+  std::memset(table, 0xff, sizeof(table));  // 0xffffffff = empty.
+
+  size_t pos = 0;        // Next byte to examine.
+  size_t lit_start = 0;  // First byte not yet emitted.
+  // Stop matching where a 4-byte load would run off the end.
+  const size_t match_limit = n - kLzMinMatch;
+  while (pos <= match_limit) {
+    const uint32_t seq = Load32(base + pos);
+    const uint32_t slot = HashSeq(seq);
+    const uint32_t cand = table[slot];
+    table[slot] = static_cast<uint32_t>(pos);
+    if (cand == 0xffffffffu || pos - cand > kLzMaxOffset ||
+        Load32(base + cand) != seq) {
+      pos++;
+      continue;
+    }
+    // Extend the match forward.
+    size_t len = kLzMinMatch;
+    while (pos + len < n && base[cand + len] == base[pos + len]) len++;
+    PutSequence(&out, base + lit_start, pos - lit_start, pos - cand, len);
+    // Seed the table inside the match so adjacent repetitions chain.
+    const size_t end = pos + len;
+    for (size_t p = pos + 1; p + kLzMinMatch <= end && p <= match_limit;
+         p += 2) {
+      table[HashSeq(Load32(base + p))] = static_cast<uint32_t>(p);
+    }
+    pos = end;
+    lit_start = end;
+  }
+  PutSequence(&out, base + lit_start, n - lit_start, 0, 0);
+  return out;
+}
+
+Result<Buffer> LzDecompress(Slice in, size_t max_raw_size) {
+  Decoder dec(in);
+  uint32_t raw_size = 0;
+  TDB_RETURN_IF_ERROR(dec.GetVarint32(&raw_size));
+  if (raw_size > max_raw_size) {
+    return Status::Corruption("lz: claimed size exceeds limit");
+  }
+  Slice rest;
+  TDB_RETURN_IF_ERROR(dec.GetBytes(dec.remaining(), &rest));
+
+  Buffer out;
+  out.reserve(raw_size);
+  for (;;) {
+    if (rest.empty()) {
+      // Input may only end right after a literals-only final sequence,
+      // handled below; reaching here with bytes still owed is corruption.
+      if (out.size() != raw_size) {
+        return Status::Corruption("lz: truncated stream");
+      }
+      return out;
+    }
+    const uint8_t token = rest[0];
+    rest.RemovePrefix(1);
+    size_t n_literals = token >> 4;
+    if (n_literals == 15) TDB_RETURN_IF_ERROR(GetRunExtension(&rest, &n_literals));
+    if (n_literals > rest.size()) {
+      return Status::Corruption("lz: literal run past end of input");
+    }
+    if (out.size() + n_literals > raw_size) {
+      return Status::Corruption("lz: output overflow in literals");
+    }
+    out.insert(out.end(), rest.data(), rest.data() + n_literals);
+    rest.RemovePrefix(n_literals);
+    if (rest.empty()) {
+      // Final, literals-only sequence: a match nibble here would have no
+      // offset to apply, so it must be zero.
+      if ((token & 0x0f) != 0 || out.size() != raw_size) {
+        return Status::Corruption("lz: bad final sequence");
+      }
+      return out;
+    }
+    if (rest.size() < 2) return Status::Corruption("lz: truncated offset");
+    const size_t offset = static_cast<size_t>(rest[0]) |
+                          (static_cast<size_t>(rest[1]) << 8);
+    rest.RemovePrefix(2);
+    if (offset == 0 || offset > out.size()) {
+      return Status::Corruption("lz: match offset out of range");
+    }
+    size_t match_len = (token & 0x0f);
+    if (match_len == 15) TDB_RETURN_IF_ERROR(GetRunExtension(&rest, &match_len));
+    match_len += kLzMinMatch;
+    if (out.size() + match_len > raw_size) {
+      return Status::Corruption("lz: output overflow in match");
+    }
+    // Byte-at-a-time copy: matches may overlap their own output
+    // (offset < match_len encodes a run), so memcpy is not valid here.
+    size_t src = out.size() - offset;
+    for (size_t i = 0; i < match_len; i++) out.push_back(out[src + i]);
+  }
+}
+
+}  // namespace tdb

@@ -1,0 +1,54 @@
+#ifndef TDB_COMMON_LZ_H_
+#define TDB_COMMON_LZ_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace tdb {
+
+/// From-scratch byte-oriented LZ codec used by the chunk store's
+/// compress-before-encrypt path. Compressing before sealing means fewer
+/// bytes are hashed, encrypted, logged, synced, and cleaned — the whole
+/// downstream pipeline gets cheaper per stored chunk.
+///
+/// Wire format (everything little-endian):
+///
+///   varint32 raw_size
+///   sequence*
+///
+/// where each sequence is
+///
+///   token      1 byte: high nibble = literal run length,
+///                      low nibble  = match length - kLzMinMatch
+///   [lit-ext]  if high nibble == 15: 255-run extension bytes
+///   literals   `literal run length` raw bytes
+///   offset     2 bytes LE, 1..65535 back-distance   (absent in the
+///              final sequence, which is literals-only)
+///   [match-ext] if low nibble == 15: 255-run extension bytes
+///
+/// The final sequence carries only literals: the decoder knows it is last
+/// because the input is exhausted after its literal bytes. Matches may
+/// overlap their own output (offset < match length) which is how runs
+/// compress. Decompression is strictly bounds-checked and returns
+/// Corruption on any malformed input; it never reads or writes out of
+/// bounds and never produces more than `raw_size` bytes.
+
+inline constexpr size_t kLzMinMatch = 4;
+inline constexpr size_t kLzMaxOffset = 65535;
+
+/// Compresses `in`. The output always round-trips through LzDecompress,
+/// but is only worth storing when it is actually smaller than `in` —
+/// incompressible input grows slightly (token overhead), and callers are
+/// expected to fall back to raw storage in that case.
+Buffer LzCompress(Slice in);
+
+/// Inverse of LzCompress. `max_raw_size` bounds the claimed raw size so a
+/// corrupted or hostile header cannot force a huge allocation.
+Result<Buffer> LzDecompress(Slice in, size_t max_raw_size);
+
+}  // namespace tdb
+
+#endif  // TDB_COMMON_LZ_H_

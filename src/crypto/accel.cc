@@ -1,0 +1,104 @@
+#include "crypto/accel.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/check.h"
+
+#if defined(TDB_CRYPTO_X86_ACCEL)
+#include <cpuid.h>
+#endif
+
+namespace tdb::crypto::accel {
+
+namespace {
+
+struct CpuFeatures {
+  bool aes = false;
+  bool sha = false;
+};
+
+CpuFeatures DetectCpu() {
+  CpuFeatures features;
+#if defined(TDB_CRYPTO_X86_ACCEL)
+  unsigned int eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid(1, &eax, &ebx, &ecx, &edx)) {
+    const bool has_aesni = (ecx & bit_AES) != 0;
+    const bool has_ssse3 = (ecx & bit_SSSE3) != 0;
+    const bool has_sse41 = (ecx & bit_SSE4_1) != 0;
+    features.aes = has_aesni && has_ssse3 && has_sse41;
+    if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx)) {
+      features.sha = has_ssse3 && has_sse41 && (ebx & bit_SHA) != 0;
+    }
+  }
+#endif
+  return features;
+}
+
+const CpuFeatures& Cpu() {
+  static const CpuFeatures features = DetectCpu();
+  return features;
+}
+
+// Runtime switch, defaulted from TDB_CRYPTO_ACCEL on first use.
+std::atomic<int>& EnabledFlag() {
+  static std::atomic<int> enabled = [] {
+    const char* env = std::getenv("TDB_CRYPTO_ACCEL");
+    if (env != nullptr &&
+        (std::strcmp(env, "off") == 0 || std::strcmp(env, "0") == 0)) {
+      return 0;
+    }
+    return 1;
+  }();
+  return enabled;
+}
+
+}  // namespace
+
+bool CpuSupportsAes() { return Cpu().aes; }
+bool CpuSupportsSha() { return Cpu().sha; }
+
+bool AesEnabled() {
+  return Cpu().aes && EnabledFlag().load(std::memory_order_relaxed) != 0;
+}
+
+bool ShaEnabled() {
+  return Cpu().sha && EnabledFlag().load(std::memory_order_relaxed) != 0;
+}
+
+void SetEnabledForTesting(bool enabled) {
+  EnabledFlag().store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+#if !defined(TDB_CRYPTO_X86_ACCEL)
+
+// Trapping stubs for builds without the x86 kernels: CpuSupports*() are
+// hardwired false above, so reaching any of these is a dispatch bug.
+void AesNiPrepareDecryptKeys(const uint8_t*, uint8_t*) {
+  TDB_CHECK(false, "AES-NI kernel not compiled in");
+}
+void AesNiEncryptBlock(const uint8_t*, const uint8_t*, uint8_t*) {
+  TDB_CHECK(false, "AES-NI kernel not compiled in");
+}
+void AesNiDecryptBlock(const uint8_t*, const uint8_t*, uint8_t*) {
+  TDB_CHECK(false, "AES-NI kernel not compiled in");
+}
+void AesNiCbcEncrypt(const uint8_t*, const uint8_t*, const uint8_t*, size_t,
+                     uint8_t*) {
+  TDB_CHECK(false, "AES-NI kernel not compiled in");
+}
+void AesNiCbcDecrypt(const uint8_t*, const uint8_t*, const uint8_t*, size_t,
+                     uint8_t*) {
+  TDB_CHECK(false, "AES-NI kernel not compiled in");
+}
+void ShaNiSha1Blocks(uint32_t*, const uint8_t*, size_t) {
+  TDB_CHECK(false, "SHA-NI kernel not compiled in");
+}
+void ShaNiSha256Blocks(uint32_t*, const uint8_t*, size_t) {
+  TDB_CHECK(false, "SHA-NI kernel not compiled in");
+}
+
+#endif  // !defined(TDB_CRYPTO_X86_ACCEL)
+
+}  // namespace tdb::crypto::accel

@@ -1,0 +1,67 @@
+#ifndef TDB_CRYPTO_ACCEL_H_
+#define TDB_CRYPTO_ACCEL_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tdb::crypto::accel {
+
+/// Runtime-dispatched hardware fast paths for the hot crypto kernels
+/// (AES-NI block/CBC processing, SHA-NI SHA-1/SHA-256 compression).
+///
+/// Dispatch contract:
+///   - CpuSupports*() report what the machine can execute (cpuid).
+///   - *Enabled() additionally honor the runtime switch: the environment
+///     variable TDB_CRYPTO_ACCEL=off (or 0) forces the portable paths, and
+///     SetEnabledForTesting lets tests flip dispatch at will so both
+///     implementations run on the same machine.
+///   - The accelerated kernels are drop-in replacements: given the same
+///     key schedule / state / input they produce bit-identical output to
+///     the from-scratch portable implementations (asserted over the full
+///     FIPS vector suite in tests/crypto_test.cc).
+///
+/// On targets without the x86 extensions the kernels below are compiled as
+/// trapping stubs and CpuSupports*() return false, so they are never
+/// reached.
+
+/// True when the CPU executes AES-NI (+SSSE3/SSE4.1 used by the kernels).
+bool CpuSupportsAes();
+/// True when the CPU executes the SHA-NI extensions (SHA-1 and SHA-256).
+bool CpuSupportsSha();
+
+/// CpuSupports* gated by the runtime switch. Every dispatch site checks
+/// one of these per call, so toggling takes effect immediately.
+bool AesEnabled();
+bool ShaEnabled();
+
+/// Forces dispatch for tests: false = portable everywhere, true = restore
+/// hardware paths where the CPU supports them. Safe on machines without
+/// the extensions (enabling is still masked by cpuid).
+void SetEnabledForTesting(bool enabled);
+
+/// AES-128 kernels. Round keys use the byte layout of the FIPS 197 key
+/// schedule exactly as Aes128 expands it: 11 round keys x 16 bytes.
+/// Decryption needs the InvMixColumns-transformed (equivalent inverse
+/// cipher) schedule, prepared once per key by AesNiPrepareDecryptKeys.
+void AesNiPrepareDecryptKeys(const uint8_t enc_keys[176],
+                             uint8_t dec_keys[176]);
+void AesNiEncryptBlock(const uint8_t enc_keys[176], const uint8_t* in,
+                       uint8_t* out);
+void AesNiDecryptBlock(const uint8_t dec_keys[176], const uint8_t* in,
+                       uint8_t* out);
+/// Whole-buffer CBC: processes n_blocks 16-byte blocks. Encrypt chains
+/// serially (CBC's data dependence); decrypt pipelines 4 blocks wide.
+/// in/out must not alias.
+void AesNiCbcEncrypt(const uint8_t enc_keys[176], const uint8_t iv[16],
+                     const uint8_t* in, size_t n_blocks, uint8_t* out);
+void AesNiCbcDecrypt(const uint8_t dec_keys[176], const uint8_t iv[16],
+                     const uint8_t* in, size_t n_blocks, uint8_t* out);
+
+/// SHA compression over n contiguous 64-byte blocks, updating `state`
+/// in place (same representation as the portable h_ arrays).
+void ShaNiSha1Blocks(uint32_t state[5], const uint8_t* blocks, size_t n);
+void ShaNiSha256Blocks(uint32_t state[8], const uint8_t* blocks, size_t n);
+
+}  // namespace tdb::crypto::accel
+
+#endif  // TDB_CRYPTO_ACCEL_H_

@@ -1,0 +1,270 @@
+// AES-NI and SHA-NI kernels. This translation unit is compiled with
+// -maes -msha -mssse3 -msse4.1 and is only entered after a cpuid check
+// (accel.cc), so the intrinsics below never execute on machines without
+// the extensions.
+//
+// All kernels operate on the exact representations the portable
+// implementations use: the FIPS 197 key schedule bytes as Aes128 expands
+// them (which is also AES-NI's in-memory round-key layout) and the
+// uint32 h_ state arrays of Sha1/Sha256. Bit-identical output is a hard
+// requirement, asserted over the FIPS vectors in tests/crypto_test.cc.
+
+#if defined(TDB_CRYPTO_X86_ACCEL)
+
+#include <immintrin.h>
+
+#include <cstdint>
+
+#include "crypto/accel.h"
+
+namespace tdb::crypto::accel {
+
+namespace {
+
+inline __m128i LoadKey(const uint8_t* keys, int round) {
+  return _mm_loadu_si128(reinterpret_cast<const __m128i*>(keys + 16 * round));
+}
+
+inline __m128i EncryptOne(const __m128i k[11], __m128i x) {
+  x = _mm_xor_si128(x, k[0]);
+  for (int r = 1; r < 10; r++) x = _mm_aesenc_si128(x, k[r]);
+  return _mm_aesenclast_si128(x, k[10]);
+}
+
+inline __m128i DecryptOne(const __m128i k[11], __m128i x) {
+  x = _mm_xor_si128(x, k[0]);
+  for (int r = 1; r < 10; r++) x = _mm_aesdec_si128(x, k[r]);
+  return _mm_aesdeclast_si128(x, k[10]);
+}
+
+inline void LoadAllKeys(const uint8_t keys[176], __m128i k[11]) {
+  for (int r = 0; r <= 10; r++) k[r] = LoadKey(keys, r);
+}
+
+}  // namespace
+
+void AesNiPrepareDecryptKeys(const uint8_t enc_keys[176],
+                             uint8_t dec_keys[176]) {
+  // Equivalent inverse cipher (FIPS 197 §5.3.5): reverse the schedule and
+  // apply InvMixColumns to the interior round keys.
+  __m128i* out = reinterpret_cast<__m128i*>(dec_keys);
+  _mm_storeu_si128(out + 0, LoadKey(enc_keys, 10));
+  for (int r = 1; r < 10; r++) {
+    _mm_storeu_si128(out + r, _mm_aesimc_si128(LoadKey(enc_keys, 10 - r)));
+  }
+  _mm_storeu_si128(out + 10, LoadKey(enc_keys, 0));
+}
+
+void AesNiEncryptBlock(const uint8_t enc_keys[176], const uint8_t* in,
+                       uint8_t* out) {
+  __m128i k[11];
+  LoadAllKeys(enc_keys, k);
+  __m128i x = _mm_loadu_si128(reinterpret_cast<const __m128i*>(in));
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(out), EncryptOne(k, x));
+}
+
+void AesNiDecryptBlock(const uint8_t dec_keys[176], const uint8_t* in,
+                       uint8_t* out) {
+  __m128i k[11];
+  LoadAllKeys(dec_keys, k);
+  __m128i x = _mm_loadu_si128(reinterpret_cast<const __m128i*>(in));
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(out), DecryptOne(k, x));
+}
+
+void AesNiCbcEncrypt(const uint8_t enc_keys[176], const uint8_t iv[16],
+                     const uint8_t* in, size_t n_blocks, uint8_t* out) {
+  __m128i k[11];
+  LoadAllKeys(enc_keys, k);
+  // CBC encryption is inherently serial (each block keys off the previous
+  // ciphertext); the win over the portable path is doing each block in 10
+  // aesenc instructions with the keys pinned in registers.
+  __m128i chain = _mm_loadu_si128(reinterpret_cast<const __m128i*>(iv));
+  for (size_t b = 0; b < n_blocks; b++) {
+    __m128i x =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + 16 * b));
+    chain = EncryptOne(k, _mm_xor_si128(x, chain));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + 16 * b), chain);
+  }
+}
+
+void AesNiCbcDecrypt(const uint8_t dec_keys[176], const uint8_t iv[16],
+                     const uint8_t* in, size_t n_blocks, uint8_t* out) {
+  __m128i k[11];
+  LoadAllKeys(dec_keys, k);
+  __m128i prev = _mm_loadu_si128(reinterpret_cast<const __m128i*>(iv));
+  size_t b = 0;
+  // Decryption has no serial dependence — pipeline 4 blocks so the aesdec
+  // latency of one block overlaps the others.
+  for (; b + 4 <= n_blocks; b += 4) {
+    const __m128i* src = reinterpret_cast<const __m128i*>(in + 16 * b);
+    __m128i c0 = _mm_loadu_si128(src + 0);
+    __m128i c1 = _mm_loadu_si128(src + 1);
+    __m128i c2 = _mm_loadu_si128(src + 2);
+    __m128i c3 = _mm_loadu_si128(src + 3);
+    __m128i x0 = _mm_xor_si128(c0, k[0]);
+    __m128i x1 = _mm_xor_si128(c1, k[0]);
+    __m128i x2 = _mm_xor_si128(c2, k[0]);
+    __m128i x3 = _mm_xor_si128(c3, k[0]);
+    for (int r = 1; r < 10; r++) {
+      x0 = _mm_aesdec_si128(x0, k[r]);
+      x1 = _mm_aesdec_si128(x1, k[r]);
+      x2 = _mm_aesdec_si128(x2, k[r]);
+      x3 = _mm_aesdec_si128(x3, k[r]);
+    }
+    x0 = _mm_aesdeclast_si128(x0, k[10]);
+    x1 = _mm_aesdeclast_si128(x1, k[10]);
+    x2 = _mm_aesdeclast_si128(x2, k[10]);
+    x3 = _mm_aesdeclast_si128(x3, k[10]);
+    __m128i* dst = reinterpret_cast<__m128i*>(out + 16 * b);
+    _mm_storeu_si128(dst + 0, _mm_xor_si128(x0, prev));
+    _mm_storeu_si128(dst + 1, _mm_xor_si128(x1, c0));
+    _mm_storeu_si128(dst + 2, _mm_xor_si128(x2, c1));
+    _mm_storeu_si128(dst + 3, _mm_xor_si128(x3, c2));
+    prev = c3;
+  }
+  for (; b < n_blocks; b++) {
+    __m128i c =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + 16 * b));
+    __m128i x = _mm_xor_si128(DecryptOne(k, c), prev);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + 16 * b), x);
+    prev = c;
+  }
+}
+
+namespace {
+
+// SHA-256 round constants, natural order; _mm_loadu of 4 consecutive
+// words yields the lane order _mm_sha256rnds2_epu32 expects.
+alignas(16) constexpr uint32_t kSha256K[64] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
+
+}  // namespace
+
+void ShaNiSha256Blocks(uint32_t state[8], const uint8_t* blocks, size_t n) {
+  // Big-endian word swap for message loads.
+  const __m128i kSwap =
+      _mm_set_epi64x(0x0c0d0e0f08090a0bULL, 0x0405060700010203ULL);
+
+  // Repack {a..h} into the ABEF/CDGH register layout the sha256rnds2
+  // instruction works in.
+  __m128i tmp = _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[0]));
+  __m128i st1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[4]));
+  tmp = _mm_shuffle_epi32(tmp, 0xB1);
+  st1 = _mm_shuffle_epi32(st1, 0x1B);
+  __m128i state0 = _mm_alignr_epi8(tmp, st1, 8);   // ABEF
+  __m128i state1 = _mm_blend_epi16(st1, tmp, 0xF0);  // CDGH
+
+  while (n-- > 0) {
+    const __m128i abef_save = state0;
+    const __m128i cdgh_save = state1;
+    __m128i m[4];
+
+    // 16 groups of 4 rounds. Groups 0-3 load message words; group G's
+    // schedule is staged by msg1 at group G-3 and finished by the alignr
+    // feed + msg2 at group G-1, so msg1 spans groups 1-12 and the msg2
+    // step spans groups 3-14.
+    for (int g = 0; g < 16; g++) {
+      if (g < 4) {
+        m[g] = _mm_shuffle_epi8(
+            _mm_loadu_si128(
+                reinterpret_cast<const __m128i*>(blocks + 16 * g)),
+            kSwap);
+      }
+      __m128i msg = _mm_add_epi32(
+          m[g & 3], _mm_load_si128(reinterpret_cast<const __m128i*>(
+                        &kSha256K[4 * g])));
+      state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+      if (g >= 3 && g < 15) {
+        __m128i feed = _mm_alignr_epi8(m[g & 3], m[(g + 3) & 3], 4);
+        m[(g + 1) & 3] = _mm_add_epi32(m[(g + 1) & 3], feed);
+        m[(g + 1) & 3] = _mm_sha256msg2_epu32(m[(g + 1) & 3], m[g & 3]);
+      }
+      msg = _mm_shuffle_epi32(msg, 0x0E);
+      state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+      if (g >= 1 && g <= 12) {
+        m[(g + 3) & 3] = _mm_sha256msg1_epu32(m[(g + 3) & 3], m[g & 3]);
+      }
+    }
+
+    state0 = _mm_add_epi32(state0, abef_save);
+    state1 = _mm_add_epi32(state1, cdgh_save);
+    blocks += 64;
+  }
+
+  // Unpack ABEF/CDGH back to {a..h}.
+  tmp = _mm_shuffle_epi32(state0, 0x1B);
+  state1 = _mm_shuffle_epi32(state1, 0xB1);
+  state0 = _mm_blend_epi16(tmp, state1, 0xF0);
+  state1 = _mm_alignr_epi8(state1, tmp, 8);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[0]), state0);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[4]), state1);
+}
+
+void ShaNiSha1Blocks(uint32_t state[5], const uint8_t* blocks, size_t n) {
+  // Full 16-byte reversal: sha1rnds4 keeps ABCD in descending lanes.
+  const __m128i kSwap =
+      _mm_set_epi64x(0x0001020304050607ULL, 0x08090a0b0c0d0e0fULL);
+
+  __m128i abcd = _mm_loadu_si128(reinterpret_cast<const __m128i*>(state));
+  abcd = _mm_shuffle_epi32(abcd, 0x1B);
+  __m128i e[2];
+  e[0] = _mm_set_epi32(static_cast<int>(state[4]), 0, 0, 0);
+  e[1] = _mm_setzero_si128();
+
+  while (n-- > 0) {
+    const __m128i abcd_save = abcd;
+    const __m128i e0_save = e[0];
+    __m128i m[4];
+
+    // 20 groups of 4 rounds, alternating the E accumulator. The schedule
+    // ops past their useful range (late groups) touch only registers that
+    // are never read again — keeping the loop uniform costs nothing.
+    for (int g = 0; g < 20; g++) {
+      if (g < 4) {
+        m[g] = _mm_shuffle_epi8(
+            _mm_loadu_si128(
+                reinterpret_cast<const __m128i*>(blocks + 16 * g)),
+            kSwap);
+      }
+      const int in = g & 1, other = in ^ 1;
+      if (g == 0) {
+        e[0] = _mm_add_epi32(e[0], m[0]);
+      } else {
+        e[in] = _mm_sha1nexte_epu32(e[in], m[g & 3]);
+      }
+      e[other] = abcd;
+      if (g >= 3) m[(g + 1) & 3] = _mm_sha1msg2_epu32(m[(g + 1) & 3], m[g & 3]);
+      // sha1rnds4 needs a literal immediate for the round function.
+      switch (g / 5) {
+        case 0: abcd = _mm_sha1rnds4_epu32(abcd, e[in], 0); break;
+        case 1: abcd = _mm_sha1rnds4_epu32(abcd, e[in], 1); break;
+        case 2: abcd = _mm_sha1rnds4_epu32(abcd, e[in], 2); break;
+        default: abcd = _mm_sha1rnds4_epu32(abcd, e[in], 3); break;
+      }
+      if (g >= 1) m[(g + 3) & 3] = _mm_sha1msg1_epu32(m[(g + 3) & 3], m[g & 3]);
+      if (g >= 2) m[(g + 2) & 3] = _mm_xor_si128(m[(g + 2) & 3], m[g & 3]);
+    }
+
+    e[0] = _mm_sha1nexte_epu32(e[0], e0_save);
+    abcd = _mm_add_epi32(abcd, abcd_save);
+    blocks += 64;
+  }
+
+  abcd = _mm_shuffle_epi32(abcd, 0x1B);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(state), abcd);
+  state[4] = static_cast<uint32_t>(_mm_extract_epi32(e[0], 3));
+}
+
+}  // namespace tdb::crypto::accel
+
+#endif  // defined(TDB_CRYPTO_X86_ACCEL)

@@ -23,8 +23,20 @@ class Aes128 final : public BlockCipher {
   void EncryptBlock(const uint8_t* in, uint8_t* out) const override;
   void DecryptBlock(const uint8_t* in, uint8_t* out) const override;
 
+  /// Whole-buffer CBC via AES-NI when the CPU supports it and hardware
+  /// dispatch is enabled; returns false (caller loops) otherwise.
+  bool CbcEncryptBlocks(const uint8_t* iv, const uint8_t* in, size_t n_blocks,
+                        uint8_t* out) const override;
+  bool CbcDecryptBlocks(const uint8_t* iv, const uint8_t* in, size_t n_blocks,
+                        uint8_t* out) const override;
+
  private:
   uint8_t round_keys_[(kRounds + 1) * 16];
+  // Equivalent-inverse-cipher schedule for aesdec; prepared at key setup
+  // whenever the CPU has AES-NI (independent of the runtime dispatch
+  // switch, so tests can toggle dispatch after construction).
+  uint8_t dec_round_keys_[(kRounds + 1) * 16];
+  bool has_dec_round_keys_ = false;
 };
 
 }  // namespace tdb::crypto

@@ -28,6 +28,23 @@ class BlockCipher {
   virtual size_t key_size() const = 0;
   virtual void EncryptBlock(const uint8_t* in, uint8_t* out) const = 0;
   virtual void DecryptBlock(const uint8_t* in, uint8_t* out) const = 0;
+
+  /// Optional whole-buffer CBC fast paths. A cipher with a hardware
+  /// batch kernel processes all `n_blocks` blocks (chaining from `iv`,
+  /// PKCS#7 handled by the caller) and returns true; the default returns
+  /// false and the caller falls back to the per-block virtual loop.
+  /// `in` and `out` must not alias. Implementations must be bit-identical
+  /// to the per-block path.
+  virtual bool CbcEncryptBlocks(const uint8_t* iv, const uint8_t* in,
+                                size_t n_blocks, uint8_t* out) const {
+    (void)iv, (void)in, (void)n_blocks, (void)out;
+    return false;
+  }
+  virtual bool CbcDecryptBlocks(const uint8_t* iv, const uint8_t* in,
+                                size_t n_blocks, uint8_t* out) const {
+    (void)iv, (void)in, (void)n_blocks, (void)out;
+    return false;
+  }
 };
 
 /// Creates a keyed cipher; key must be exactly the cipher's key size

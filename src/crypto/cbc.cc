@@ -21,6 +21,10 @@ Buffer CbcEncrypt(const BlockCipher& cipher, Slice iv, Slice plain) {
   padded.insert(padded.end(), pad, static_cast<uint8_t>(pad));
 
   Buffer out(padded.size());
+  if (cipher.CbcEncryptBlocks(iv.data(), padded.data(), padded.size() / block,
+                              out.data())) {
+    return out;
+  }
   uint8_t chain[32];
   std::memcpy(chain, iv.data(), block);
   for (size_t off = 0; off < padded.size(); off += block) {
@@ -41,12 +45,15 @@ Result<Buffer> CbcDecrypt(const BlockCipher& cipher, Slice iv,
   }
 
   Buffer out(cipher_text.size());
-  uint8_t chain[32];
-  std::memcpy(chain, iv.data(), block);
-  for (size_t off = 0; off < cipher_text.size(); off += block) {
-    cipher.DecryptBlock(cipher_text.data() + off, out.data() + off);
-    for (size_t i = 0; i < block; i++) out[off + i] ^= chain[i];
-    std::memcpy(chain, cipher_text.data() + off, block);
+  if (!cipher.CbcDecryptBlocks(iv.data(), cipher_text.data(),
+                               cipher_text.size() / block, out.data())) {
+    uint8_t chain[32];
+    std::memcpy(chain, iv.data(), block);
+    for (size_t off = 0; off < cipher_text.size(); off += block) {
+      cipher.DecryptBlock(cipher_text.data() + off, out.data() + off);
+      for (size_t i = 0; i < block; i++) out[off + i] ^= chain[i];
+      std::memcpy(chain, cipher_text.data() + off, block);
+    }
   }
 
   uint8_t pad = out.back();

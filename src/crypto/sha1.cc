@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "crypto/accel.h"
+
 namespace tdb::crypto {
 
 namespace {
@@ -34,6 +36,12 @@ void Sha1::Update(Slice data) {
       ProcessBlock(buffer_);
       buffered_ = 0;
     }
+  }
+  if (n >= 64 && accel::ShaEnabled()) {
+    // One SHA-NI call compresses the whole contiguous run.
+    accel::ShaNiSha1Blocks(h_, p, n / 64);
+    p += (n / 64) * 64;
+    n %= 64;
   }
   while (n >= 64) {
     ProcessBlock(p);
@@ -69,6 +77,10 @@ Digest Sha1::Finish() {
 }
 
 void Sha1::ProcessBlock(const uint8_t* block) {
+  if (accel::ShaEnabled()) {
+    accel::ShaNiSha1Blocks(h_, block, 1);
+    return;
+  }
   uint32_t w[80];
   for (int i = 0; i < 16; i++) {
     w[i] = (static_cast<uint32_t>(block[4 * i]) << 24) |

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "crypto/accel.h"
+
 namespace tdb::crypto {
 
 namespace {
@@ -47,6 +49,12 @@ void Sha256::Update(Slice data) {
       buffered_ = 0;
     }
   }
+  if (n >= 64 && accel::ShaEnabled()) {
+    // One SHA-NI call compresses the whole contiguous run.
+    accel::ShaNiSha256Blocks(h_, p, n / 64);
+    p += (n / 64) * 64;
+    n %= 64;
+  }
   while (n >= 64) {
     ProcessBlock(p);
     p += 64;
@@ -81,6 +89,10 @@ Digest Sha256::Finish() {
 }
 
 void Sha256::ProcessBlock(const uint8_t* block) {
+  if (accel::ShaEnabled()) {
+    accel::ShaNiSha256Blocks(h_, block, 1);
+    return;
+  }
   uint32_t w[64];
   for (int i = 0; i < 16; i++) {
     w[i] = (static_cast<uint32_t>(block[4 * i]) << 24) |

@@ -21,17 +21,21 @@ chunk::ChunkStoreOptions PresetOptions(Preset preset) {
   options.map_fanout = 8;
   options.cache_bytes = 256 * 1024;
   options.crypto_threads = 0;  // Serial: thousands of short-lived stores.
-  if (preset == Preset::kStrict || preset == Preset::kGroup) {
+  if (preset == Preset::kStrict || preset == Preset::kGroup ||
+      preset == Preset::kCodec) {
     // No maintenance commits besides the trace's own checkpoints: the set
     // of durable boundaries is exactly what the oracle models. kGroup
     // additionally coalesces nondurable commits into merged multi-commit
     // records, so the durable boundaries (and crash-tear geometry) differ
-    // while the oracle invariant stays identical.
+    // while the oracle invariant stays identical. kCodec compresses each
+    // record before sealing; boundaries are unchanged, the record bytes
+    // (and hence crash/tamper sites) are.
     options.segment_size = 4096;
     options.checkpoint_interval_bytes = 1ull << 40;
     options.max_clean_segments_per_commit = 0;
     options.max_utilization = 0.95;
     options.group_commit = (preset == Preset::kGroup);
+    options.compression = (preset == Preset::kCodec);
   } else {
     // Aggressive maintenance: crash points inside auto-checkpoint and
     // cleaning commits.

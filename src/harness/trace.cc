@@ -43,6 +43,15 @@ Buffer SlotPayload(uint64_t payload_seed, uint32_t size) {
   Random rng(payload_seed);
   Buffer payload;
   rng.Fill(&payload, size);
+  // Semi-compressible: the back half repeats the front half. Sizes (and
+  // so every preset's crash/tear geometry) stay exactly as the spec
+  // drives them, but the codec preset gets a mix of records that compress
+  // (long repeat) and records that stay raw (tiny payloads where the
+  // codec overhead wins).
+  const size_t half = payload.size() / 2;
+  for (size_t i = half; i < payload.size(); i++) {
+    payload[i] = payload[i - half];
+  }
   return payload;
 }
 
@@ -54,6 +63,8 @@ const char* PresetName(Preset preset) {
       return "cleaning";
     case Preset::kGroup:
       return "group";
+    case Preset::kCodec:
+      return "codec";
   }
   return "strict";
 }
@@ -124,6 +135,8 @@ Result<ReproCase> ParseRepro(const std::string& line) {
         repro.spec.preset = Preset::kCleaning;
       } else if (value == "group") {
         repro.spec.preset = Preset::kGroup;
+      } else if (value == "codec") {
+        repro.spec.preset = Preset::kCodec;
       } else {
         return MalformedRepro("unknown preset: " + value);
       }

@@ -29,6 +29,13 @@ enum class Preset {
   /// failing inside the single merged append — and assert the durable
   /// floor is only raised at group ack.
   kGroup,
+  /// Like kStrict but with the compress-before-encrypt codec on
+  /// (ChunkStoreOptions::compression). SlotPayload is semi-compressible,
+  /// so sweeps cover both compressed and stored-raw records: crash points
+  /// land inside compressed appends and tamper sites hit compressed
+  /// sealed payloads (whose corruption may surface as a decompression
+  /// failure rather than a hash mismatch — still never silent).
+  kCodec,
 };
 
 /// One logical operation inside a commit group. Slots are a small logical

@@ -2,9 +2,11 @@
 
 namespace tdb::object {
 
-void LockManager::AttachMetrics(common::Counter* waits,
+void LockManager::AttachMetrics(common::Counter* acquisitions,
+                                common::Counter* waits,
                                 common::Counter* timeouts,
                                 common::Histogram* wait_us) {
+  acquisitions_metric_ = acquisitions;
   waits_metric_ = waits;
   timeouts_metric_ = timeouts;
   wait_us_metric_ = wait_us;
@@ -38,6 +40,7 @@ Status LockManager::Lock(TxnId txn, ObjectId oid, bool exclusive,
         state.shared.insert(txn);
       }
       held_[txn].insert(oid);
+      if (acquisitions_metric_ != nullptr) acquisitions_metric_->Increment();
       if (blocked && wait_us_metric_ != nullptr) {
         wait_us_metric_->Record(
             static_cast<int64_t>(common::MonotonicMicros() - wait_start_us));

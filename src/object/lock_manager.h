@@ -26,13 +26,16 @@ using TxnId = uint64_t;
 /// exactly the state-mutex protocol §4.2.3 describes.
 class LockManager {
  public:
-  /// Wires contention instruments (all may be null). `waits` counts Lock
-  /// calls that actually blocked, `timeouts` counts deadlock-breaking
-  /// expirations, and `wait_us` records time spent blocked — only for
-  /// calls that blocked, so percentiles describe contention events rather
-  /// than being drowned by uncontended zero-wait acquisitions.
-  void AttachMetrics(common::Counter* waits, common::Counter* timeouts,
-                     common::Histogram* wait_us);
+  /// Wires contention instruments (all may be null). `acquisitions` counts
+  /// every granted Lock call (the 2PL work a lock-free snapshot read
+  /// avoids — tests assert it stays flat across read transactions),
+  /// `waits` counts Lock calls that actually blocked, `timeouts` counts
+  /// deadlock-breaking expirations, and `wait_us` records time spent
+  /// blocked — only for calls that blocked, so percentiles describe
+  /// contention events rather than being drowned by uncontended zero-wait
+  /// acquisitions.
+  void AttachMetrics(common::Counter* acquisitions, common::Counter* waits,
+                     common::Counter* timeouts, common::Histogram* wait_us);
 
   /// Acquires a shared (read) or exclusive (write) lock on `oid` for
   /// `txn`. Re-entrant: a holder re-requesting a weaker-or-equal mode
@@ -61,6 +64,7 @@ class LockManager {
   // One CV for the whole table: DRM workloads have little lock contention
   // (§4.2.3 forgoes granular locking for the same reason).
   std::condition_variable cv_;
+  common::Counter* acquisitions_metric_ = nullptr;
   common::Counter* waits_metric_ = nullptr;
   common::Counter* timeouts_metric_ = nullptr;
   common::Histogram* wait_us_metric_ = nullptr;

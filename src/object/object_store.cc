@@ -41,6 +41,81 @@ Status Transaction::Abort() {
 }
 
 // ---------------------------------------------------------------------------
+// ReadTransaction
+
+ReadTransaction::ReadTransaction(ObjectStore* store) : store_(store) {
+  // Pinning the view is the ONLY store interaction: no LockManager call,
+  // no state-mutex acquisition, here or on any later Open/Prefetch.
+  auto view = store->chunks_->PinView();
+  if (!view.ok()) return;  // Store closed: stay inactive, every Open fails.
+  view_ = std::move(view).value();
+  state_ = std::make_shared<internal::TxnState>();
+  state_->id = store->next_txn_id_.fetch_add(1);
+  state_->active = true;
+  store->m_.read_txns_begun->Increment();
+}
+
+ReadTransaction::~ReadTransaction() { End(); }
+
+void ReadTransaction::End() {
+  if (state_ != nullptr) state_->active = false;
+  // Dropping the shared_ptr unpins the chunk-store view (the cleaner's
+  // snapshot registry holds weak_ptrs) and releases any unpersisted map
+  // nodes the view kept alive.
+  view_.reset();
+  objects_.clear();
+}
+
+Result<const Object*> ReadTransaction::OpenInternal(ObjectId oid) {
+  if (oid == kInvalidObjectId || oid == store_->header_cid_) {
+    return Status::InvalidArgument("invalid object id");
+  }
+  auto it = objects_.find(oid);
+  if (it != objects_.end()) return it->second.get();
+  // Zero-copy at steady state: a warm-cache hit is one lookup plus a
+  // refcount bump; the bytes are unpickled straight out of the cache's
+  // immutable payload.
+  TDB_ASSIGN_OR_RETURN(std::shared_ptr<const Buffer> data,
+                       store_->chunks_->ReadAtViewShared(*view_, oid));
+  return UnpickleInto(oid, Slice(*data));
+}
+
+Result<const Object*> ReadTransaction::UnpickleInto(ObjectId oid, Slice data) {
+  common::ScopedTimer timer(store_->chunks_->metrics().get(),
+                            store_->m_.unpickle_us);
+  Unpickler unpickler{data};
+  uint32_t class_id;
+  TDB_RETURN_IF_ERROR(unpickler.GetUint32(&class_id));
+  // ClassRegistry is read-only after start-up registration, so concurrent
+  // read transactions may unpickle without synchronization.
+  TDB_ASSIGN_OR_RETURN(std::unique_ptr<Object> object,
+                       store_->registry_.Unpickle(class_id, &unpickler));
+  const Object* raw = object.get();
+  objects_[oid] = std::move(object);
+  return raw;
+}
+
+Status ReadTransaction::Prefetch(const std::vector<ObjectId>& oids) {
+  if (!active()) return Status::TransactionInvalid("read transaction ended");
+  std::vector<ObjectId> missing;
+  missing.reserve(oids.size());
+  for (ObjectId oid : oids) {
+    if (oid == kInvalidObjectId || oid == store_->header_cid_) {
+      return Status::InvalidArgument("invalid object id");
+    }
+    if (objects_.find(oid) == objects_.end()) missing.push_back(oid);
+  }
+  if (missing.empty()) return Status::OK();
+  TDB_ASSIGN_OR_RETURN(std::vector<Buffer> records,
+                       store_->chunks_->ReadManyAtView(*view_, missing));
+  for (size_t i = 0; i < missing.size(); i++) {
+    TDB_RETURN_IF_ERROR(
+        UnpickleInto(missing[i], Slice(records[i])).status());
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
 // ObjectStore
 
 ObjectStore::ObjectStore(chunk::ChunkStore* chunks,
@@ -54,10 +129,12 @@ ObjectStore::ObjectStore(chunk::ChunkStore* chunks,
 void ObjectStore::BindInstruments() {
   common::MetricsRegistry* r = chunks_->metrics().get();
   m_.txns_begun = r->GetCounter("txn.begin");
+  m_.read_txns_begun = r->GetCounter("txn.read_begin");
   m_.commits = r->GetCounter("txn.commits");
   m_.durable_commits = r->GetCounter("txn.durable_commits");
   m_.aborts = r->GetCounter("txn.aborts");
   m_.deadlock_aborts = r->GetCounter("txn.deadlock_aborts");
+  m_.lock_acquisitions = r->GetCounter("txn.lock_acquisitions");
   m_.lock_waits = r->GetCounter("txn.lock_waits");
   m_.lock_timeouts = r->GetCounter("txn.lock_timeouts");
   m_.pickle_bytes = r->GetCounter("object.pickle_bytes");
@@ -67,19 +144,23 @@ void ObjectStore::BindInstruments() {
   m_.cache_bytes_used = r->GetGauge("object.cache.bytes_used");
   m_.commit_latency_us = r->GetHistogram("txn.commit.latency_us");
   m_.lock_wait_us = r->GetHistogram("txn.lock_wait_us");
+  m_.unpickle_us = r->GetHistogram("object.unpickle_us");
   cache_.AttachMetrics(m_.cache_hits, m_.cache_misses, m_.cache_evictions,
                        m_.cache_bytes_used);
-  locks_.AttachMetrics(m_.lock_waits, m_.lock_timeouts, m_.lock_wait_us);
+  locks_.AttachMetrics(m_.lock_acquisitions, m_.lock_waits, m_.lock_timeouts,
+                       m_.lock_wait_us);
 }
 
 ObjectStoreStats ObjectStore::Stats() const {
   auto u = [](int64_t v) { return static_cast<uint64_t>(v); };
   ObjectStoreStats s;
   s.txns_begun = u(m_.txns_begun->value());
+  s.read_txns_begun = u(m_.read_txns_begun->value());
   s.commits = u(m_.commits->value());
   s.durable_commits = u(m_.durable_commits->value());
   s.aborts = u(m_.aborts->value());
   s.deadlock_aborts = u(m_.deadlock_aborts->value());
+  s.lock_acquisitions = u(m_.lock_acquisitions->value());
   s.lock_waits = u(m_.lock_waits->value());
   s.lock_timeouts = u(m_.lock_timeouts->value());
   s.pickle_bytes = u(m_.pickle_bytes->value());
@@ -187,6 +268,7 @@ Result<Object*> ObjectStore::Fetch(ObjectId oid) {
   auto data = chunks_->Read(oid);
   if (!data.ok()) return data.status();
   cache_.CountMiss();
+  common::ScopedTimer timer(chunks_->metrics().get(), m_.unpickle_us);
   Unpickler unpickler{Slice(*data)};
   uint32_t class_id;
   TDB_RETURN_IF_ERROR(unpickler.GetUint32(&class_id));

@@ -5,10 +5,12 @@
 #include <chrono>
 #include <map>
 #include <memory>
+#include <unordered_map>
 #include <mutex>
 #include <string>
 #include <set>
 #include <type_traits>
+#include <vector>
 
 #include "chunk/chunk_store.h"
 #include "common/result.h"
@@ -21,6 +23,7 @@ namespace tdb::object {
 
 class ObjectStore;
 class Transaction;
+class ReadTransaction;
 
 namespace internal {
 
@@ -89,6 +92,7 @@ class ReadonlyRef {
  private:
   friend class ObjectStore;
   friend class Transaction;
+  friend class ReadTransaction;
   template <typename>
   friend class ReadonlyRef;
   template <typename>
@@ -229,10 +233,71 @@ class Transaction {
   std::shared_ptr<internal::TxnState> state_;
 };
 
+/// A read-only transaction with MVCC snapshot semantics — the lock-free
+/// alternative to Transaction for pure readers. At construction it pins a
+/// chunk-store view (a COW map root + commit version; no checkpoint, no
+/// log I/O) and serves every read from that consistent state:
+///
+///  - ZERO LockManager traffic and zero state-mutex acquisitions — the
+///    read path touches only the chunk layer, so readers never block
+///    writers and writers never block readers (no lock waits, no timeout
+///    aborts for read-only work);
+///  - a consistent snapshot: concurrent commits are invisible, unlike a
+///    locking reader that observes states committed between its opens;
+///  - the shared object cache is BYPASSED: its instances may be dirty
+///    with uncommitted writes (no-steal) or newer than the view.
+///    Unpickled objects are transaction-private and live until End().
+///
+/// Single-threaded like Transaction; concurrent ReadTransactions on their
+/// own threads share no mutable state, which is what the read-scan
+/// benchmark exercises. While any is active the chunk-store cleaner
+/// pauses, so keep read transactions short-lived (the §4.1 guidance for
+/// ordinary transactions applies unchanged).
+class ReadTransaction {
+ public:
+  /// Pins the view. If the underlying chunk store is closed the
+  /// transaction starts inactive and every Open fails.
+  explicit ReadTransaction(ObjectStore* store);
+  ~ReadTransaction();
+  ReadTransaction(const ReadTransaction&) = delete;
+  ReadTransaction& operator=(const ReadTransaction&) = delete;
+
+  /// Opens an object at the pinned view. TypeMismatch if the stored
+  /// object is not a T; NotFound if absent at the view (even if inserted
+  /// later). Repeated opens return the same private instance.
+  template <typename T>
+  Result<ReadonlyRef<T>> Open(ObjectId oid);
+
+  /// Batched warm-up: fetches all not-yet-opened objects through the
+  /// chunk store's batched view read (one commit-mutex hold for the raw
+  /// records, pooled validation) and unpickles them into the transaction.
+  /// Open() afterwards is a pure map lookup.
+  Status Prefetch(const std::vector<ObjectId>& oids);
+
+  /// Releases the pinned view and invalidates all refs. Idempotent; the
+  /// destructor calls it.
+  void End();
+
+  bool active() const { return state_ != nullptr && state_->active; }
+  /// Chunk-store commit seq of the pinned view.
+  uint64_t snapshot_seq() const { return view_ ? view_->seq() : 0; }
+
+ private:
+  // Chunk read at the view + unpickle, memoized in objects_.
+  Result<const Object*> OpenInternal(ObjectId oid);
+  Result<const Object*> UnpickleInto(ObjectId oid, Slice data);
+
+  ObjectStore* store_;
+  std::shared_ptr<internal::TxnState> state_;
+  std::shared_ptr<chunk::Snapshot> view_;
+  std::unordered_map<ObjectId, std::unique_ptr<Object>> objects_;  // Txn-private.
+};
+
 /// Transaction/locking tallies, read back from the metrics registry by the
 /// compatibility accessor ObjectStore::Stats().
 struct ObjectStoreStats {
   uint64_t txns_begun = 0;
+  uint64_t read_txns_begun = 0;  // Lock-free ReadTransactions pinned.
   uint64_t commits = 0;          // Successful CommitTxn calls.
   uint64_t durable_commits = 0;  // Subset acked only after the group flush.
   uint64_t aborts = 0;
@@ -240,6 +305,7 @@ struct ObjectStoreStats {
   // deadlock-avoidance path: the timeout breaks the deadlock, the
   // application gives up and rolls back.
   uint64_t deadlock_aborts = 0;
+  uint64_t lock_acquisitions = 0;  // Granted locks (0 delta for read txns).
   uint64_t lock_waits = 0;     // Lock calls that blocked.
   uint64_t lock_timeouts = 0;  // Waits that expired (possible deadlock).
   uint64_t pickle_bytes = 0;   // Serialized object bytes handed to commits.
@@ -299,6 +365,7 @@ class ObjectStore {
 
  private:
   friend class Transaction;
+  friend class ReadTransaction;
 
   ObjectStore(chunk::ChunkStore* chunks, const ObjectStoreOptions& options);
 
@@ -326,10 +393,12 @@ class ObjectStore {
   // wait-free instruments.
   struct Instruments {
     common::Counter* txns_begun = nullptr;
+    common::Counter* read_txns_begun = nullptr;
     common::Counter* commits = nullptr;
     common::Counter* durable_commits = nullptr;
     common::Counter* aborts = nullptr;
     common::Counter* deadlock_aborts = nullptr;
+    common::Counter* lock_acquisitions = nullptr;
     common::Counter* lock_waits = nullptr;
     common::Counter* lock_timeouts = nullptr;
     common::Counter* pickle_bytes = nullptr;
@@ -339,6 +408,7 @@ class ObjectStore {
     common::Gauge* cache_bytes_used = nullptr;
     common::Histogram* commit_latency_us = nullptr;
     common::Histogram* lock_wait_us = nullptr;
+    common::Histogram* unpickle_us = nullptr;
   };
 
   // Resolves every instrument in m_ and wires the cache and lock manager
@@ -388,6 +458,21 @@ Result<WritableRef<T>> Transaction::OpenWritable(ObjectId oid) {
                                 " is not of the requested class");
   }
   return WritableRef<T>(state_, oid, typed, store_->MakePin(oid));
+}
+
+template <typename T>
+Result<ReadonlyRef<T>> ReadTransaction::Open(ObjectId oid) {
+  if (!active()) return Status::TransactionInvalid("read transaction ended");
+  TDB_ASSIGN_OR_RETURN(const Object* obj, OpenInternal(oid));
+  const T* typed = dynamic_cast<const T*>(obj);
+  if (typed == nullptr) {
+    return Status::TypeMismatch("object " + std::to_string(oid) +
+                                " is not of the requested class");
+  }
+  // No cache pin: the instance is transaction-private and owned by
+  // objects_, which outlives every ref (refs die when state_->active
+  // flips at End()).
+  return ReadonlyRef<T>(state_, oid, typed, nullptr);
 }
 
 }  // namespace tdb::object

@@ -1441,5 +1441,289 @@ TEST(ChunkGroupCommitTest, SerializedModeBumpsPerCommit) {
   EXPECT_EQ(after.grouped_commits, 0u);
 }
 
+// ----------------------------------------------- compress-before-encrypt
+
+// Compressible payload: long runs and repeats, distinct per chunk.
+Buffer Compressible(int seed, size_t size) {
+  Buffer b(size);
+  for (size_t i = 0; i < size; i++) {
+    b[i] = static_cast<uint8_t>((i / 64 + seed) & 0xFF);
+  }
+  return b;
+}
+
+TEST(ChunkCompressionTest, RoundtripWithStats) {
+  TestEnv env;
+  ChunkStoreOptions opts = SmallSegments();
+  opts.compression = true;
+  auto cs = env.Open(opts);
+  ASSERT_TRUE(cs.ok());
+  std::vector<ChunkId> cids;
+  for (int i = 0; i < 8; i++) {
+    ChunkId cid = (*cs)->AllocateChunkId();
+    ASSERT_TRUE((*cs)->Write(cid, Slice(Compressible(i, 2000)), true).ok());
+    cids.push_back(cid);
+  }
+  for (int i = 0; i < 8; i++) {
+    auto data = (*cs)->Read(cids[i]);
+    ASSERT_TRUE(data.ok()) << data.status().ToString();
+    EXPECT_EQ(Slice(*data).ToString(), Slice(Compressible(i, 2000)).ToString());
+  }
+  ChunkStoreStats stats = (*cs)->Stats();
+  EXPECT_GE(stats.compress_attempts, 8u);
+  EXPECT_GE(stats.compressed_chunks, 8u);
+  EXPECT_LT(stats.compress_bytes_out, stats.compress_bytes_in);
+}
+
+TEST(ChunkCompressionTest, IncompressibleDataStoredRaw) {
+  TestEnv env;
+  ChunkStoreOptions opts = SmallSegments();
+  opts.compression = true;
+  auto cs = env.Open(opts);
+  ASSERT_TRUE(cs.ok());
+  Random rng(20260809);
+  Buffer noise(2000);
+  for (auto& b : noise) b = static_cast<uint8_t>(rng.Uniform(256));
+  ChunkId cid = (*cs)->AllocateChunkId();
+  ASSERT_TRUE((*cs)->Write(cid, Slice(noise), true).ok());
+  auto data = (*cs)->Read(cid);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(Slice(*data).ToString(), Slice(noise).ToString());
+  ChunkStoreStats stats = (*cs)->Stats();
+  EXPECT_GE(stats.compress_attempts, 1u);
+  EXPECT_EQ(stats.compressed_chunks, 0u);  // Would not shrink: stored raw.
+}
+
+TEST(ChunkCompressionTest, CompressedChunksReadableAfterReopen) {
+  TestEnv env;
+  std::vector<ChunkId> cids;
+  {
+    ChunkStoreOptions opts = SmallSegments();
+    opts.compression = true;
+    auto cs = env.Open(opts);
+    ASSERT_TRUE(cs.ok());
+    for (int i = 0; i < 4; i++) {
+      ChunkId cid = (*cs)->AllocateChunkId();
+      ASSERT_TRUE((*cs)->Write(cid, Slice(Compressible(i, 1500)), true).ok());
+      cids.push_back(cid);
+    }
+    ASSERT_TRUE((*cs)->Close().ok());
+  }
+  // Reopen with compression DISABLED: the per-chunk flag — not the
+  // option — decides decoding, so old compressed chunks stay readable.
+  auto cs = env.Open(SmallSegments());
+  ASSERT_TRUE(cs.ok()) << cs.status().ToString();
+  for (int i = 0; i < 4; i++) {
+    auto data = (*cs)->Read(cids[i]);
+    ASSERT_TRUE(data.ok()) << data.status().ToString();
+    EXPECT_EQ(Slice(*data).ToString(), Slice(Compressible(i, 1500)).ToString());
+  }
+  // New writes through this store are raw; both kinds coexist.
+  ChunkId raw_cid = (*cs)->AllocateChunkId();
+  ASSERT_TRUE((*cs)->Write(raw_cid, Slice(Compressible(9, 1500)), true).ok());
+  auto raw = (*cs)->Read(raw_cid);
+  ASSERT_TRUE(raw.ok());
+  EXPECT_EQ((*cs)->Stats().compress_attempts, 0u);
+}
+
+TEST(ChunkCompressionTest, FlagsSurviveCleaningAndRecovery) {
+  TestEnv env;
+  ChunkStoreOptions opts = SmallSegments();
+  opts.compression = true;
+  opts.checkpoint_interval_bytes = 16 * 1024;
+  std::vector<ChunkId> cids;
+  {
+    auto cs = env.Open(opts);
+    ASSERT_TRUE(cs.ok());
+    for (int i = 0; i < 4; i++) {
+      cids.push_back((*cs)->AllocateChunkId());
+    }
+    // Churn to create garbage, then force cleaning: relocations must
+    // carry the compressed flag with the (verbatim) sealed bytes.
+    for (int round = 0; round < 12; round++) {
+      for (int i = 0; i < 4; i++) {
+        ASSERT_TRUE(
+            (*cs)->Write(cids[i], Slice(Compressible(round + i, 1200)), true)
+                .ok());
+      }
+    }
+    ASSERT_TRUE((*cs)->Clean(64).ok());
+    for (int i = 0; i < 4; i++) {
+      auto data = (*cs)->Read(cids[i]);
+      ASSERT_TRUE(data.ok()) << data.status().ToString();
+      EXPECT_EQ(Slice(*data).ToString(),
+                Slice(Compressible(11 + i, 1200)).ToString());
+    }
+    ASSERT_TRUE((*cs)->Close().ok());
+  }
+  auto cs = env.Open(opts);
+  ASSERT_TRUE(cs.ok()) << cs.status().ToString();
+  for (int i = 0; i < 4; i++) {
+    auto data = (*cs)->Read(cids[i]);
+    ASSERT_TRUE(data.ok()) << data.status().ToString();
+    EXPECT_EQ(Slice(*data).ToString(),
+              Slice(Compressible(11 + i, 1200)).ToString());
+  }
+}
+
+TEST(ChunkCompressionTest, TamperedCompressedChunkDetected) {
+  TestEnv env;
+  ChunkStoreOptions opts = SmallSegments();
+  opts.compression = true;
+  auto cs = env.Open(opts);
+  ASSERT_TRUE(cs.ok());
+  ChunkId cid = (*cs)->AllocateChunkId();
+  ASSERT_TRUE((*cs)->Write(cid, Slice(Compressible(1, 2000)), true).ok());
+  ASSERT_TRUE((*cs)->Close().ok());
+
+  // Flip one byte in every file; at least one flip lands in the chunk's
+  // sealed record. Reads must fail loudly, never return garbage.
+  for (const std::string& name : env.store.List()) {
+    auto size = env.store.Size(name);
+    ASSERT_TRUE(size.ok());
+    if (*size == 0) continue;
+    ASSERT_TRUE(env.store.CorruptByte(name, *size / 2, 0x01).ok());
+  }
+  auto reopened = env.Open(opts);
+  if (reopened.ok()) {
+    auto data = (*reopened)->Read(cid);
+    if (data.ok()) {
+      EXPECT_EQ(Slice(*data).ToString(),
+                Slice(Compressible(1, 2000)).ToString());
+    }
+  }
+  // Either open or read failed, or the data was untouched — never a
+  // silently-corrupted payload (the assertion above).
+}
+
+// ------------------------------------------------------- pinned read views
+
+TEST(ChunkViewTest, ReadAtViewSeesPinnedState) {
+  TestEnv env;
+  auto cs = env.Open(SmallSegments());
+  ASSERT_TRUE(cs.ok());
+  ChunkId cid = (*cs)->AllocateChunkId();
+  ASSERT_TRUE((*cs)->Write(cid, Slice("version-1"), true).ok());
+
+  auto view = (*cs)->PinView();
+  ASSERT_TRUE(view.ok());
+  ASSERT_TRUE((*cs)->Write(cid, Slice("version-2"), true).ok());
+
+  auto at_view = (*cs)->ReadAtView(**view, cid);
+  ASSERT_TRUE(at_view.ok()) << at_view.status().ToString();
+  EXPECT_EQ(Slice(*at_view).ToString(), "version-1");
+  auto current = (*cs)->Read(cid);
+  ASSERT_TRUE(current.ok());
+  EXPECT_EQ(Slice(*current).ToString(), "version-2");
+  EXPECT_EQ((*cs)->Stats().views_pinned, 1u);
+}
+
+TEST(ChunkViewTest, ViewInvisibleToLaterAllocAndDealloc) {
+  TestEnv env;
+  auto cs = env.Open(SmallSegments());
+  ASSERT_TRUE(cs.ok());
+  ChunkId keep = (*cs)->AllocateChunkId();
+  ChunkId doomed = (*cs)->AllocateChunkId();
+  ASSERT_TRUE((*cs)->Write(keep, Slice("keep"), true).ok());
+  ASSERT_TRUE((*cs)->Write(doomed, Slice("doomed"), true).ok());
+
+  auto view = (*cs)->PinView();
+  ASSERT_TRUE(view.ok());
+
+  ChunkId later = (*cs)->AllocateChunkId();
+  WriteBatch batch;
+  batch.Write(later, Slice("later"));
+  batch.Deallocate(doomed);
+  ASSERT_TRUE((*cs)->Commit(batch, true).ok());
+
+  // The view still reads the deallocated chunk and cannot see the new one.
+  auto d = (*cs)->ReadAtView(**view, doomed);
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+  EXPECT_EQ(Slice(*d).ToString(), "doomed");
+  EXPECT_TRUE((*cs)->ReadAtView(**view, later).status().IsNotFound());
+  // Current state is the other way around.
+  EXPECT_TRUE((*cs)->Read(doomed).status().IsNotFound());
+  ASSERT_TRUE((*cs)->Read(later).ok());
+}
+
+TEST(ChunkViewTest, VersionedCacheServesViewOnlyWhenUnchanged) {
+  TestEnv env;
+  ChunkStoreOptions opts = SmallSegments();
+  opts.cache_bytes = 64 * 1024;
+  auto cs = env.Open(opts);
+  ASSERT_TRUE(cs.ok());
+  ChunkId cid = (*cs)->AllocateChunkId();
+  ASSERT_TRUE((*cs)->Write(cid, Slice("cached-v1"), true).ok());
+  ASSERT_TRUE((*cs)->Read(cid).ok());  // Warm the cache.
+
+  auto view = (*cs)->PinView();
+  ASSERT_TRUE(view.ok());
+  uint64_t hits_before = (*cs)->Stats().cache_hits;
+
+  // Unchanged since the view: the versioned cache entry may serve it.
+  auto hit = (*cs)->ReadAtView(**view, cid);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_EQ(Slice(*hit).ToString(), "cached-v1");
+  EXPECT_EQ((*cs)->Stats().cache_hits, hits_before + 1);
+
+  // Overwrite: the cache now holds newer state than the view, so the
+  // view read must fall back to the pinned map — and still be correct.
+  ASSERT_TRUE((*cs)->Write(cid, Slice("cached-v2"), true).ok());
+  auto stale = (*cs)->ReadAtView(**view, cid);
+  ASSERT_TRUE(stale.ok()) << stale.status().ToString();
+  EXPECT_EQ(Slice(*stale).ToString(), "cached-v1");
+  auto fresh = (*cs)->Read(cid);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(Slice(*fresh).ToString(), "cached-v2");
+}
+
+TEST(ChunkViewTest, ReadManyAtViewBatchesAndFailsWhole) {
+  TestEnv env;
+  ChunkStoreOptions opts = SmallSegments();
+  opts.compression = true;  // Exercise pooled validation incl. decompress.
+  auto cs = env.Open(opts);
+  ASSERT_TRUE(cs.ok());
+  std::vector<ChunkId> cids;
+  for (int i = 0; i < 12; i++) {
+    ChunkId cid = (*cs)->AllocateChunkId();
+    ASSERT_TRUE((*cs)->Write(cid, Slice(Compressible(i, 900)), true).ok());
+    cids.push_back(cid);
+  }
+  auto view = (*cs)->PinView();
+  ASSERT_TRUE(view.ok());
+  auto many = (*cs)->ReadManyAtView(**view, cids);
+  ASSERT_TRUE(many.ok()) << many.status().ToString();
+  ASSERT_EQ(many->size(), cids.size());
+  for (size_t i = 0; i < cids.size(); i++) {
+    EXPECT_EQ(Slice((*many)[i]).ToString(),
+              Slice(Compressible(static_cast<int>(i), 900)).ToString());
+  }
+  // One missing id fails the whole batch (all-or-error).
+  std::vector<ChunkId> with_missing = cids;
+  with_missing.push_back((*cs)->AllocateChunkId());  // Never written.
+  EXPECT_TRUE(
+      (*cs)->ReadManyAtView(**view, with_missing).status().IsNotFound());
+}
+
+TEST(ChunkViewTest, ActiveViewPausesCleaner) {
+  TestEnv env;
+  ChunkStoreOptions opts = SmallSegments();
+  auto cs = env.Open(opts);
+  ASSERT_TRUE(cs.ok());
+  ChunkId cid = (*cs)->AllocateChunkId();
+  for (int i = 0; i < 20; i++) {
+    ASSERT_TRUE((*cs)->Write(cid, Slice(Compressible(i, 1000)), true).ok());
+  }
+  auto view = (*cs)->PinView();
+  ASSERT_TRUE(view.ok());
+  uint64_t cleaned_before = (*cs)->Stats().cleaned_segments;
+  ASSERT_TRUE((*cs)->Clean(64).ok());  // No-op while the view is live.
+  EXPECT_EQ((*cs)->Stats().cleaned_segments, cleaned_before);
+  auto old = (*cs)->ReadAtView(**view, cid);
+  ASSERT_TRUE(old.ok());
+  view->reset();  // Release the pin; cleaning may proceed again.
+  ASSERT_TRUE((*cs)->Clean(64).ok());
+}
+
 }  // namespace
 }  // namespace tdb::chunk

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <stdexcept>
 #include <string>
@@ -7,6 +8,7 @@
 #include <vector>
 
 #include "common/coding.h"
+#include "common/lz.h"
 #include "common/random.h"
 #include "common/result.h"
 #include "common/slice.h"
@@ -191,6 +193,118 @@ TEST(CodingTest, ToHex) {
 TEST(CodingTest, ChecksumDistinguishesInputs) {
   EXPECT_NE(Checksum32(Slice("abc")), Checksum32(Slice("abd")));
   EXPECT_EQ(Checksum32(Slice("abc")), Checksum32(Slice("abc")));
+}
+
+Buffer LzRoundtrip(const Buffer& raw) {
+  Buffer packed = LzCompress(Slice(raw));
+  Result<Buffer> unpacked = LzDecompress(Slice(packed), raw.size());
+  EXPECT_TRUE(unpacked.ok()) << unpacked.status().ToString();
+  return unpacked.ok() ? *std::move(unpacked) : Buffer{};
+}
+
+TEST(LzTest, RoundtripEmptyAndTiny) {
+  for (size_t n : {0u, 1u, 2u, 3u, 4u, 5u}) {
+    Buffer raw(n, 0x5a);
+    EXPECT_EQ(LzRoundtrip(raw), raw) << n;
+  }
+}
+
+TEST(LzTest, CompressesRepetitiveData) {
+  Buffer raw(8192, 0);
+  for (size_t i = 0; i < raw.size(); i++) raw[i] = "tdbtdbtdb!"[i % 10];
+  Buffer packed = LzCompress(Slice(raw));
+  EXPECT_LT(packed.size(), raw.size() / 4);
+  EXPECT_EQ(LzRoundtrip(raw), raw);
+}
+
+TEST(LzTest, RoundtripLongRuns) {
+  // offset < match length: the match overlaps its own output.
+  Buffer raw(100000, 0xee);
+  Buffer packed = LzCompress(Slice(raw));
+  EXPECT_LT(packed.size(), 1000u);
+  EXPECT_EQ(LzRoundtrip(raw), raw);
+}
+
+TEST(LzTest, RoundtripIncompressibleRandom) {
+  Random rng(77);
+  for (size_t n : {16u, 100u, 4096u, 70000u}) {
+    Buffer raw;
+    rng.Fill(&raw, n);
+    Buffer packed = LzCompress(Slice(raw));
+    // Random data grows slightly but must still round-trip exactly.
+    EXPECT_EQ(LzRoundtrip(raw), raw) << n;
+  }
+}
+
+TEST(LzTest, RoundtripMixedContent) {
+  Random rng(13);
+  for (int iter = 0; iter < 50; iter++) {
+    size_t n = rng.Range(1, 3000);
+    Buffer raw;
+    rng.Fill(&raw, n);
+    // Half-repeated payloads (the harness shape) and sprinkled runs.
+    for (size_t i = n / 2; i < n; i++) raw[i] = raw[i - n / 2];
+    if (n > 64) std::fill(raw.begin() + 8, raw.begin() + 40, 0x11);
+    EXPECT_EQ(LzRoundtrip(raw), raw) << "iter " << iter;
+  }
+}
+
+TEST(LzTest, DecompressRejectsOversizedClaim) {
+  Buffer raw(500, 7);
+  Buffer packed = LzCompress(Slice(raw));
+  EXPECT_TRUE(LzDecompress(Slice(packed), raw.size()).ok());
+  EXPECT_TRUE(
+      LzDecompress(Slice(packed), raw.size() - 1).status().IsCorruption());
+}
+
+TEST(LzTest, DecompressRejectsTruncation) {
+  Buffer raw(2000, 0);
+  for (size_t i = 0; i < raw.size(); i++) raw[i] = uint8_t(i * 31);
+  for (size_t i = raw.size() / 2; i < raw.size(); i++) raw[i] = raw[i / 2];
+  Buffer packed = LzCompress(Slice(raw));
+  for (size_t cut = 0; cut < packed.size(); cut++) {
+    Buffer trunc(packed.begin(), packed.begin() + cut);
+    Result<Buffer> out = LzDecompress(Slice(trunc), raw.size());
+    // A prefix is only accepted when the bytes already decoded form the
+    // complete payload (e.g. dropping a trailing empty-literals token) —
+    // still a valid encoding of the same data. Anything short must error.
+    if (out.ok()) {
+      EXPECT_EQ(*out, raw) << "truncation at " << cut << " accepted";
+    }
+  }
+}
+
+TEST(LzTest, DecompressSurvivesMutation) {
+  // Single-byte corruptions must never crash or over-read; they either
+  // error out or produce some same-or-smaller output (the chunk layer's
+  // Merkle hash is what detects semantic corruption).
+  Random rng(4242);
+  Buffer raw;
+  rng.Fill(&raw, 1500);
+  for (size_t i = raw.size() / 2; i < raw.size(); i++) raw[i] = raw[i - 700];
+  Buffer packed = LzCompress(Slice(raw));
+  for (size_t pos = 0; pos < packed.size(); pos++) {
+    for (uint8_t delta : {0x01, 0x80, 0xff}) {
+      Buffer bad = packed;
+      bad[pos] ^= delta;
+      Result<Buffer> out = LzDecompress(Slice(bad), raw.size());
+      if (out.ok()) {
+        EXPECT_LE(out->size(), raw.size());
+      }
+    }
+  }
+}
+
+TEST(LzTest, DecompressRejectsGarbage) {
+  Random rng(99);
+  for (int iter = 0; iter < 200; iter++) {
+    Buffer junk;
+    rng.Fill(&junk, rng.Range(0, 300));
+    Result<Buffer> out = LzDecompress(Slice(junk), 1 << 20);
+    if (out.ok()) {
+      EXPECT_LE(out->size(), 1u << 20);
+    }
+  }
 }
 
 TEST(RandomTest, DeterministicFromSeed) {

@@ -4,6 +4,7 @@
 
 #include "common/coding.h"
 #include "common/random.h"
+#include "crypto/accel.h"
 #include "crypto/aes.h"
 #include "crypto/cbc.h"
 #include "crypto/cipher_suite.h"
@@ -357,6 +358,156 @@ TEST(CipherSuiteTest, HashMatchesUnderlyingAlgorithm) {
   EXPECT_EQ(suite.HashData(Slice("abc")),
             Hash(HashKind::kSha1, Slice("abc")));
   EXPECT_EQ(suite.hash_size(), 20u);
+}
+
+// ------------------------------------------------- hardware dispatch
+
+// Flips the runtime dispatch switch for a scope. On machines without the
+// ISA extensions both settings resolve to the portable path, so these
+// tests degrade to portable-vs-portable and still pass — that is exactly
+// the CI forced-portable story.
+class ScopedAccel {
+ public:
+  explicit ScopedAccel(bool on) { accel::SetEnabledForTesting(on); }
+  ~ScopedAccel() { accel::SetEnabledForTesting(true); }
+};
+
+TEST(AccelTest, OverrideForcesPortableDispatch) {
+  {
+    ScopedAccel off(false);
+    EXPECT_FALSE(accel::AesEnabled());
+    EXPECT_FALSE(accel::ShaEnabled());
+  }
+  // Restored: enabled iff the CPU actually has the extensions.
+  EXPECT_EQ(accel::AesEnabled(), accel::CpuSupportsAes());
+  EXPECT_EQ(accel::ShaEnabled(), accel::CpuSupportsSha());
+}
+
+// Every SHA vector the suite checks, hashed under both dispatch modes —
+// including splits that exercise the buffered-partial-block path around
+// the multi-block fast path.
+TEST(AccelTest, ShaIdenticalAcrossDispatch) {
+  std::string long_msg;
+  Random rng(2026);
+  for (int i = 0; i < 5000; i++) long_msg.push_back(static_cast<char>(rng.Next()));
+  const std::string msgs[] = {
+      "", "abc", "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+      std::string(55, 'x'), std::string(56, 'x'), std::string(64, 'x'),
+      std::string(65, 'x'), std::string(1000, 'a'), long_msg};
+  for (HashKind kind : {HashKind::kSha1, HashKind::kSha256}) {
+    for (const std::string& msg : msgs) {
+      Digest hw, sw;
+      {
+        ScopedAccel on(true);
+        hw = Hash(kind, Slice(msg));
+      }
+      {
+        ScopedAccel off(false);
+        sw = Hash(kind, Slice(msg));
+      }
+      EXPECT_EQ(hw, sw) << "len " << msg.size();
+      for (size_t split : {size_t{1}, size_t{63}, size_t{64}, size_t{100}}) {
+        if (split > msg.size()) continue;
+        ScopedAccel on(true);
+        Sha256 h256;
+        Sha1 h1;
+        Hasher& h = (kind == HashKind::kSha1) ? static_cast<Hasher&>(h1)
+                                              : static_cast<Hasher&>(h256);
+        h.Update(Slice(msg.substr(0, split)));
+        h.Update(Slice(msg.substr(split)));
+        EXPECT_EQ(h.Finish(), sw) << "split " << split;
+      }
+    }
+  }
+}
+
+TEST(AccelTest, AesBlockIdenticalAcrossDispatch) {
+  Random rng(77);
+  for (int trial = 0; trial < 50; trial++) {
+    Buffer key, pt;
+    rng.Fill(&key, Aes128::kKeySize);
+    rng.Fill(&pt, 16);
+    Aes128 aes(key);
+    uint8_t hw_ct[16], sw_ct[16], hw_back[16], sw_back[16];
+    {
+      ScopedAccel on(true);
+      aes.EncryptBlock(pt.data(), hw_ct);
+    }
+    {
+      ScopedAccel off(false);
+      aes.EncryptBlock(pt.data(), sw_ct);
+      // Cross-mode: decrypt the hardware ciphertext on the portable path.
+      aes.DecryptBlock(hw_ct, sw_back);
+    }
+    {
+      ScopedAccel on(true);
+      aes.DecryptBlock(sw_ct, hw_back);
+    }
+    EXPECT_EQ(ToHex(Slice(hw_ct, 16)), ToHex(Slice(sw_ct, 16)));
+    EXPECT_EQ(ToHex(Slice(hw_back, 16)), ToHex(Slice(pt)));
+    EXPECT_EQ(ToHex(Slice(sw_back, 16)), ToHex(Slice(pt)));
+  }
+}
+
+TEST(AccelTest, CbcIdenticalAcrossDispatch) {
+  Random rng(78);
+  for (size_t size : {0u, 1u, 15u, 16u, 17u, 100u, 255u, 256u, 1000u, 4096u}) {
+    Buffer key, iv, plain;
+    rng.Fill(&key, Aes128::kKeySize);
+    rng.Fill(&plain, size);
+    Aes128 aes(key);
+    rng.Fill(&iv, aes.block_size());
+    Buffer hw_ct, sw_ct;
+    {
+      ScopedAccel on(true);
+      hw_ct = CbcEncrypt(aes, iv, plain);
+    }
+    {
+      ScopedAccel off(false);
+      sw_ct = CbcEncrypt(aes, iv, plain);
+      auto back = CbcDecrypt(aes, iv, hw_ct);  // Cross-mode decrypt.
+      ASSERT_TRUE(back.ok()) << size;
+      EXPECT_EQ(*back, plain) << size;
+    }
+    EXPECT_EQ(hw_ct, sw_ct) << size;
+    ScopedAccel on(true);
+    auto back = CbcDecrypt(aes, iv, sw_ct);
+    ASSERT_TRUE(back.ok()) << size;
+    EXPECT_EQ(*back, plain) << size;
+  }
+}
+
+TEST(AccelTest, SuiteSealedUnderHardwareOpensUnderPortable) {
+  // End-to-end cross-compatibility: a chunk sealed with hardware crypto
+  // must open on a portable-only machine, and vice versa — the on-disk
+  // format cannot depend on dispatch.
+  for (auto config : {SecurityConfig::PaperTdbS(), SecurityConfig::Modern()}) {
+    Buffer plain;
+    Random rng(9);
+    rng.Fill(&plain, 777);
+    Buffer sealed_hw, sealed_sw;
+    {
+      ScopedAccel on(true);
+      CipherSuite suite(config, Slice("master"), Slice("iv-seed"));
+      sealed_hw = suite.Seal(plain);
+    }
+    {
+      ScopedAccel off(false);
+      CipherSuite suite(config, Slice("master"), Slice("iv-seed"));
+      sealed_sw = suite.Seal(plain);
+      // Same secret, same DRBG seed, same draw sequence: the sealed bytes
+      // must match exactly (the DRBG itself runs on AES).
+      EXPECT_EQ(sealed_hw, sealed_sw);
+      auto opened = suite.Open(sealed_hw);
+      ASSERT_TRUE(opened.ok());
+      EXPECT_EQ(*opened, plain);
+    }
+    ScopedAccel on(true);
+    CipherSuite suite(config, Slice("master"), Slice("iv-seed"));
+    auto opened = suite.Open(sealed_sw);
+    ASSERT_TRUE(opened.ok());
+    EXPECT_EQ(*opened, plain);
+  }
 }
 
 }  // namespace

@@ -53,6 +53,24 @@ TraceSpec ChunkGroupSpec() {
   return spec;
 }
 
+TraceSpec ChunkCodecSpec() {
+  TraceSpec spec;
+  spec.seed = 31;
+  spec.commits = 10;
+  spec.slots = 10;
+  spec.preset = Preset::kCodec;
+  return spec;
+}
+
+TraceSpec CodecTamperSpec() {
+  TraceSpec spec;
+  spec.seed = 37;
+  spec.commits = 8;
+  spec.slots = 8;
+  spec.preset = Preset::kCodec;
+  return spec;
+}
+
 TraceSpec ObjectSpec() {
   TraceSpec spec;
   spec.seed = 13;
@@ -196,6 +214,23 @@ TEST(ReproTest, GroupPresetRoundTrips) {
   EXPECT_EQ(FormatRepro(parsed.value()), line);
 }
 
+TEST(ReproTest, CodecPresetRoundTrips) {
+  ReproCase repro;
+  repro.layer = "chunk";
+  repro.kind = "crash";
+  repro.spec.seed = 31;
+  repro.spec.commits = 10;
+  repro.spec.slots = 10;
+  repro.spec.preset = Preset::kCodec;
+  repro.crash.write_index = 5;
+  std::string line = FormatRepro(repro);
+  EXPECT_NE(line.find("preset=codec"), std::string::npos);
+  auto parsed = ParseRepro(line);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().spec.preset, Preset::kCodec);
+  EXPECT_EQ(FormatRepro(parsed.value()), line);
+}
+
 TEST(ReproTest, TamperLineRoundTrips) {
   ReproCase repro;
   repro.layer = "chunk";
@@ -328,6 +363,32 @@ TEST_P(ChunkGroupCrashSweepTest, Exhaustive) {
 INSTANTIATE_TEST_SUITE_P(Shards, ChunkGroupCrashSweepTest,
                          ::testing::Range(0, 4));
 
+// Compress-before-encrypt preset: every record's sealed bytes are the
+// encryption of (possibly) LZ-compressed plaintext. The sweep proves a
+// crash torn inside a compressed append recovers to a commit-boundary
+// prefix exactly as in kStrict — compression must not add any new
+// partial-application or silent-corruption window.
+class ChunkCodecCrashSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChunkCodecCrashSweepTest, Exhaustive) {
+  constexpr int kShards = 4;
+  TraceSpec spec = ChunkCodecSpec();
+  SweepStats stats;
+  Status status = ChunkCrashSweep(spec, GetParam(), kShards, &stats);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+
+  Result<uint64_t> writes = CountChunkTraceWrites(spec);
+  ASSERT_TRUE(writes.ok()) << writes.status().ToString();
+  EXPECT_EQ(stats.write_points, writes.value());
+  EXPECT_GE(stats.write_points, spec.commits);
+  EXPECT_EQ(stats.cases, ShardShare(stats.write_points * stats.tear_buckets,
+                                    GetParam(), kShards));
+  PrintCoverage("chunk-codec-crash", GetParam(), kShards, stats);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shards, ChunkCodecCrashSweepTest,
+                         ::testing::Range(0, 4));
+
 class ChunkCleaningCrashSweepTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(ChunkCleaningCrashSweepTest, Exhaustive) {
@@ -434,6 +495,39 @@ TEST_P(ChunkTamperSweepTest, EveryRegionClass) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Shards, ChunkTamperSweepTest, ::testing::Range(0, 4));
+
+// Tamper sweep over a compression-enabled image: corruption of a
+// compressed sealed payload may surface as a hash mismatch OR (were the
+// hash somehow satisfied) a decompression failure — either way it must be
+// detected with an audit event, never silently accepted. The sweep covers
+// every structural region class of the codec image.
+class CodecTamperSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CodecTamperSweepTest, EveryRegionClass) {
+  constexpr int kShards = 4;
+  TraceSpec spec = CodecTamperSpec();
+  SweepStats stats;
+  Status status = ChunkTamperSweep(spec, GetParam(), kShards, &stats);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+
+  uint64_t site_sum = 0;
+  for (int cls = 0; cls < kRegionClasses; cls++) {
+    EXPECT_GT(stats.sites_per_class[cls], 0u)
+        << "no tamper sites in region class "
+        << RegionClassName(static_cast<RegionClass>(cls));
+    site_sum += stats.sites_per_class[cls];
+  }
+  EXPECT_EQ(stats.tamper_sites, site_sum);
+  EXPECT_EQ(stats.cases, ShardShare(stats.tamper_sites, GetParam(), kShards));
+  // 0 silent acceptances: every executed case detected or fully masked.
+  EXPECT_EQ(stats.detected + stats.masked, stats.cases);
+  EXPECT_GT(stats.detected, 0u);
+  EXPECT_EQ(stats.audit_events, stats.detected);
+  PrintCoverage("chunk-codec-tamper", GetParam(), kShards, stats);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shards, CodecTamperSweepTest,
+                         ::testing::Range(0, 4));
 
 // ---------------------------------------------------------------------------
 // Self-test: the harness must catch a deliberately buggy store, print a

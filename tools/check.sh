@@ -31,7 +31,7 @@ mode="${1:-}"
 case "$mode" in
   --asan) sanitize="address" ; suffix="-asan" ;;
   --tsan) sanitize="thread"  ; suffix="-tsan" ;;
-  --bench-smoke) suffix="" ;;
+  --bench-smoke) suffix="-bench" ;;
   --metrics) suffix="" ;;
   "") ;;
   *) echo "usage: tools/check.sh [--asan|--tsan|--bench-smoke|--metrics]" >&2
@@ -54,9 +54,13 @@ if [[ -n "$sanitize" ]]; then
     "$build_dir/tests/$t" --gtest_brief=1
   done
 elif [[ "$mode" == "--bench-smoke" ]]; then
-  cmake -B "$build_dir" -S "$repo_root"
+  # Benches are only meaningful optimized: use a dedicated Release build
+  # dir (never a possibly-Debug cache). bench_metrics.h backs this up by
+  # stamping bench.build_optimized into every metrics snapshot and warning
+  # on stderr when a bench binary was built without optimization.
+  cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
   gbenches=(crypto_micro commit_throughput chunk_micro index_micro
-            cache_micro)
+            cache_micro read_path)
   scripted=(tpcb_response utilization_sweep footprint_table backup_micro
             cleaner_ablation recovery_micro)
   cmake --build "$build_dir" -j "$(nproc)" \
