@@ -1,0 +1,268 @@
+// Workload diversity suite: YCSB mixes A-F, the time-series retention
+// scenario, and streaming large objects — the same drivers the harness
+// and tests run (src/workload), measured optimized.
+//
+//  - BM_Ycsb runs one mix per benchmark (arg "mix" = 0..5 -> A..F) at 1
+//    and 8 threads, compression off/on. Each thread is its own driver
+//    stream; an iteration is a batch of kBatchOps operations. Per-op
+//    latency histograms land in workload.<Mix>.{read,update,insert,scan,
+//    rmw}_us (p95 for the EXPERIMENTS table comes from --metrics-json).
+//  - BM_TimeSeriesStep is one scenario step: an appended batch over the
+//    ordered collection, with periodic validated range scans and
+//    retention deletion feeding the cleaner.
+//  - BM_LargeObjectWrite streams one multi-part object per iteration
+//    (alternating removes keep the store bounded); BM_LargeObjectRead
+//    streams one back over a snapshot and verifies it.
+//
+// Acceptance tracking: ops/s and p95 per mix at 1 and 8 threads, codec
+// off/on (EXPERIMENTS.md "Workload diversity"). Emit JSON with:
+//   workloads --benchmark_out=BENCH_workloads.json
+//             --benchmark_out_format=json --metrics-json=METRICS_workloads.json
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_metrics.h"
+#include "chunk/chunk_store.h"
+#include "collection/collection.h"
+#include "common/random.h"
+#include "object/object_store.h"
+#include "platform/mem_store.h"
+#include "platform/one_way_counter.h"
+#include "platform/secret_store.h"
+#include "workload/large_objects.h"
+#include "workload/timeseries.h"
+#include "workload/ycsb.h"
+
+namespace {
+
+using namespace tdb;
+
+constexpr uint64_t kBatchOps = 64;
+
+struct WorkloadFixture {
+  platform::MemUntrustedStore store;
+  platform::MemSecretStore secrets;
+  platform::MemOneWayCounter counter;
+  std::unique_ptr<chunk::ChunkStore> chunks;
+  std::unique_ptr<object::ObjectStore> objects;
+  std::unique_ptr<collection::CollectionStore> collections;
+
+  explicit WorkloadFixture(bool compression) {
+    (void)secrets.Provision(Slice("bench-workload-secret")).ok();
+    chunk::ChunkStoreOptions copts;
+    copts.security = crypto::SecurityConfig::Modern();
+    copts.segment_size = 256 * 1024;
+    copts.cache_bytes = 16 * 1024 * 1024;
+    copts.compression = compression;
+    chunks = std::move(chunk::ChunkStore::Open(&store, &secrets, &counter,
+                                               copts))
+                 .value();
+    object::ObjectStoreOptions oopts;
+    oopts.cache_capacity_bytes = 16 * 1024 * 1024;
+    objects = std::move(object::ObjectStore::Open(chunks.get(), oopts))
+                  .value();
+    TDB_CHECK(workload::RegisterYcsbClasses(objects.get()).ok());
+    TDB_CHECK(workload::RegisterTimeSeriesClasses(objects.get()).ok());
+    TDB_CHECK(
+        workload::RegisterLargeObjectWorkloadClasses(objects.get()).ok());
+    collections =
+        std::move(collection::CollectionStore::Open(objects.get())).value();
+  }
+
+  ~WorkloadFixture() {
+    std::shared_ptr<common::MetricsRegistry> registry =
+        chunks != nullptr ? chunks->metrics() : nullptr;
+    collections.reset();
+    objects.reset();
+    if (chunks != nullptr) (void)chunks->Close().ok();
+    chunks.reset();
+    if (registry != nullptr) {
+      benchutil::AccumulateMetrics(registry->Snapshot());
+    }
+  }
+};
+
+// --- YCSB ------------------------------------------------------------------
+
+struct YcsbFixture : WorkloadFixture {
+  std::unique_ptr<workload::YcsbDriver> driver;
+
+  YcsbFixture(workload::Mix mix, bool compression)
+      : WorkloadFixture(compression) {
+    workload::YcsbSpec spec;
+    spec.mix = mix;
+    spec.records = 1024;
+    spec.ops = kBatchOps;
+    spec.value_bytes = 128;
+    spec.max_scan_len = 16;
+    spec.max_inserts = 1 << 16;  // Insert headroom for long measured runs.
+    spec.seed = 42;
+    driver = std::move(workload::YcsbDriver::Open(objects.get(),
+                                                  collections.get(), spec,
+                                                  /*create=*/true))
+                 .value();
+  }
+};
+
+std::unique_ptr<YcsbFixture> g_ycsb;
+
+void BM_Ycsb(benchmark::State& state) {
+  const workload::Mix mix =
+      workload::MixFromIndex(static_cast<uint64_t>(state.range(0)));
+  if (state.thread_index() == 0) {
+    g_ycsb = std::make_unique<YcsbFixture>(mix, state.range(1) != 0);
+  }
+  const uint64_t stream = static_cast<uint64_t>(state.thread_index());
+  for (auto _ : state) {
+    Status s = g_ycsb->driver->RunOps(stream, kBatchOps);
+    if (!s.ok()) {
+      state.SkipWithError(s.ToString().c_str());
+      return;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kBatchOps);
+  if (state.thread_index() == 0) {
+    state.counters["live_records"] =
+        static_cast<double>(g_ycsb->driver->live_records());
+    state.SetLabel(std::string("mix=") + workload::MixName(mix));
+    g_ycsb.reset();
+  }
+}
+BENCHMARK(BM_Ycsb)
+    ->ArgNames({"mix", "compress"})
+    ->ArgsProduct({{0, 1, 2, 3, 4, 5}, {0, 1}})
+    ->Threads(1)
+    ->Threads(8)
+    ->UseRealTime();
+
+// --- Time series -----------------------------------------------------------
+
+struct TimeSeriesFixture : WorkloadFixture {
+  std::unique_ptr<workload::TimeSeriesDriver> driver;
+
+  explicit TimeSeriesFixture(bool compression)
+      : WorkloadFixture(compression) {
+    workload::TimeSeriesSpec spec;
+    spec.seed = 42;
+    spec.points_per_batch = 16;
+    spec.value_bytes = 64;
+    // Retention bounds the collection at ~64 batches of history, so a
+    // long measured run settles into steady state: append, scan, expire.
+    spec.retention_window =
+        64ull * spec.points_per_batch * spec.ts_stride;
+    spec.retention_every = 4;
+    spec.scan_every = 4;
+    driver = std::move(workload::TimeSeriesDriver::Open(collections.get(),
+                                                        spec,
+                                                        /*create=*/true))
+                 .value();
+  }
+};
+
+std::unique_ptr<TimeSeriesFixture> g_tseries;
+
+void BM_TimeSeriesStep(benchmark::State& state) {
+  g_tseries = std::make_unique<TimeSeriesFixture>(state.range(0) != 0);
+  for (auto _ : state) {
+    Status s = g_tseries->driver->RunStep();
+    if (!s.ok()) {
+      state.SkipWithError(s.ToString().c_str());
+      return;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 16);  // points_per_batch.
+  state.counters["live_points"] =
+      static_cast<double>(g_tseries->driver->model_size());
+  state.counters["deleted_points"] =
+      static_cast<double>(g_tseries->driver->points_deleted());
+  g_tseries.reset();
+}
+BENCHMARK(BM_TimeSeriesStep)
+    ->ArgNames({"compress"})
+    ->Arg(0)
+    ->Arg(1);
+
+// --- Large objects ---------------------------------------------------------
+
+constexpr uint32_t kLobPartBytes = 4096;
+constexpr uint32_t kLobParts = 8;
+
+workload::LargeObjectSpec LobBenchSpec() {
+  workload::LargeObjectSpec spec;
+  spec.seed = 42;
+  spec.part_bytes = kLobPartBytes;
+  spec.max_parts = kLobParts;
+  spec.remove_every = 2;  // Alternate write/remove: bounded store.
+  spec.read_every = 0;
+  return spec;
+}
+
+struct LobFixture : WorkloadFixture {
+  std::unique_ptr<workload::LargeObjectDriver> driver;
+  std::vector<uint64_t> tags;
+
+  explicit LobFixture(bool compression, int preload)
+      : WorkloadFixture(compression) {
+    driver = std::move(workload::LargeObjectDriver::Open(objects.get(),
+                                                         LobBenchSpec(),
+                                                         /*create=*/true))
+                 .value();
+    for (int i = 0; i < preload; i++) {
+      tags.push_back(
+          driver->WriteOne(uint64_t{kLobParts} * kLobPartBytes).value());
+    }
+  }
+};
+
+std::unique_ptr<LobFixture> g_lob;
+
+void BM_LargeObjectWrite(benchmark::State& state) {
+  g_lob = std::make_unique<LobFixture>(state.range(0) != 0, /*preload=*/0);
+  for (auto _ : state) {
+    // RunStep alternates streamed writes and removes (remove_every=2), so
+    // the store stays bounded however long the measurement runs.
+    Status s = g_lob->driver->RunStep();
+    if (!s.ok()) {
+      state.SkipWithError(s.ToString().c_str());
+      return;
+    }
+  }
+  state.SetBytesProcessed(
+      static_cast<int64_t>(g_lob->driver->bytes_written()));
+  state.counters["live_objects"] =
+      static_cast<double>(g_lob->driver->live_objects());
+  g_lob.reset();
+}
+BENCHMARK(BM_LargeObjectWrite)
+    ->ArgNames({"compress"})
+    ->Arg(0)
+    ->Arg(1);
+
+void BM_LargeObjectRead(benchmark::State& state) {
+  g_lob = std::make_unique<LobFixture>(state.range(0) != 0, /*preload=*/8);
+  size_t next = 0;
+  for (auto _ : state) {
+    Status s = g_lob->driver->ReadOne(g_lob->tags[next]);
+    if (!s.ok()) {
+      state.SkipWithError(s.ToString().c_str());
+      return;
+    }
+    next = (next + 1) % g_lob->tags.size();
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(kLobParts) * kLobPartBytes);
+  g_lob.reset();
+}
+BENCHMARK(BM_LargeObjectRead)
+    ->ArgNames({"compress"})
+    ->Arg(0)
+    ->Arg(1);
+
+}  // namespace
+
+TDB_BENCH_MAIN_WITH_METRICS();

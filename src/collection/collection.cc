@@ -345,6 +345,23 @@ Result<std::unique_ptr<Iterator>> Collection::Query(
   return std::unique_ptr<Iterator>(new Iterator(t, *this, std::move(result)));
 }
 
+Status Collection::RemoveRange(CTransaction* t, const GenericIndexer& indexer,
+                               const GenericKey* min, const GenericKey* max,
+                               size_t* removed) {
+  TDB_ASSIGN_OR_RETURN(std::unique_ptr<Iterator> it,
+                       Query(t, indexer, min, max));
+  size_t count = 0;
+  Status status;
+  for (; status.ok() && !it->end(); it->Next()) {
+    status = it->RemoveCurrent();
+    if (status.ok()) count++;
+  }
+  Status closed = it->Close();
+  if (status.ok()) status = closed;
+  if (removed != nullptr) *removed = count;
+  return status;
+}
+
 // ---------------------------------------------------------------------------
 // Iterator
 

@@ -76,6 +76,15 @@ class Collection final : public object::Object {
                                           const GenericKey* min,
                                           const GenericKey* max) const;
 
+  /// Removes every object whose `indexer` key lies in [min, max] (null =
+  /// unbounded), deleting the objects and maintaining all indexes — the
+  /// retention primitive for time-ordered collections: the freed chunks
+  /// feed the cleaner. `removed` (optional) reports how many objects were
+  /// deleted. Subject to the single-open-iterator constraint of §5.2.2.
+  Status RemoveRange(CTransaction* t, const GenericIndexer& indexer,
+                     const GenericKey* min, const GenericKey* max,
+                     size_t* removed = nullptr);
+
  private:
   friend class CTransaction;
   friend class Iterator;

@@ -143,11 +143,8 @@ Result<std::unique_ptr<chunk::ChunkStore>> OpenStore(
                                  &env->counter, options);
 }
 
-/// Audit regions a tampered byte of `cls` may legitimately surface as.
-/// The byte's structural class and the detector that fires need not match
-/// exactly: e.g. a corrupted payload byte inside the residual log breaks
-/// the recovery scan, which the store reports as a log/counter-level
-/// replay detection rather than a payload hash mismatch.
+}  // namespace
+
 bool AuditRegionCompatible(RegionClass cls, int region) {
   switch (cls) {
     case RegionClass::kAnchorSlot:
@@ -180,7 +177,53 @@ std::string AuditEventsToString(
   return out.empty() ? "<none>" : out;
 }
 
-}  // namespace
+std::vector<uint64_t> TamperSiteOffsets(uint64_t length) {
+  std::vector<uint64_t> offsets{0};
+  if (length > 2) offsets.push_back(length / 2);
+  if (length > 1) offsets.push_back(length - 1);
+  return offsets;
+}
+
+const TamperRegion* FindTamperRegion(const std::vector<TamperRegion>& regions,
+                                     const std::string& file,
+                                     uint64_t offset) {
+  for (const TamperRegion& region : regions) {
+    if (region.file == file && offset >= region.offset &&
+        offset < region.offset + region.length) {
+      return &region;
+    }
+  }
+  return nullptr;
+}
+
+Status CheckTamperAudit(const ReproCase& repro, bool detected,
+                        const std::vector<common::AuditEvent>& audit,
+                        const RegionClass* cls) {
+  auto fail = [&repro](const std::string& detail) {
+    return Status::Corruption(FormatRepro(repro) + " | " + detail);
+  };
+  if (!detected) {
+    if (!audit.empty()) {
+      return fail("masked tamper left audit events: " +
+                  AuditEventsToString(audit));
+    }
+    return Status::OK();
+  }
+  if (audit.empty()) {
+    return fail(
+        "tamper detected but the audit trail is empty (silent detection)");
+  }
+  if (audit.size() > 1) {
+    return fail("tamper produced " + std::to_string(audit.size()) +
+                " audit events, want exactly 1 deduplicated: " +
+                AuditEventsToString(audit));
+  }
+  if (cls != nullptr && !AuditRegionCompatible(*cls, audit[0].region)) {
+    return fail(std::string("audit region incompatible with class ") +
+                RegionClassName(*cls) + ": " + AuditEventsToString(audit));
+  }
+  return Status::OK();
+}
 
 Result<uint64_t> CountChunkTraceWrites(const TraceSpec& spec,
                                        const StoreWrap& wrap) {
@@ -425,16 +468,6 @@ Result<bool> EvaluateImage(const TraceSpec& spec,
   return detected;
 }
 
-/// First / middle / last byte of a region, deduplicated.
-std::vector<uint64_t> SiteOffsets(uint64_t length) {
-  std::vector<uint64_t> offsets{0};
-  if (length > 2) offsets.push_back(length / 2);
-  if (length > 1) offsets.push_back(length - 1);
-  return offsets;
-}
-
-constexpr uint8_t kTamperMask = 0x40;
-
 Status TamperBaseline(const TraceSpec& spec, const TamperContext& ctx,
                       StateOracle::State* baseline) {
   std::vector<common::AuditEvent> audit;
@@ -461,50 +494,6 @@ Status TamperBaseline(const TraceSpec& spec, const TamperContext& ctx,
                               matched.status().message());
   }
   return Status::OK();
-}
-
-/// The audit-trail contract for one tamper case: a detected corruption
-/// leaves exactly one deduplicated audit event (never zero — no silent
-/// detection — and never several for one corrupted byte), with a region
-/// compatible with the byte's structural class; a masked corruption
-/// leaves none.
-Status CheckTamperAudit(const ReproCase& repro, bool detected,
-                        const std::vector<common::AuditEvent>& audit,
-                        const RegionClass* cls) {
-  if (!detected) {
-    if (!audit.empty()) {
-      return Fail(repro, "masked tamper left audit events: " +
-                             AuditEventsToString(audit));
-    }
-    return Status::OK();
-  }
-  if (audit.empty()) {
-    return Fail(repro,
-                "tamper detected but the audit trail is empty (silent "
-                "detection)");
-  }
-  if (audit.size() > 1) {
-    return Fail(repro, "tamper produced " + std::to_string(audit.size()) +
-                           " audit events, want exactly 1 deduplicated: " +
-                           AuditEventsToString(audit));
-  }
-  if (cls != nullptr && !AuditRegionCompatible(*cls, audit[0].region)) {
-    return Fail(repro, std::string("audit region incompatible with class ") +
-                           RegionClassName(*cls) + ": " +
-                           AuditEventsToString(audit));
-  }
-  return Status::OK();
-}
-
-const TamperRegion* FindRegion(const std::vector<TamperRegion>& regions,
-                               const std::string& file, uint64_t offset) {
-  for (const TamperRegion& region : regions) {
-    if (region.file == file && offset >= region.offset &&
-        offset < region.offset + region.length) {
-      return &region;
-    }
-  }
-  return nullptr;
 }
 
 }  // namespace
@@ -538,7 +527,7 @@ Status RunChunkTamperCase(const TraceSpec& spec, const std::string& file,
                     &baseline, nullptr, &audit);
   if (!detected.ok()) return Fail(repro, detected.status().message());
   std::vector<TamperRegion> regions = ClassifyImage(ctx.image);
-  const TamperRegion* region = FindRegion(regions, file, offset);
+  const TamperRegion* region = FindTamperRegion(regions, file, offset);
   return CheckTamperAudit(repro, detected.value(), audit,
                           region != nullptr ? &region->cls : nullptr);
 }
@@ -553,7 +542,7 @@ Status ChunkTamperSweep(const TraceSpec& spec, int shard, int num_shards,
   std::vector<TamperRegion> regions = ClassifyImage(ctx.image);
   uint64_t case_idx = 0;
   for (const TamperRegion& region : regions) {
-    for (uint64_t rel : SiteOffsets(region.length)) {
+    for (uint64_t rel : TamperSiteOffsets(region.length)) {
       // Full-campaign coverage counters (identical across shards).
       if (stats != nullptr) {
         stats->tamper_sites++;

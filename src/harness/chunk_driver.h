@@ -3,10 +3,13 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "chunk/chunk_store.h"
+#include "common/metrics.h"
 #include "common/result.h"
 #include "harness/oracle.h"
+#include "harness/region_map.h"
 #include "harness/trace.h"
 
 namespace tdb::harness {
@@ -55,6 +58,37 @@ Status RunChunkTamperCase(const TraceSpec& spec, const std::string& file,
 /// every region instance, sharded like ChunkCrashSweep.
 Status ChunkTamperSweep(const TraceSpec& spec, int shard, int num_shards,
                         SweepStats* stats = nullptr);
+
+// --- Tamper-evaluation building blocks, shared with the other layers'
+// --- tamper sweeps (object/collection/workload scenarios).
+
+/// The XOR mask every sweep applies to a corrupted byte.
+inline constexpr uint8_t kTamperMask = 0x40;
+
+/// Audit regions a tampered byte of `cls` may legitimately surface as.
+/// The byte's structural class and the detector that fires need not match
+/// exactly: e.g. a corrupted payload byte inside the residual log breaks
+/// the recovery scan, which the store reports as a log/counter-level
+/// replay detection rather than a payload hash mismatch.
+bool AuditRegionCompatible(RegionClass cls, int region);
+
+std::string AuditEventsToString(const std::vector<common::AuditEvent>& events);
+
+/// The audit-trail contract for one tamper case: a detected corruption
+/// leaves exactly one deduplicated audit event (never zero — no silent
+/// detection — and never several for one corrupted byte), with a region
+/// compatible with the byte's structural class; a masked corruption
+/// leaves none. Failures quote `repro`.
+Status CheckTamperAudit(const ReproCase& repro, bool detected,
+                        const std::vector<common::AuditEvent>& audit,
+                        const RegionClass* cls);
+
+/// First / middle / last byte of a region, deduplicated.
+std::vector<uint64_t> TamperSiteOffsets(uint64_t length);
+
+/// The classified region containing (file, offset), or nullptr.
+const TamperRegion* FindTamperRegion(const std::vector<TamperRegion>& regions,
+                                     const std::string& file, uint64_t offset);
 
 }  // namespace tdb::harness
 

@@ -5,18 +5,47 @@
 #include "harness/collection_driver.h"
 #include "harness/object_driver.h"
 #include "harness/trace.h"
+#include "harness/workload_driver.h"
 
 namespace tdb::harness {
 
+namespace {
+
+bool ScenarioLayer(const std::string& layer, Scenario* out) {
+  if (layer == "ycsb") {
+    *out = Scenario::kYcsb;
+  } else if (layer == "timeseries") {
+    *out = Scenario::kTimeSeries;
+  } else if (layer == "largeobject") {
+    *out = Scenario::kLargeObject;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
 Status ReplayRepro(const std::string& line) {
   TDB_ASSIGN_OR_RETURN(ReproCase repro, ParseRepro(line));
+  Scenario scenario = Scenario::kYcsb;
+  const bool is_scenario = ScenarioLayer(repro.layer, &scenario);
   if (repro.kind == "tamper") {
+    if (is_scenario) {
+      return RunWorkloadTamperCase(scenario, repro.spec, repro.tamper_file,
+                                   repro.tamper_offset,
+                                   static_cast<uint8_t>(repro.tamper_mask));
+    }
     if (repro.layer != "chunk") {
-      return Status::InvalidArgument("tamper repros are chunk-layer only");
+      return Status::InvalidArgument(
+          "tamper repros are chunk- or scenario-layer only");
     }
     return RunChunkTamperCase(repro.spec, repro.tamper_file,
                               repro.tamper_offset,
                               static_cast<uint8_t>(repro.tamper_mask));
+  }
+  if (is_scenario) {
+    return RunWorkloadCrashCase(scenario, repro.spec, repro.crash);
   }
   if (repro.layer == "chunk") {
     return RunChunkCrashCase(repro.spec, repro.crash);

@@ -119,7 +119,8 @@ Result<ReproCase> ParseRepro(const std::string& line) {
     std::string key = token.substr(0, eq);
     std::string value = token.substr(eq + 1);
     if (key == "layer") {
-      if (value != "chunk" && value != "object" && value != "collection") {
+      if (value != "chunk" && value != "object" && value != "collection" &&
+          value != "ycsb" && value != "timeseries" && value != "largeobject") {
         return MalformedRepro("unknown layer: " + value);
       }
       repro.layer = value;

@@ -119,7 +119,9 @@ using StoreWrap =
 /// A parsed single-line repro. Failures print `FormatRepro(...)` so any
 /// failing campaign case replays as a one-liner via ReplayRepro().
 struct ReproCase {
-  std::string layer = "chunk";  // "chunk" | "object" | "collection".
+  /// "chunk" | "object" | "collection", or a workload scenario:
+  /// "ycsb" | "timeseries" | "largeobject".
+  std::string layer = "chunk";
   std::string kind = "crash";   // "crash" | "tamper".
   TraceSpec spec;
   CrashCase crash;              // kind == "crash".

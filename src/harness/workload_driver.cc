@@ -1,0 +1,530 @@
+#include "harness/workload_driver.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "crypto/cipher_suite.h"
+#include "harness/chunk_driver.h"
+#include "harness/oracle.h"
+#include "harness/region_map.h"
+#include "platform/fault_injection.h"
+#include "platform/mem_store.h"
+#include "platform/one_way_counter.h"
+#include "platform/secret_store.h"
+
+namespace tdb::harness {
+
+const char* ScenarioName(Scenario scenario) {
+  switch (scenario) {
+    case Scenario::kYcsb: return "ycsb";
+    case Scenario::kTimeSeries: return "timeseries";
+    case Scenario::kLargeObject: return "largeobject";
+  }
+  return "ycsb";
+}
+
+workload::YcsbSpec YcsbSpecFor(const TraceSpec& spec) {
+  workload::YcsbSpec y;
+  y.mix = workload::MixFromIndex(spec.seed);
+  y.records = spec.slots;
+  y.ops = spec.commits;
+  y.value_bytes = 64;
+  y.max_scan_len = 8;
+  y.seed = spec.seed;
+  y.p_durable = 0.5;
+  y.max_inserts = spec.commits;  // Bounded keyspace growth.
+  return y;
+}
+
+workload::TimeSeriesSpec TimeSeriesSpecFor(const TraceSpec& spec) {
+  workload::TimeSeriesSpec t;
+  t.seed = spec.seed;
+  t.batches = spec.commits;
+  t.points_per_batch = 4;
+  t.value_bytes = 48;
+  t.start_ts = 1000;
+  t.ts_stride = 10;
+  // Roughly `slots` points stay live; everything older is retention-fed
+  // to the cleaner.
+  t.retention_window = t.ts_stride * std::max<uint64_t>(1, spec.slots);
+  t.retention_every = 3;
+  t.scan_every = 2;
+  t.p_durable = 0.5;
+  return t;
+}
+
+workload::LargeObjectSpec LargeObjectSpecFor(const TraceSpec& spec) {
+  workload::LargeObjectSpec l;
+  l.seed = spec.seed;
+  l.ops = spec.commits;
+  l.part_bytes = 64;  // Small parts: every object spans several chunks.
+  l.max_parts = 3;
+  l.p_durable = 0.5;
+  l.remove_every = 4;
+  l.read_every = 2;
+  return l;
+}
+
+namespace {
+
+constexpr const char* kMasterSecret = "tdb-harness-master-secret-32byte";
+constexpr uint32_t kTearNums[] = {0, 2, 4};  // Coarser: cases are heavy.
+constexpr uint32_t kTearDen = 4;
+
+struct WorkloadEnv {
+  platform::MemUntrustedStore mem;
+  std::unique_ptr<platform::FaultInjectingStore> faulty;
+  platform::MemSecretStore secrets;
+  platform::MemOneWayCounter counter;
+
+  WorkloadEnv() {
+    faulty = std::make_unique<platform::FaultInjectingStore>(&mem);
+    (void)secrets.Provision(kMasterSecret);
+  }
+};
+
+Status Fail(const ReproCase& repro, const std::string& detail) {
+  return Status::Corruption(FormatRepro(repro) + " | " + detail);
+}
+
+ReproCase MakeRepro(Scenario scenario, const TraceSpec& spec) {
+  ReproCase repro;
+  repro.layer = ScenarioName(scenario);
+  repro.spec = spec;
+  return repro;
+}
+
+struct WorkloadStack {
+  std::unique_ptr<chunk::ChunkStore> chunks;
+  std::unique_ptr<object::ObjectStore> objects;
+  std::unique_ptr<collection::CollectionStore> collections;
+
+  void Drop() {  // Reverse-order teardown without a clean close.
+    collections.reset();
+    objects.reset();
+    chunks.reset();
+  }
+};
+
+/// Opens the full stack on `store`. All three scenarios' classes are
+/// registered regardless of which one runs (registration is cheap and
+/// keeps reopen paths identical).
+Result<WorkloadStack> OpenWorkloadStack(
+    platform::UntrustedStore* store, platform::SecretStore* secrets,
+    platform::OneWayCounter* counter, Preset preset,
+    std::shared_ptr<common::MetricsRegistry> metrics = nullptr) {
+  WorkloadStack stack;
+  chunk::ChunkStoreOptions options = PresetOptions(preset);
+  // Injecting the registry keeps the audit trail reachable even when Open
+  // itself fails on a tampered image (the store object is never built).
+  options.metrics = std::move(metrics);
+  TDB_ASSIGN_OR_RETURN(stack.chunks, chunk::ChunkStore::Open(store, secrets,
+                                                             counter, options));
+  TDB_ASSIGN_OR_RETURN(stack.objects,
+                       object::ObjectStore::Open(stack.chunks.get()));
+  TDB_RETURN_IF_ERROR(workload::RegisterYcsbClasses(stack.objects.get()));
+  TDB_RETURN_IF_ERROR(
+      workload::RegisterTimeSeriesClasses(stack.objects.get()));
+  TDB_RETURN_IF_ERROR(
+      workload::RegisterLargeObjectWorkloadClasses(stack.objects.get()));
+  TDB_ASSIGN_OR_RETURN(stack.collections,
+                       collection::CollectionStore::Open(stack.objects.get()));
+  return stack;
+}
+
+/// Bridges the workload drivers' CommitHook onto the harness oracle.
+class OracleHook final : public workload::CommitHook {
+ public:
+  explicit OracleHook(StateOracle* oracle) : oracle_(oracle) {}
+  void BeginCommit() override { oracle_->BeginCommit(); }
+  void PendingWrite(uint64_t id, Buffer image) override {
+    oracle_->PendingWrite(id, std::move(image));
+  }
+  void PendingRemove(uint64_t id) override { oracle_->PendingRemove(id); }
+  void EndCommit(bool acked, bool durable) override {
+    oracle_->EndCommit(acked, durable);
+  }
+
+ private:
+  StateOracle* oracle_;
+};
+
+/// Creates the scenario's persistent structures and runs it to completion,
+/// mirroring every commit attempt into `oracle`.
+Status RunScenario(Scenario scenario, const TraceSpec& spec,
+                   WorkloadStack* stack, StateOracle* oracle) {
+  OracleHook hook_impl(oracle);
+  workload::CommitHook* hook = oracle != nullptr ? &hook_impl : nullptr;
+  switch (scenario) {
+    case Scenario::kYcsb: {
+      TDB_ASSIGN_OR_RETURN(
+          std::unique_ptr<workload::YcsbDriver> driver,
+          workload::YcsbDriver::Open(stack->objects.get(),
+                                     stack->collections.get(),
+                                     YcsbSpecFor(spec), /*create=*/true,
+                                     hook));
+      return driver->Run(/*stream=*/0, hook);
+    }
+    case Scenario::kTimeSeries: {
+      TDB_ASSIGN_OR_RETURN(
+          std::unique_ptr<workload::TimeSeriesDriver> driver,
+          workload::TimeSeriesDriver::Open(stack->collections.get(),
+                                           TimeSeriesSpecFor(spec),
+                                           /*create=*/true));
+      return driver->Run(hook);
+    }
+    case Scenario::kLargeObject: {
+      TDB_ASSIGN_OR_RETURN(
+          std::unique_ptr<workload::LargeObjectDriver> driver,
+          workload::LargeObjectDriver::Open(stack->objects.get(),
+                                            LargeObjectSpecFor(spec),
+                                            /*create=*/true));
+      return driver->Run(hook);
+    }
+  }
+  return Status::InvalidArgument("unknown scenario");
+}
+
+/// Re-attaches the scenario driver on a reopened stack and scans its
+/// committed state, keyed exactly like the oracle.
+Status ScanScenario(Scenario scenario, const TraceSpec& spec,
+                    WorkloadStack* stack, StateOracle::State* out) {
+  switch (scenario) {
+    case Scenario::kYcsb: {
+      TDB_ASSIGN_OR_RETURN(
+          std::unique_ptr<workload::YcsbDriver> driver,
+          workload::YcsbDriver::Open(stack->objects.get(),
+                                     stack->collections.get(),
+                                     YcsbSpecFor(spec), /*create=*/false));
+      return driver->Scan(out);
+    }
+    case Scenario::kTimeSeries: {
+      TDB_ASSIGN_OR_RETURN(
+          std::unique_ptr<workload::TimeSeriesDriver> driver,
+          workload::TimeSeriesDriver::Open(stack->collections.get(),
+                                           TimeSeriesSpecFor(spec),
+                                           /*create=*/false));
+      return driver->ScanAll(out);
+    }
+    case Scenario::kLargeObject: {
+      TDB_ASSIGN_OR_RETURN(
+          std::unique_ptr<workload::LargeObjectDriver> driver,
+          workload::LargeObjectDriver::Open(stack->objects.get(),
+                                            LargeObjectSpecFor(spec),
+                                            /*create=*/false));
+      return driver->ScanAll(out);
+    }
+  }
+  return Status::InvalidArgument("unknown scenario");
+}
+
+}  // namespace
+
+Result<uint64_t> CountWorkloadTraceWrites(Scenario scenario,
+                                          const TraceSpec& spec) {
+  WorkloadEnv env;
+  TDB_ASSIGN_OR_RETURN(
+      WorkloadStack stack,
+      OpenWorkloadStack(env.faulty.get(), &env.secrets, &env.counter,
+                        spec.preset));
+  StateOracle oracle;
+  // The baseline excludes only the raw stack open; the scenario's own
+  // load/setup commits count, so the sweep crashes inside them too.
+  uint64_t baseline = env.faulty->writes_seen();
+  TDB_RETURN_IF_ERROR(RunScenario(scenario, spec, &stack, &oracle));
+  return env.faulty->writes_seen() - baseline;
+}
+
+Status RunWorkloadCrashCase(Scenario scenario, const TraceSpec& spec,
+                            const CrashCase& crash, SweepStats* stats) {
+  ReproCase repro = MakeRepro(scenario, spec);
+  repro.kind = "crash";
+  repro.crash = crash;
+
+  WorkloadEnv env;
+  Result<WorkloadStack> opened = OpenWorkloadStack(
+      env.faulty.get(), &env.secrets, &env.counter, spec.preset);
+  if (!opened.ok()) {
+    return Fail(repro, "initial open failed: " + opened.status().ToString());
+  }
+  WorkloadStack stack = std::move(opened).value();
+
+  StateOracle oracle;
+  env.faulty->CrashAtWrite(crash.write_index, crash.tear_num, crash.tear_den);
+  Status run = RunScenario(scenario, spec, &stack, &oracle);
+  if (!run.ok() && !env.faulty->crashed()) {
+    return Fail(repro, "scenario op failed without a crash: " + run.ToString());
+  }
+  stack.Drop();
+
+  env.faulty->Reboot();
+  opened = OpenWorkloadStack(env.faulty.get(), &env.secrets, &env.counter,
+                             spec.preset);
+  if (!opened.ok()) {
+    if (!env.faulty->crashed()) {
+      return Fail(repro, "recovery failed on a legitimate crash image: " +
+                             opened.status().ToString());
+    }
+    env.faulty->Reboot();
+    opened = OpenWorkloadStack(env.faulty.get(), &env.secrets, &env.counter,
+                               spec.preset);
+    if (!opened.ok()) {
+      return Fail(repro, "recovery failed after recovery-time crash: " +
+                             opened.status().ToString());
+    }
+  }
+  stack = std::move(opened).value();
+
+  StateOracle::State recovered;
+  Status scanned = ScanScenario(scenario, spec, &stack, &recovered);
+  if (!scanned.ok()) {
+    return Fail(repro, "post-recovery scenario scan: " + scanned.ToString());
+  }
+  Result<size_t> matched = oracle.MatchRecovered(recovered);
+  if (!matched.ok()) return Fail(repro, matched.status().message());
+
+  if (stats != nullptr) stats->cases++;
+  return Status::OK();
+}
+
+Status WorkloadCrashSweep(Scenario scenario, const TraceSpec& spec, int shard,
+                          int num_shards, SweepStats* stats) {
+  TDB_ASSIGN_OR_RETURN(uint64_t writes,
+                       CountWorkloadTraceWrites(scenario, spec));
+  if (stats != nullptr) {
+    stats->write_points = writes;
+    stats->tear_buckets = std::size(kTearNums);
+  }
+  uint64_t case_idx = 0;
+  for (uint64_t point = 0; point < writes; point++) {
+    for (uint32_t tear : kTearNums) {
+      uint64_t idx = case_idx++;
+      if (num_shards > 1 &&
+          static_cast<int>(idx % static_cast<uint64_t>(num_shards)) != shard) {
+        continue;
+      }
+      CrashCase crash;
+      crash.write_index = point;
+      crash.tear_num = tear;
+      crash.tear_den = kTearDen;
+      TDB_RETURN_IF_ERROR(RunWorkloadCrashCase(scenario, spec, crash, stats));
+    }
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// Crash-consistent image of a completed scenario plus what a reopen of
+/// it must reproduce.
+struct WorkloadTamperContext {
+  platform::MemUntrustedStore::Image image;
+  uint64_t counter_value = 0;
+  StateOracle oracle;
+};
+
+Status BuildWorkloadTamperContext(Scenario scenario, const TraceSpec& spec,
+                                  WorkloadTamperContext* ctx) {
+  WorkloadEnv env;
+  TDB_ASSIGN_OR_RETURN(
+      WorkloadStack stack,
+      OpenWorkloadStack(env.faulty.get(), &env.secrets, &env.counter,
+                        spec.preset));
+  TDB_RETURN_IF_ERROR(RunScenario(scenario, spec, &stack, &ctx->oracle));
+  // Snapshot BEFORE close so the image keeps a residual log; the attacker
+  // grabs the media while the machine is off, mid-lifetime.
+  ctx->image = env.mem.SnapshotImage();
+  TDB_ASSIGN_OR_RETURN(ctx->counter_value, env.counter.Read());
+  return Status::OK();
+}
+
+/// Opens an image and re-scans the scenario state. Returns true if the
+/// stack flagged tampering anywhere (chunk-store open, integrity scrub,
+/// or the scenario scan); false if everything validated — in which case,
+/// when a baseline is given, the scanned state must equal it exactly
+/// (else this is a silent acceptance and an error is returned).
+Result<bool> EvaluateWorkloadImage(
+    Scenario scenario, const TraceSpec& spec,
+    const platform::MemUntrustedStore::Image& image, uint64_t counter_value,
+    const StateOracle::State* baseline, StateOracle::State* out_values,
+    std::vector<common::AuditEvent>* audit_out) {
+  platform::MemUntrustedStore mem;
+  mem.RestoreImage(image);
+  platform::MemSecretStore secrets;
+  (void)secrets.Provision(kMasterSecret);
+  platform::MemOneWayCounter counter;
+  while (counter.Read().value() < counter_value) {
+    (void)counter.Increment();
+  }
+
+  auto registry = std::make_shared<common::MetricsRegistry>();
+  // Collect whatever the audit trail holds on every exit path below; the
+  // registry outlives the stack, so detections during a failed Open are
+  // captured too.
+  struct AuditCapture {
+    std::shared_ptr<common::MetricsRegistry> registry;
+    std::vector<common::AuditEvent>* out;
+    ~AuditCapture() {
+      if (out != nullptr) *out = registry->audit().Events();
+    }
+  } capture{registry, audit_out};
+
+  auto is_detection = [](const Status& status) {
+    return status.IsTamperDetected() || status.IsReplayDetected() ||
+           status.IsCorruption();
+  };
+
+  Result<WorkloadStack> opened =
+      OpenWorkloadStack(&mem, &secrets, &counter, spec.preset, registry);
+  if (!opened.ok()) {
+    if (is_detection(opened.status())) return true;
+    return Status::Corruption("open failed with unexpected status: " +
+                              opened.status().ToString());
+  }
+  WorkloadStack stack = std::move(opened).value();
+
+  bool detected = false;
+  uint64_t checked = 0;
+  Status verify = stack.chunks->VerifyIntegrity(&checked);
+  if (!verify.ok()) {
+    if (!is_detection(verify)) {
+      return Status::Corruption("VerifyIntegrity unexpected status: " +
+                                verify.ToString());
+    }
+    detected = true;
+  }
+  StateOracle::State values;
+  Status scanned = ScanScenario(scenario, spec, &stack, &values);
+  if (!scanned.ok()) {
+    if (!is_detection(scanned)) {
+      return Status::Corruption("scenario scan unexpected status: " +
+                                scanned.ToString());
+    }
+    detected = true;
+  }
+  if (!detected && baseline != nullptr && values != *baseline) {
+    return Status::Corruption(
+        "SILENT ACCEPTANCE: stack validated but the scenario state differs "
+        "from the untampered baseline");
+  }
+  if (out_values != nullptr) *out_values = std::move(values);
+  return detected;
+}
+
+Status WorkloadTamperBaseline(Scenario scenario, const TraceSpec& spec,
+                              const WorkloadTamperContext& ctx,
+                              StateOracle::State* baseline) {
+  std::vector<common::AuditEvent> audit;
+  Result<bool> flagged =
+      EvaluateWorkloadImage(scenario, spec, ctx.image, ctx.counter_value,
+                            nullptr, baseline, &audit);
+  if (!flagged.ok()) {
+    return Status::Corruption("untampered baseline reopen failed: " +
+                              flagged.status().ToString());
+  }
+  if (flagged.value()) {
+    return Status::Corruption(
+        "untampered baseline reopen flagged tampering on a clean image");
+  }
+  if (!audit.empty()) {
+    return Status::Corruption(
+        "untampered baseline reopen left audit events on a clean image: " +
+        AuditEventsToString(audit));
+  }
+  Result<size_t> matched = ctx.oracle.MatchRecovered(*baseline);
+  if (!matched.ok()) {
+    return Status::Corruption("untampered baseline violates the oracle: " +
+                              matched.status().message());
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status RunWorkloadTamperCase(Scenario scenario, const TraceSpec& spec,
+                             const std::string& file, uint64_t offset,
+                             uint8_t mask) {
+  ReproCase repro = MakeRepro(scenario, spec);
+  repro.kind = "tamper";
+  repro.tamper_file = file;
+  repro.tamper_offset = offset;
+  repro.tamper_mask = mask;
+
+  WorkloadTamperContext ctx;
+  Status built = BuildWorkloadTamperContext(scenario, spec, &ctx);
+  if (!built.ok()) return Fail(repro, built.ToString());
+  StateOracle::State baseline;
+  Status base = WorkloadTamperBaseline(scenario, spec, ctx, &baseline);
+  if (!base.ok()) return Fail(repro, base.ToString());
+
+  auto it = ctx.image.find(file);
+  if (it == ctx.image.end() || offset >= it->second.size()) {
+    return Fail(repro, "tamper site outside the image");
+  }
+  platform::MemUntrustedStore::Image tampered = ctx.image;
+  tampered[file][offset] ^= mask;
+  std::vector<common::AuditEvent> audit;
+  Result<bool> detected =
+      EvaluateWorkloadImage(scenario, spec, tampered, ctx.counter_value,
+                            &baseline, nullptr, &audit);
+  if (!detected.ok()) return Fail(repro, detected.status().message());
+  std::vector<TamperRegion> regions = ClassifyImage(ctx.image);
+  const TamperRegion* region = FindTamperRegion(regions, file, offset);
+  return CheckTamperAudit(repro, detected.value(), audit,
+                          region != nullptr ? &region->cls : nullptr);
+}
+
+Status WorkloadTamperSweep(Scenario scenario, const TraceSpec& spec,
+                           int shard, int num_shards, SweepStats* stats) {
+  WorkloadTamperContext ctx;
+  TDB_RETURN_IF_ERROR(BuildWorkloadTamperContext(scenario, spec, &ctx));
+  StateOracle::State baseline;
+  TDB_RETURN_IF_ERROR(WorkloadTamperBaseline(scenario, spec, ctx, &baseline));
+
+  std::vector<TamperRegion> regions = ClassifyImage(ctx.image);
+  uint64_t case_idx = 0;
+  for (const TamperRegion& region : regions) {
+    for (uint64_t rel : TamperSiteOffsets(region.length)) {
+      if (stats != nullptr) {
+        stats->tamper_sites++;
+        stats->sites_per_class[static_cast<int>(region.cls)]++;
+      }
+      uint64_t idx = case_idx++;
+      if (num_shards > 1 &&
+          static_cast<int>(idx % static_cast<uint64_t>(num_shards)) != shard) {
+        continue;
+      }
+      uint64_t offset = region.offset + rel;
+      ReproCase repro = MakeRepro(scenario, spec);
+      repro.kind = "tamper";
+      repro.tamper_file = region.file;
+      repro.tamper_offset = offset;
+      repro.tamper_mask = kTamperMask;
+
+      platform::MemUntrustedStore::Image tampered = ctx.image;
+      tampered[region.file][offset] ^= kTamperMask;
+      std::vector<common::AuditEvent> audit;
+      Result<bool> detected =
+          EvaluateWorkloadImage(scenario, spec, tampered, ctx.counter_value,
+                                &baseline, nullptr, &audit);
+      if (!detected.ok()) return Fail(repro, detected.status().message());
+      TDB_RETURN_IF_ERROR(
+          CheckTamperAudit(repro, detected.value(), audit, &region.cls));
+      if (stats != nullptr) {
+        stats->cases++;
+        stats->audit_events += audit.size();
+        if (detected.value()) {
+          stats->detected++;
+        } else {
+          stats->masked++;
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace tdb::harness

@@ -1,0 +1,79 @@
+#ifndef TDB_HARNESS_WORKLOAD_DRIVER_H_
+#define TDB_HARNESS_WORKLOAD_DRIVER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "harness/trace.h"
+#include "workload/large_objects.h"
+#include "workload/timeseries.h"
+#include "workload/ycsb.h"
+
+namespace tdb::harness {
+
+/// Workload-scenario analogues of the chunk/object/collection drivers:
+/// the crash/tamper harness driving the reusable workload subsystem
+/// (src/workload) instead of a synthetic trace. Three scenario families:
+///   kYcsb        one YCSB mix (chosen from the spec seed) over the
+///                object/collection stores;
+///   kTimeSeries  ordered B-tree collection keyed by timestamp with
+///                range scans and retention-driven RemoveRange deletion;
+///   kLargeObject multi-chunk streaming objects (writer part flushes,
+///                manifest-commit visibility, snapshot reads).
+/// The TraceSpec's serialized fields map deterministically onto the
+/// scenario specs (see *SpecFor below), so a TDB-REPRO v1 line with
+/// layer=ycsb|timeseries|largeobject replays bit-exactly.
+enum class Scenario : uint8_t { kYcsb, kTimeSeries, kLargeObject };
+
+const char* ScenarioName(Scenario scenario);  // The repro layer token.
+
+/// Deterministic TraceSpec -> scenario-spec mappings. Only serialized
+/// repro fields (seed / commits / slots / preset) influence the result:
+/// seed picks the YCSB mix (seed % 6) and all payloads; commits sizes the
+/// operation count; slots sizes the record count / retention window.
+workload::YcsbSpec YcsbSpecFor(const TraceSpec& spec);
+workload::TimeSeriesSpec TimeSeriesSpecFor(const TraceSpec& spec);
+workload::LargeObjectSpec LargeObjectSpecFor(const TraceSpec& spec);
+
+/// Dry-runs the scenario (no crash) and returns the number of base-store
+/// writes, including the scenario's own setup/load commits — the crash
+/// sweep enumerates write indices 0..N-1, so mid-load crashes are covered.
+Result<uint64_t> CountWorkloadTraceWrites(Scenario scenario,
+                                          const TraceSpec& spec);
+
+/// One crash case: runs the scenario against a fault-injecting store
+/// armed at `crash`, reboots, reopens the stack, re-attaches the scenario
+/// driver and scans its state, then checks the durable-commit invariant
+/// against the oracle (keyed by logical scenario key: record key,
+/// timestamp, or large-object tag). Failure messages begin with the
+/// case's TDB-REPRO line.
+Status RunWorkloadCrashCase(Scenario scenario, const TraceSpec& spec,
+                            const CrashCase& crash,
+                            SweepStats* stats = nullptr);
+
+/// Exhaustive campaign: every write index x every torn-write fraction in
+/// {0,2,4}/4 (coarser buckets: full-stack cases are heavy), sharded like
+/// ChunkCrashSweep.
+Status WorkloadCrashSweep(Scenario scenario, const TraceSpec& spec, int shard,
+                          int num_shards, SweepStats* stats = nullptr);
+
+/// One tamper case: runs the scenario cleanly, XORs `mask` into one image
+/// byte, reopens the full stack and re-scans the scenario state, and
+/// asserts the corruption is either fully masked (scenario state equals
+/// the untampered baseline) or reported — never silently accepted — with
+/// the audit-trail contract of CheckTamperAudit.
+Status RunWorkloadTamperCase(Scenario scenario, const TraceSpec& spec,
+                             const std::string& file, uint64_t offset,
+                             uint8_t mask);
+
+/// Exhaustive tamper campaign over all four structural region classes of
+/// the scenario's image (first/middle/last byte of every region),
+/// sharded like ChunkTamperSweep.
+Status WorkloadTamperSweep(Scenario scenario, const TraceSpec& spec,
+                           int shard, int num_shards,
+                           SweepStats* stats = nullptr);
+
+}  // namespace tdb::harness
+
+#endif  // TDB_HARNESS_WORKLOAD_DRIVER_H_

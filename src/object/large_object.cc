@@ -1,0 +1,195 @@
+#include "object/large_object.h"
+
+#include "common/check.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+namespace tdb::object {
+
+void LargeObjectManifest::Pickle(Pickler* pickler) const {
+  pickler->PutUint64(tag_);
+  pickler->PutUint64(total_bytes_);
+  pickler->PutUint32(part_bytes_);
+  pickler->PutUint32(static_cast<uint32_t>(parts_.size()));
+  for (ObjectId part : parts_) pickler->PutUint64(part);
+}
+
+Status LargeObjectManifest::UnpickleFrom(Unpickler* unpickler) {
+  TDB_RETURN_IF_ERROR(unpickler->GetUint64(&tag_));
+  TDB_RETURN_IF_ERROR(unpickler->GetUint64(&total_bytes_));
+  TDB_RETURN_IF_ERROR(unpickler->GetUint32(&part_bytes_));
+  uint32_t count = 0;
+  TDB_RETURN_IF_ERROR(unpickler->GetUint32(&count));
+  parts_.clear();
+  parts_.reserve(count);
+  for (uint32_t i = 0; i < count; i++) {
+    uint64_t part = 0;
+    TDB_RETURN_IF_ERROR(unpickler->GetUint64(&part));
+    parts_.push_back(part);
+  }
+  return Status::OK();
+}
+
+void LargeObjectPart::Pickle(Pickler* pickler) const {
+  pickler->PutBytes(bytes_);
+}
+
+Status LargeObjectPart::UnpickleFrom(Unpickler* unpickler) {
+  return unpickler->GetBytes(&bytes_);
+}
+
+Status RegisterLargeObjectClasses(ObjectStore* os) {
+  TDB_RETURN_IF_ERROR(os->registry().Register<LargeObjectManifest>(
+      LargeObjectManifest::kClassId));
+  return os->registry().Register<LargeObjectPart>(LargeObjectPart::kClassId);
+}
+
+// ---------------------------------------------------------------------------
+// LargeObjectWriter
+
+LargeObjectWriter::LargeObjectWriter(ObjectStore* store, uint32_t part_bytes)
+    : store_(store), part_bytes_(part_bytes) {
+  TDB_CHECK(part_bytes_ > 0, "part size must be positive");
+}
+
+Status LargeObjectWriter::FlushPart() {
+  Transaction txn(store_);
+  Result<ObjectId> inserted =
+      txn.Insert(std::make_unique<LargeObjectPart>(std::move(pending_)));
+  pending_.clear();
+  if (!inserted.ok()) {
+    failed_ = true;
+    return inserted.status();
+  }
+  // Nondurable: the final manifest commit persists the whole chain.
+  Status status = txn.Commit(false);
+  if (!status.ok()) {
+    failed_ = true;
+    return status;
+  }
+  parts_.push_back(inserted.value());
+  return Status::OK();
+}
+
+Status LargeObjectWriter::Append(Slice data) {
+  if (failed_) return Status::InvalidArgument("writer failed earlier");
+  if (finished_) return Status::InvalidArgument("writer already finished");
+  bytes_appended_ += data.size();
+  while (data.size() > 0) {
+    size_t take = std::min<size_t>(part_bytes_ - pending_.size(), data.size());
+    pending_.insert(pending_.end(), data.data(), data.data() + take);
+    data = Slice(data.data() + take, data.size() - take);
+    if (pending_.size() == part_bytes_) TDB_RETURN_IF_ERROR(FlushPart());
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<LargeObjectManifest>> LargeObjectWriter::Finish(
+    uint64_t tag) {
+  if (failed_) return Status::InvalidArgument("writer failed earlier");
+  if (finished_) return Status::InvalidArgument("writer already finished");
+  if (!pending_.empty()) TDB_RETURN_IF_ERROR(FlushPart());
+  finished_ = true;
+  return std::make_unique<LargeObjectManifest>(tag, bytes_appended_,
+                                               part_bytes_, parts_);
+}
+
+Result<ObjectId> LargeObjectWriter::Commit(uint64_t tag, bool durable) {
+  TDB_ASSIGN_OR_RETURN(std::unique_ptr<LargeObjectManifest> manifest,
+                       Finish(tag));
+  Transaction txn(store_);
+  Result<ObjectId> inserted = txn.Insert(std::move(manifest));
+  if (!inserted.ok()) return inserted.status();
+  TDB_RETURN_IF_ERROR(txn.Commit(durable));
+  return inserted.value();
+}
+
+// ---------------------------------------------------------------------------
+// LargeObjectReader
+
+Status LargeObjectReader::Open(ObjectId manifest_oid) {
+  TDB_ASSIGN_OR_RETURN(manifest_,
+                       txn_->Take<LargeObjectManifest>(manifest_oid));
+  const uint64_t parts = manifest_->parts().size();
+  const uint64_t part_bytes = manifest_->part_bytes();
+  const uint64_t total = manifest_->total_bytes();
+  // parts = ceil(total / part_bytes); catches truncated/padded part lists
+  // before any part is fetched.
+  const uint64_t expected =
+      part_bytes == 0 ? 0 : (total + part_bytes - 1) / part_bytes;
+  if (part_bytes == 0 || parts != expected) {
+    manifest_.reset();
+    return Status::InvalidArgument(
+        "large-object manifest part list inconsistent with declared size");
+  }
+  part_.reset();
+  part_index_ = 0;
+  pos_ = 0;
+  return Status::OK();
+}
+
+Result<size_t> LargeObjectReader::Read(uint8_t* buf, size_t n) {
+  if (manifest_ == nullptr) {
+    return Status::InvalidArgument("reader not opened");
+  }
+  const uint64_t total = manifest_->total_bytes();
+  const uint64_t part_bytes = manifest_->part_bytes();
+  size_t read = 0;
+  while (read < n && pos_ < total) {
+    const size_t index = static_cast<size_t>(pos_ / part_bytes);
+    if (part_ == nullptr || part_index_ != index) {
+      TDB_ASSIGN_OR_RETURN(
+          part_, txn_->Take<LargeObjectPart>(manifest_->parts()[index]));
+      part_index_ = index;
+      const uint64_t expect =
+          std::min<uint64_t>(part_bytes, total - index * part_bytes);
+      if (part_->bytes().size() != expect) {
+        part_.reset();
+        return Status::Corruption(
+            "large-object part " + std::to_string(index) +
+            " length disagrees with its manifest");
+      }
+    }
+    const size_t offset = static_cast<size_t>(pos_ % part_bytes);
+    const size_t take = std::min<size_t>(n - read,
+                                         part_->bytes().size() - offset);
+    std::memcpy(buf + read, part_->bytes().data() + offset, take);
+    read += take;
+    pos_ += take;
+  }
+  return read;
+}
+
+Status LargeObjectReader::ReadAll(Buffer* out) {
+  if (manifest_ == nullptr) {
+    return Status::InvalidArgument("reader not opened");
+  }
+  out->clear();
+  const uint64_t remaining = manifest_->total_bytes() - pos_;
+  out->resize(static_cast<size_t>(remaining));
+  size_t filled = 0;
+  while (filled < out->size()) {
+    TDB_ASSIGN_OR_RETURN(size_t got,
+                         Read(out->data() + filled, out->size() - filled));
+    if (got == 0) break;
+    filled += got;
+  }
+  if (filled != out->size()) {
+    return Status::Corruption("large-object stream ended early");
+  }
+  return Status::OK();
+}
+
+Status RemoveLargeObject(Transaction* txn, ObjectId manifest_oid) {
+  TDB_ASSIGN_OR_RETURN(ReadonlyRef<LargeObjectManifest> manifest,
+                       txn->OpenReadonly<LargeObjectManifest>(manifest_oid));
+  std::vector<ObjectId> parts = manifest->parts();
+  for (ObjectId part : parts) {
+    TDB_RETURN_IF_ERROR(txn->Remove(part));
+  }
+  return txn->Remove(manifest_oid);
+}
+
+}  // namespace tdb::object

@@ -1,0 +1,166 @@
+#ifndef TDB_OBJECT_LARGE_OBJECT_H_
+#define TDB_OBJECT_LARGE_OBJECT_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "object/object_store.h"
+
+namespace tdb::object {
+
+/// Streaming storage for objects far larger than one chunk. The object
+/// store maps one object to one chunk (§4.2.1), which caps a pickled
+/// object at what a single log record can reasonably hold and forces the
+/// whole value through memory at once. Large objects split the value into
+/// fixed-size parts — each an ordinary chunk-sized object — plus one
+/// manifest listing the part ids:
+///
+///   LargeObjectWriter w(store, part_bytes);
+///   w.Append(slice); ...                      // any chunking
+///   Result<ObjectId> oid = w.Commit(tag, /*durable=*/true);
+///
+/// Durability/visibility contract: every full part is flushed in its own
+/// NONDURABLE transaction as Append() goes (bounded memory, no giant
+/// commit), and the final manifest commit makes the whole chain durable —
+/// a durable chunk-store commit persists all earlier nondurable commits.
+/// The object becomes visible only through its manifest, so a crash
+/// mid-stream leaves NO partial object: just unreachable part chunks that
+/// recovery may or may not retain (they are garbage either way, freed if
+/// the writer is retried and re-commits, or left to the application's
+/// normal remove path).
+///
+/// Reading streams part at a time over a lock-free ReadTransaction
+/// snapshot via Take() (non-memoizing), so memory stays O(part_bytes)
+/// regardless of object size.
+
+/// Manifest: total size, part size, ordered part ids, and an
+/// application-chosen tag (e.g. a directory key).
+class LargeObjectManifest final : public Object {
+ public:
+  static constexpr ClassId kClassId = 0x4C4F424D;  // "LOBM"
+
+  LargeObjectManifest() = default;
+  LargeObjectManifest(uint64_t tag, uint64_t total_bytes, uint32_t part_bytes,
+                      std::vector<ObjectId> parts)
+      : tag_(tag), total_bytes_(total_bytes), part_bytes_(part_bytes),
+        parts_(std::move(parts)) {}
+
+  ClassId class_id() const override { return kClassId; }
+  void Pickle(Pickler* pickler) const override;
+  Status UnpickleFrom(Unpickler* unpickler) override;
+  size_t ApproxSize() const override {
+    return 64 + parts_.size() * sizeof(ObjectId);
+  }
+
+  uint64_t tag() const { return tag_; }
+  uint64_t total_bytes() const { return total_bytes_; }
+  uint32_t part_bytes() const { return part_bytes_; }
+  const std::vector<ObjectId>& parts() const { return parts_; }
+
+ private:
+  uint64_t tag_ = 0;
+  uint64_t total_bytes_ = 0;
+  uint32_t part_bytes_ = 0;
+  std::vector<ObjectId> parts_;
+};
+
+/// One fixed-size slice of a large object's value.
+class LargeObjectPart final : public Object {
+ public:
+  static constexpr ClassId kClassId = 0x4C4F4250;  // "LOBP"
+
+  LargeObjectPart() = default;
+  explicit LargeObjectPart(Buffer bytes) : bytes_(std::move(bytes)) {}
+
+  ClassId class_id() const override { return kClassId; }
+  void Pickle(Pickler* pickler) const override;
+  Status UnpickleFrom(Unpickler* unpickler) override;
+  size_t ApproxSize() const override { return 32 + bytes_.size(); }
+
+  const Buffer& bytes() const { return bytes_; }
+
+ private:
+  Buffer bytes_;
+};
+
+/// Registers both large-object classes (idempotent per fresh store; call
+/// once after ObjectStore::Open).
+Status RegisterLargeObjectClasses(ObjectStore* os);
+
+/// Streaming writer. Single-threaded; one value per writer instance.
+class LargeObjectWriter {
+ public:
+  /// Parts hold exactly `part_bytes` value bytes (the last may be short).
+  LargeObjectWriter(ObjectStore* store, uint32_t part_bytes);
+
+  /// Buffers `data`, flushing every completed part in its own nondurable
+  /// transaction. After an error the writer is dead (every later call
+  /// fails); already-flushed parts are unreachable garbage.
+  Status Append(Slice data);
+
+  /// Flushes the final partial part and returns the manifest for the
+  /// caller to insert — into a plain transaction, or into a collection so
+  /// the object is found by key after restart. The manifest insert is the
+  /// visibility and durability point (commit it durable unless a later
+  /// commit will be).
+  Result<std::unique_ptr<LargeObjectManifest>> Finish(uint64_t tag);
+
+  /// Convenience: Finish + insert + commit in one step. Returns the
+  /// manifest's object id.
+  Result<ObjectId> Commit(uint64_t tag, bool durable);
+
+  uint64_t bytes_appended() const { return bytes_appended_; }
+  size_t parts_flushed() const { return parts_.size(); }
+
+ private:
+  Status FlushPart();
+
+  ObjectStore* store_;
+  const uint32_t part_bytes_;
+  Buffer pending_;
+  std::vector<ObjectId> parts_;
+  uint64_t bytes_appended_ = 0;
+  bool failed_ = false;
+  bool finished_ = false;
+};
+
+/// Streaming reader over a caller-provided ReadTransaction snapshot. The
+/// manifest is read at Open; each part is fetched exactly once via Take()
+/// as Read() crosses into it, so only one part is resident at a time.
+class LargeObjectReader {
+ public:
+  explicit LargeObjectReader(ReadTransaction* txn) : txn_(txn) {}
+
+  /// Reads the manifest. InvalidArgument if a part list is inconsistent
+  /// with the declared size.
+  Status Open(ObjectId manifest_oid);
+
+  /// Sequential read of up to `n` bytes into `buf`; returns the number of
+  /// bytes read, 0 at end of object. TamperDetected/Corruption propagate
+  /// from the chunk layer; a part whose length disagrees with the
+  /// manifest reports Corruption.
+  Result<size_t> Read(uint8_t* buf, size_t n);
+
+  /// Convenience: reads the remainder of the object into `out`.
+  Status ReadAll(Buffer* out);
+
+  uint64_t size() const { return manifest_ ? manifest_->total_bytes() : 0; }
+  const LargeObjectManifest* manifest() const { return manifest_.get(); }
+
+ private:
+  ReadTransaction* txn_;
+  std::unique_ptr<LargeObjectManifest> manifest_;
+  std::unique_ptr<LargeObjectPart> part_;  // Currently resident part.
+  size_t part_index_ = 0;                  // Index of part_ in the manifest.
+  uint64_t pos_ = 0;                       // Value offset of the next byte.
+};
+
+/// Removes a large object (manifest + every part) within `txn`; the
+/// caller commits. Reads the manifest through the transaction, so the
+/// usual 2PL rules apply.
+Status RemoveLargeObject(Transaction* txn, ObjectId manifest_oid);
+
+}  // namespace tdb::object
+
+#endif  // TDB_OBJECT_LARGE_OBJECT_H_

@@ -19,6 +19,7 @@ Object* ObjectCache::Put(ObjectId oid, std::unique_ptr<Object> object,
   Erase(oid);
   Entry entry;
   entry.charge = object->ApproxSize() + 64;  // Entry bookkeeping overhead.
+  entry.generation = ++next_generation_;
   entry.object = std::move(object);
   entry.dirty = dirty;
   lru_.push_front(oid);
@@ -39,15 +40,21 @@ Object* ObjectCache::Get(ObjectId oid) {
   return it->second.object.get();
 }
 
-void ObjectCache::Pin(ObjectId oid) {
+uint64_t ObjectCache::Pin(ObjectId oid) {
   auto it = entries_.find(oid);
   TDB_CHECK(it != entries_.end(), "pin of uncached object");
   it->second.pins++;
+  return it->second.generation;
 }
 
-void ObjectCache::Unpin(ObjectId oid) {
+void ObjectCache::Unpin(ObjectId oid, uint64_t generation) {
   auto it = entries_.find(oid);
   if (it == entries_.end()) return;  // Erased by an abort; nothing to do.
+  if (it->second.generation != generation) {
+    // Erased by an abort, then re-fetched: the pinned entry is gone and
+    // this release must not touch its replacement's pin count.
+    return;
+  }
   TDB_DCHECK(it->second.pins > 0);
   if (it->second.pins > 0) it->second.pins--;
 }

@@ -44,8 +44,12 @@ class ObjectCache {
   bool Contains(ObjectId oid) const { return entries_.count(oid) > 0; }
 
   /// Pin/unpin: pinned entries cannot be evicted. Pins come from live Refs.
-  void Pin(ObjectId oid);
-  void Unpin(ObjectId oid);
+  /// Pin returns the entry's generation (stamped at Put); Unpin releases
+  /// only if the entry still has that generation. An abort can Erase a
+  /// pinned entry and a later fetch re-Put the same oid — a stale Ref's
+  /// release must not steal the replacement entry's pin.
+  uint64_t Pin(ObjectId oid);
+  void Unpin(ObjectId oid, uint64_t generation);
 
   /// Marks an entry dirty (pinned by the no-steal policy) or clean.
   void SetDirty(ObjectId oid, bool dirty);
@@ -74,6 +78,7 @@ class ObjectCache {
     std::unique_ptr<Object> object;
     size_t charge = 0;
     int pins = 0;
+    uint64_t generation = 0;
     bool dirty = false;
     std::list<ObjectId>::iterator lru_pos;
   };
@@ -85,6 +90,7 @@ class ObjectCache {
   }
 
   std::map<ObjectId, Entry> entries_;
+  uint64_t next_generation_ = 0;
   std::list<ObjectId> lru_;  // Front = most recently used.
   size_t capacity_;
   size_t size_ = 0;

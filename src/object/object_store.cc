@@ -95,6 +95,20 @@ Result<const Object*> ReadTransaction::UnpickleInto(ObjectId oid, Slice data) {
   return raw;
 }
 
+Result<std::unique_ptr<Object>> ReadTransaction::TakeInternal(ObjectId oid) {
+  if (oid == kInvalidObjectId || oid == store_->header_cid_) {
+    return Status::InvalidArgument("invalid object id");
+  }
+  TDB_ASSIGN_OR_RETURN(std::shared_ptr<const Buffer> data,
+                       store_->chunks_->ReadAtViewShared(*view_, oid));
+  common::ScopedTimer timer(store_->chunks_->metrics().get(),
+                            store_->m_.unpickle_us);
+  Unpickler unpickler{Slice(*data)};
+  uint32_t class_id;
+  TDB_RETURN_IF_ERROR(unpickler.GetUint32(&class_id));
+  return store_->registry_.Unpickle(class_id, &unpickler);
+}
+
 Status ReadTransaction::Prefetch(const std::vector<ObjectId>& oids) {
   if (!active()) return Status::TransactionInvalid("read transaction ended");
   std::vector<ObjectId> missing;
@@ -278,7 +292,8 @@ Result<Object*> ObjectStore::Fetch(ObjectId oid) {
 }
 
 Result<Object*> ObjectStore::OpenInternal(internal::TxnState& txn,
-                                          ObjectId oid, bool writable) {
+                                          ObjectId oid, bool writable,
+                                          std::shared_ptr<void>* pin_guard) {
   if (oid == kInvalidObjectId || oid == header_cid_) {
     return Status::InvalidArgument("invalid object id");
   }
@@ -304,18 +319,23 @@ Result<Object*> ObjectStore::OpenInternal(internal::TxnState& txn,
   } else {
     txn.read_set.insert(oid);
   }
-  cache_.Pin(oid);  // Released by the Ref's pin guard.
+  // Pin and build the release guard under the same mutex hold, so the
+  // generation the guard releases is the generation that was pinned (an
+  // abort may Erase + re-Put this oid the moment the mutex drops).
+  const uint64_t pin_generation = cache_.Pin(oid);
+  *pin_guard = MakePin(oid, pin_generation);
   cache_.EnforceCapacity();
   return obj;
 }
 
-std::shared_ptr<void> ObjectStore::MakePin(ObjectId oid) {
+std::shared_ptr<void> ObjectStore::MakePin(ObjectId oid,
+                                           uint64_t generation) {
   // The pin itself was taken inside OpenInternal (under the mutex); this
   // wraps it so the last Ref copy releases it.
   return std::shared_ptr<void>(static_cast<void*>(nullptr),
-                               [this, oid](void*) {
+                               [this, oid, generation](void*) {
                                  std::lock_guard<std::mutex> lock(mutex_);
-                                 cache_.Unpin(oid);
+                                 cache_.Unpin(oid, generation);
                                });
 }
 

@@ -274,6 +274,16 @@ class ReadTransaction {
   /// Open() afterwards is a pure map lookup.
   Status Prefetch(const std::vector<ObjectId>& oids);
 
+  /// Opens an object at the pinned view WITHOUT memoizing it: ownership
+  /// of the freshly unpickled instance transfers to the caller and the
+  /// transaction retains nothing. This keeps long streaming scans (e.g.
+  /// reading a multi-chunk large object part by part) at O(1) transaction
+  /// memory, where Open() would retain every part until End(). An oid
+  /// previously seen by Open() is re-read rather than stolen, so existing
+  /// refs stay valid.
+  template <typename T>
+  Result<std::unique_ptr<T>> Take(ObjectId oid);
+
   /// Releases the pinned view and invalidates all refs. Idempotent; the
   /// destructor calls it.
   void End();
@@ -286,6 +296,8 @@ class ReadTransaction {
   // Chunk read at the view + unpickle, memoized in objects_.
   Result<const Object*> OpenInternal(ObjectId oid);
   Result<const Object*> UnpickleInto(ObjectId oid, Slice data);
+  // Chunk read at the view + unpickle, ownership to the caller.
+  Result<std::unique_ptr<Object>> TakeInternal(ObjectId oid);
 
   ObjectStore* store_;
   std::shared_ptr<internal::TxnState> state_;
@@ -372,9 +384,11 @@ class ObjectStore {
   std::shared_ptr<internal::TxnState> BeginTxn();
 
   // Core of Open*(): lock, fetch into cache, pin; returns the cached
-  // instance. The templated wrappers down-cast.
+  // instance and hands back the pin-release guard, built under the same
+  // mutex hold as the pin itself. The templated wrappers down-cast.
   Result<Object*> OpenInternal(internal::TxnState& txn, ObjectId oid,
-                               bool writable);
+                               bool writable,
+                               std::shared_ptr<void>* pin_guard);
   Result<ObjectId> InsertInternal(internal::TxnState& txn,
                                   std::unique_ptr<Object> object);
   Status RemoveInternal(internal::TxnState& txn, ObjectId oid);
@@ -385,8 +399,9 @@ class ObjectStore {
   // state mutex.
   Result<Object*> Fetch(ObjectId oid);
 
-  // Builds the pin guard shared_ptr for a Ref.
-  std::shared_ptr<void> MakePin(ObjectId oid);
+  // Builds the pin guard shared_ptr for a Ref; releases only the entry
+  // generation that was pinned.
+  std::shared_ptr<void> MakePin(ObjectId oid, uint64_t generation);
 
   // Registry-backed instruments, resolved once at construction (against
   // the chunk store's registry) so transaction paths touch only the
@@ -438,26 +453,30 @@ class ObjectStore {
 template <typename T>
 Result<ReadonlyRef<T>> Transaction::OpenReadonly(ObjectId oid) {
   if (!active()) return Status::TransactionInvalid("transaction ended");
+  std::shared_ptr<void> pin;
   TDB_ASSIGN_OR_RETURN(Object* obj,
-                       store_->OpenInternal(*state_, oid, false));
+                       store_->OpenInternal(*state_, oid, false, &pin));
   const T* typed = dynamic_cast<const T*>(obj);
   if (typed == nullptr) {
+    // `pin` unpins on return — a failed down-cast must not leak the pin.
     return Status::TypeMismatch("object " + std::to_string(oid) +
                                 " is not of the requested class");
   }
-  return ReadonlyRef<T>(state_, oid, typed, store_->MakePin(oid));
+  return ReadonlyRef<T>(state_, oid, typed, std::move(pin));
 }
 
 template <typename T>
 Result<WritableRef<T>> Transaction::OpenWritable(ObjectId oid) {
   if (!active()) return Status::TransactionInvalid("transaction ended");
-  TDB_ASSIGN_OR_RETURN(Object* obj, store_->OpenInternal(*state_, oid, true));
+  std::shared_ptr<void> pin;
+  TDB_ASSIGN_OR_RETURN(Object* obj,
+                       store_->OpenInternal(*state_, oid, true, &pin));
   T* typed = dynamic_cast<T*>(obj);
   if (typed == nullptr) {
     return Status::TypeMismatch("object " + std::to_string(oid) +
                                 " is not of the requested class");
   }
-  return WritableRef<T>(state_, oid, typed, store_->MakePin(oid));
+  return WritableRef<T>(state_, oid, typed, std::move(pin));
 }
 
 template <typename T>
@@ -473,6 +492,17 @@ Result<ReadonlyRef<T>> ReadTransaction::Open(ObjectId oid) {
   // objects_, which outlives every ref (refs die when state_->active
   // flips at End()).
   return ReadonlyRef<T>(state_, oid, typed, nullptr);
+}
+
+template <typename T>
+Result<std::unique_ptr<T>> ReadTransaction::Take(ObjectId oid) {
+  if (!active()) return Status::TransactionInvalid("read transaction ended");
+  TDB_ASSIGN_OR_RETURN(std::unique_ptr<Object> obj, TakeInternal(oid));
+  if (dynamic_cast<T*>(obj.get()) == nullptr) {
+    return Status::TypeMismatch("object " + std::to_string(oid) +
+                                " is not of the requested class");
+  }
+  return std::unique_ptr<T>(static_cast<T*>(obj.release()));
 }
 
 }  // namespace tdb::object

@@ -1,0 +1,73 @@
+#include "workload/key_chooser.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace tdb::workload {
+
+namespace {
+
+/// zeta(from..to] increment: sum_{i=from+1..to} 1/i^theta.
+double ZetaRange(uint64_t from, uint64_t to, double theta) {
+  double sum = 0.0;
+  for (uint64_t i = from + 1; i <= to; i++) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+
+}  // namespace
+
+ZipfianChooser::ZipfianChooser(uint64_t n, double theta)
+    : n_(n), theta_(theta) {
+  TDB_CHECK(n_ >= 1, "zipfian keyspace must be non-empty");
+  TDB_CHECK(theta_ > 0.0 && theta_ < 1.0, "zipfian theta must be in (0,1)");
+  alpha_ = 1.0 / (1.0 - theta_);
+  zeta2_ = ZetaRange(0, 2, theta_);
+  zetan_ = ZetaRange(0, n_, theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+         (1.0 - zeta2_ / zetan_);
+}
+
+void ZipfianChooser::Grow(uint64_t n) {
+  if (n <= n_) return;
+  zetan_ += ZetaRange(n_, n, theta_);
+  n_ = n;
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+         (1.0 - zeta2_ / zetan_);
+}
+
+uint64_t ZipfianChooser::Next(Random* rng) const {
+  // 53-bit uniform in [0,1).
+  double u = static_cast<double>(rng->Next() >> 11) *
+             (1.0 / 9007199254740992.0);
+  double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  uint64_t rank = static_cast<uint64_t>(
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return rank >= n_ ? n_ - 1 : rank;
+}
+
+uint64_t FnvHash64(uint64_t value) {
+  uint64_t hash = 0xCBF29CE484222325ull;
+  for (int i = 0; i < 8; i++) {
+    hash ^= (value >> (i * 8)) & 0xFF;
+    hash *= 0x100000001B3ull;
+  }
+  return hash;
+}
+
+uint64_t ScrambledZipfianChooser::Next(Random* rng) const {
+  return FnvHash64(inner_.Next(rng)) % inner_.n();
+}
+
+uint64_t LatestChooser::Next(Random* rng, uint64_t limit) const {
+  TDB_CHECK(limit >= 1, "latest distribution needs a non-empty keyspace");
+  uint64_t rank = inner_.Next(rng);
+  if (rank >= limit) rank = limit - 1;
+  return limit - 1 - rank;
+}
+
+}  // namespace tdb::workload

@@ -1,0 +1,100 @@
+#ifndef TDB_WORKLOAD_KEY_CHOOSER_H_
+#define TDB_WORKLOAD_KEY_CHOOSER_H_
+
+#include <cstdint>
+
+#include "common/random.h"
+
+namespace tdb::workload {
+
+/// Uniform choice over [0, n).
+class UniformChooser {
+ public:
+  explicit UniformChooser(uint64_t n) : n_(n) {}
+  uint64_t Next(Random* rng) const { return rng->Uniform(n_); }
+  void Grow(uint64_t n) {
+    if (n > n_) n_ = n;
+  }
+  uint64_t n() const { return n_; }
+
+ private:
+  uint64_t n_;
+};
+
+/// Zipfian choice over [0, n): rank r is drawn with probability
+/// proportional to 1 / (r+1)^theta, so rank 0 is the hottest key. Uses the
+/// rejection-free inversion of Gray et al., "Quickly Generating
+/// Billion-Record Synthetic Databases" (SIGMOD '94): with
+///   zeta(n)  = sum_{i=1..n} 1/i^theta,
+///   alpha    = 1 / (1 - theta),
+///   eta      = (1 - (2/n)^(1-theta)) / (1 - zeta(2)/zeta(n)),
+/// a uniform u in [0,1) maps to
+///   u*zeta(n) < 1           -> 0,
+///   u*zeta(n) < 1 + 0.5^theta -> 1,
+///   otherwise               -> floor(n * (eta*u - eta + 1)^alpha).
+/// The keyspace can Grow() without replaying history: zeta extends
+/// incrementally (zeta is a prefix sum), matching YCSB's insert handling.
+class ZipfianChooser {
+ public:
+  static constexpr double kDefaultTheta = 0.99;
+
+  explicit ZipfianChooser(uint64_t n, double theta = kDefaultTheta);
+
+  uint64_t Next(Random* rng) const;
+
+  /// Extends the keyspace to `n` items (no-op if not larger).
+  void Grow(uint64_t n);
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zeta2_;  // zeta(2): constant per theta.
+  double zetan_;  // zeta(n): extended incrementally by Grow().
+  double eta_;
+};
+
+/// Zipfian rank spread over the keyspace by a 64-bit FNV-1a hash, so the
+/// hottest keys are scattered instead of clustered at 0 (YCSB's
+/// "scrambled zipfian"). Distinct hot ranks keep distinct hash slots with
+/// overwhelming probability for workload-sized keyspaces.
+class ScrambledZipfianChooser {
+ public:
+  explicit ScrambledZipfianChooser(uint64_t n,
+                                   double theta = ZipfianChooser::kDefaultTheta)
+      : inner_(n, theta) {}
+
+  uint64_t Next(Random* rng) const;
+  void Grow(uint64_t n) { inner_.Grow(n); }
+  uint64_t n() const { return inner_.n(); }
+
+ private:
+  ZipfianChooser inner_;
+};
+
+/// "Latest" distribution (YCSB D): the most recently inserted key is the
+/// hottest. Draws a zipfian rank r over the current keyspace and returns
+/// limit-1-r, where `limit` is the caller's current insertion frontier.
+class LatestChooser {
+ public:
+  explicit LatestChooser(uint64_t n,
+                         double theta = ZipfianChooser::kDefaultTheta)
+      : inner_(n, theta) {}
+
+  uint64_t Next(Random* rng, uint64_t limit) const;
+  void Grow(uint64_t n) { inner_.Grow(n); }
+
+ private:
+  ZipfianChooser inner_;
+};
+
+/// 64-bit FNV-1a of an integer key (used by the scrambler; exposed for
+/// tests).
+uint64_t FnvHash64(uint64_t value);
+
+}  // namespace tdb::workload
+
+#endif  // TDB_WORKLOAD_KEY_CHOOSER_H_

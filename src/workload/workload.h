@@ -1,0 +1,36 @@
+#ifndef TDB_WORKLOAD_WORKLOAD_H_
+#define TDB_WORKLOAD_WORKLOAD_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "common/slice.h"
+
+namespace tdb::workload {
+
+/// Observer of a workload driver's commit attempts, mirroring the
+/// StateOracle protocol of the crash harness without depending on it:
+/// BeginCommit opens an attempt, Pending* describe its logical effects,
+/// EndCommit seals it (`acked` = the store returned OK). Drivers call the
+/// hook for EVERY commit attempt in deterministic order when run
+/// single-threaded, so the harness can model boundary states exactly.
+/// What `id` means is scenario-specific (documented per driver): an object
+/// id for plain-object scenarios, a logical key for collection scenarios.
+class CommitHook {
+ public:
+  virtual ~CommitHook() = default;
+  virtual void BeginCommit() {}
+  virtual void PendingWrite(uint64_t id, Buffer image) { (void)id; (void)image; }
+  virtual void PendingRemove(uint64_t id) { (void)id; }
+  virtual void EndCommit(bool acked, bool durable) { (void)acked; (void)durable; }
+};
+
+/// Deterministic, semi-compressible payload bytes: a seeded noise prefix
+/// whose back half repeats the front half, so the LZ codec compresses it
+/// without it being trivially constant (mirrors the harness SlotPayload
+/// convention so codec-on runs store a mix of compressed and raw records).
+Buffer ValuePayload(uint64_t seed, uint32_t size);
+
+}  // namespace tdb::workload
+
+#endif  // TDB_WORKLOAD_WORKLOAD_H_

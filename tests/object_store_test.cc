@@ -612,7 +612,7 @@ TEST(ObjectCacheTest, UnitTestsPinAndDirty) {
   EXPECT_EQ(cache.Get(1), m1);
   EXPECT_EQ(cache.Get(2), nullptr);
 
-  cache.Pin(1);
+  const uint64_t pin_gen = cache.Pin(1);
   for (ObjectId oid = 2; oid <= 10; oid++) {
     cache.Put(oid, std::make_unique<Meter>(int32_t(oid), 0, 0), false);
   }
@@ -620,7 +620,14 @@ TEST(ObjectCacheTest, UnitTestsPinAndDirty) {
   // Entry 1 is pinned: must survive even though it is the LRU tail.
   EXPECT_NE(cache.Get(1), nullptr);
   EXPECT_LE(cache.size_bytes(), 300u + 150u);  // Allow one entry overshoot.
-  cache.Unpin(1);
+
+  // A stale-generation release (abort erased + re-fetched the oid) must
+  // not unpin the replacement entry.
+  cache.Unpin(1, pin_gen + 1000);
+  cache.Put(11, std::make_unique<Meter>(11, 0, 0), false);
+  cache.EnforceCapacity();
+  EXPECT_NE(cache.Get(1), nullptr);  // Still pinned.
+  cache.Unpin(1, pin_gen);
 
   // Dirty entries survive too (no-steal).
   cache.Put(20, std::make_unique<Meter>(20, 0, 0), true);

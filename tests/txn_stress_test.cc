@@ -21,6 +21,7 @@
 #include "platform/mem_store.h"
 #include "platform/one_way_counter.h"
 #include "platform/secret_store.h"
+#include "workload/key_chooser.h"
 
 namespace tdb::object {
 namespace {
@@ -262,6 +263,115 @@ TEST(TxnStressTest, GroupCommitDurableTransfersConserveTotal) {
     sum += ref.value()->balance();
   }
   EXPECT_EQ(sum, kAccounts * kInitialBalance);
+}
+
+// Zipfian hot-key contention: transfers pick BOTH endpoints from a
+// zipfian distribution (theta = 0.99) over a larger account pool, so a
+// handful of hot accounts absorb most of the lock traffic — the
+// worst-case 2PL shape the uniform test above cannot produce. Conservation
+// must hold exactly, and the store's lock accounting must stay coherent:
+// acquisitions grew, every timeout was first a wait, and deadlock-aborts
+// never exceed aborts. (No lower bound on timeouts: on a single-CPU run
+// the threads may serialize and never collide.)
+TEST(TxnStressTest, ZipfianHotKeyContentionConservesTotal) {
+  constexpr int kHotAccounts = 32;
+  constexpr int kHotThreads = 4;
+  constexpr int kHotTransfersPerThread = 60;
+
+  Stack stack;
+  OpenStack(&stack);
+  if (HasFatalFailure()) return;
+  std::vector<ObjectId> accounts;
+  {
+    Transaction txn(stack.objects.get());
+    for (int i = 0; i < kHotAccounts; i++) {
+      auto oid = txn.Insert(std::make_unique<Account>(kInitialBalance));
+      ASSERT_TRUE(oid.ok()) << oid.status().ToString();
+      accounts.push_back(oid.value());
+    }
+    ASSERT_TRUE(txn.Commit(true).ok());
+  }
+  const ObjectStoreStats before = stack.objects->Stats();
+
+  const workload::ZipfianChooser zipf(kHotAccounts);  // Shared, read-only.
+  std::atomic<uint64_t> committed{0};
+  std::atomic<uint64_t> retries{0};
+  std::atomic<bool> failed{false};
+
+  auto worker = [&](int thread_idx) {
+    Random rng(4000 + static_cast<uint64_t>(thread_idx));
+    for (int t = 0; t < kHotTransfersPerThread && !failed.load(); t++) {
+      uint32_t a = static_cast<uint32_t>(zipf.Next(&rng));
+      uint32_t b = a;
+      while (b == a) b = static_cast<uint32_t>(zipf.Next(&rng));
+      uint64_t amount = rng.Uniform(50) + 1;
+      for (int attempt = 0;; attempt++) {
+        Transaction txn(stack.objects.get());
+        auto src = txn.OpenWritable<Account>(accounts[a]);
+        auto dst = src.ok() ? txn.OpenWritable<Account>(accounts[b])
+                            : Result<WritableRef<Account>>(src.status());
+        Status status =
+            src.ok() && dst.ok() ? Status::OK()
+                                 : (src.ok() ? dst.status() : src.status());
+        if (status.ok()) {
+          uint64_t moved = std::min(amount, src.value()->balance());
+          src.value()->set_balance(src.value()->balance() - moved);
+          dst.value()->set_balance(dst.value()->balance() + moved);
+          status = txn.Commit(/*durable=*/t % 16 == 0);
+          if (status.ok()) {
+            committed++;
+            break;
+          }
+        } else {
+          (void)txn.Abort();
+        }
+        if (status.IsLockTimeout() && attempt < kMaxAttemptsPerTransfer) {
+          retries++;
+          continue;
+        }
+        failed = true;
+        return;
+      }
+    }
+  };
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kHotThreads; i++) threads.emplace_back(worker, i);
+  for (std::thread& thread : threads) thread.join();
+
+  ASSERT_FALSE(failed.load())
+      << "non-retryable failure (committed=" << committed.load()
+      << " retries=" << retries.load() << ")";
+  EXPECT_EQ(committed.load(),
+            static_cast<uint64_t>(kHotThreads) * kHotTransfersPerThread);
+
+  // Conservation over the full pool.
+  {
+    Transaction txn(stack.objects.get());
+    uint64_t sum = 0;
+    for (ObjectId oid : accounts) {
+      auto ref = txn.OpenReadonly<Account>(oid);
+      ASSERT_TRUE(ref.ok()) << ref.status().ToString();
+      sum += ref.value()->balance();
+    }
+    ASSERT_TRUE(txn.Abort().ok());
+    EXPECT_EQ(sum, static_cast<uint64_t>(kHotAccounts) * kInitialBalance);
+  }
+
+  // Lock accounting sanity (deltas over this workload only).
+  const ObjectStoreStats after = stack.objects->Stats();
+  EXPECT_GE(after.lock_acquisitions - before.lock_acquisitions,
+            2 * committed.load())
+      << "every transfer locks two accounts";
+  EXPECT_LE(after.lock_timeouts - before.lock_timeouts,
+            after.lock_waits - before.lock_waits)
+      << "a timeout is a wait that expired";
+  EXPECT_GE(after.lock_timeouts - before.lock_timeouts, retries.load())
+      << "every observed LockTimeout status came from an expired wait";
+  EXPECT_LE(after.deadlock_aborts, after.aborts);
+  EXPECT_GT(after.commits, before.commits);
+
+  uint64_t checked = 0;
+  EXPECT_TRUE(stack.chunks->VerifyIntegrity(&checked).ok());
 }
 
 // Same workload shape with locking disabled and a single thread: §4.2.3's

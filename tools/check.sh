@@ -8,6 +8,7 @@
 #   tools/check.sh --tsan        # ThreadSanitizer build, harness smoke suite
 #   tools/check.sh --bench-smoke # build benches, run each briefly
 #   tools/check.sh --metrics     # bench --metrics-json -> tdbstat --check
+#   tools/check.sh --workloads   # workload suite: tests + bench smoke
 #
 # The sanitizer modes configure a separate build directory with
 # -DTDB_SANITIZE=<address|thread> and run a smoke subset (the differential
@@ -33,8 +34,9 @@ case "$mode" in
   --tsan) sanitize="thread"  ; suffix="-tsan" ;;
   --bench-smoke) suffix="-bench" ;;
   --metrics) suffix="" ;;
+  --workloads) suffix="-workloads" ;;
   "") ;;
-  *) echo "usage: tools/check.sh [--asan|--tsan|--bench-smoke|--metrics]" >&2
+  *) echo "usage: tools/check.sh [--asan|--tsan|--bench-smoke|--metrics|--workloads]" >&2
      exit 2 ;;
 esac
 
@@ -60,7 +62,7 @@ elif [[ "$mode" == "--bench-smoke" ]]; then
   # on stderr when a bench binary was built without optimization.
   cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
   gbenches=(crypto_micro commit_throughput chunk_micro index_micro
-            cache_micro read_path)
+            cache_micro read_path workloads)
   scripted=(tpcb_response utilization_sweep footprint_table backup_micro
             cleaner_ablation recovery_micro)
   cmake --build "$build_dir" -j "$(nproc)" \
@@ -74,6 +76,21 @@ elif [[ "$mode" == "--bench-smoke" ]]; then
     TPCB_SCALE=1 TPCB_TXNS=200 "$build_dir/bench/$b" > /dev/null
   done
   echo "bench smoke OK: ${#gbenches[@]} gbenches + ${#scripted[@]} scripted"
+elif [[ "$mode" == "--workloads" ]]; then
+  # The workload diversity suite end to end: deterministic scenario runs
+  # with oracle checks, the scenario-layer crash/tamper sweeps, the
+  # zipfian hot-key stress, large-object edge cases, and a short run of
+  # every workload benchmark.
+  cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
+  targets=(workload_test large_object_test txn_stress_test workloads)
+  cmake --build "$build_dir" -j "$(nproc)" --target "${targets[@]}"
+  for t in workload_test large_object_test txn_stress_test; do
+    echo "== $t =="
+    "$build_dir/tests/$t" --gtest_brief=1
+  done
+  echo "== workloads (google-benchmark smoke) =="
+  "$build_dir/bench/workloads" --benchmark_min_time=0.001 > /dev/null
+  echo "workloads check OK"
 elif [[ "$mode" == "--metrics" ]]; then
   # Observability round-trip: a short instrumented bench run emits a
   # metrics snapshot, and tdbstat --check validates it is well-formed and
